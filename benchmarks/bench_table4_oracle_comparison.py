@@ -1,0 +1,181 @@
+"""Table 4 — which oracles can detect the confirmed logic bugs.
+
+The paper manually analysed the 20 confirmed/fixed logic bugs and asked
+whether each could also have been found by comparing PostGIS with MySQL
+(P. vs. M.), PostGIS with DuckDB Spatial (P. vs. D.), toggling an index, or
+TLP.  The reproduction can answer the same question experimentally: every
+injected logic bug records which oracles can observe it (`detectable_by`,
+derived from the bug's mechanism and the systems' feature overlap), and the
+differential oracle's reachability analysis recomputes the cross-system
+columns from the dialect catalogs.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.differential import DifferentialOracle
+from repro.engine import faults
+from repro.engine.faults import BUG_CATALOG
+
+from benchmarks.conftest import write_report
+
+_COMPONENTS = ("GEOS", "PostGIS", "MySQL")
+
+# Paper Table 4: rows GEOS / PostGIS / MySQL, columns AEI, P.vs.M., P.vs.D.,
+# Index, TLP.
+_PAPER_TABLE4 = {
+    "GEOS": (8, 3, 1, 0, 0),
+    "PostGIS": (8, 0, 0, 1, 1),
+    "MySQL": (4, 1, 0, 1, 0),
+}
+
+
+def confirmed_logic_bugs(component: str):
+    return [
+        bug
+        for bug in BUG_CATALOG
+        if bug.component == component
+        and bug.kind == faults.LOGIC
+        and bug.status in (faults.FIXED, faults.CONFIRMED)
+    ]
+
+
+def build_table4_rows() -> list[tuple[str, int, int, int, int, int]]:
+    """Per-component detection counts from the catalog's ground-truth labels.
+
+    Each injected bug's ``detectable_by`` set encodes the paper's manual
+    analysis (Section 5.3).  The differential oracle's independent
+    reachability recomputation is reported separately by
+    :func:`reachability_cross_check`, because it is stricter than the manual
+    analysis for two cases (ST_CoveredBy against MySQL, the shared-GEOS
+    EMPTY-element path against DuckDB Spatial).
+    """
+    rows = []
+    for component in _COMPONENTS:
+        bugs = confirmed_logic_bugs(component)
+        aei = sum(1 for bug in bugs if faults.ORACLE_AEI in bug.detectable_by)
+        versus_mysql = sum(
+            1 for bug in bugs if faults.ORACLE_DIFF_POSTGIS_MYSQL in bug.detectable_by
+        )
+        versus_duckdb = sum(
+            1 for bug in bugs if faults.ORACLE_DIFF_POSTGIS_DUCKDB in bug.detectable_by
+        )
+        index = sum(1 for bug in bugs if faults.ORACLE_INDEX in bug.detectable_by)
+        tlp = sum(1 for bug in bugs if faults.ORACLE_TLP in bug.detectable_by)
+        rows.append((component, aei, versus_mysql, versus_duckdb, index, tlp))
+    return rows
+
+
+def reachability_cross_check() -> tuple[int, int]:
+    """How many of the catalog-labelled differential bugs the oracle's own
+    dialect-catalog reachability analysis confirms."""
+    postgis_vs_mysql = DifferentialOracle("postgis", "mysql")
+    postgis_vs_duckdb = DifferentialOracle("postgis", "duckdb_spatial")
+    confirmed_mysql = 0
+    confirmed_duckdb = 0
+    for component in _COMPONENTS:
+        for bug in confirmed_logic_bugs(component):
+            if faults.ORACLE_DIFF_POSTGIS_MYSQL in bug.detectable_by and postgis_vs_mysql.can_observe_bug(bug):
+                confirmed_mysql += 1
+            if faults.ORACLE_DIFF_POSTGIS_DUCKDB in bug.detectable_by and postgis_vs_duckdb.can_observe_bug(bug):
+                confirmed_duckdb += 1
+    return confirmed_mysql, confirmed_duckdb
+
+
+def test_table4_oracle_comparison(benchmark):
+    rows = benchmark(build_table4_rows)
+    lines = ["Table 4: logic-bug detection comparison (reproduced vs. paper)"]
+    lines.append(
+        f"{'component':<10} {'AEI':>4} {'P.vs.M.':>8} {'P.vs.D.':>8} {'Index':>6} {'TLP':>4}   paper"
+    )
+    totals = [0, 0, 0, 0, 0]
+    for component, aei, versus_mysql, versus_duckdb, index, tlp in rows:
+        lines.append(
+            f"{component:<10} {aei:>4} {versus_mysql:>8} {versus_duckdb:>8} {index:>6} {tlp:>4}   {_PAPER_TABLE4[component]}"
+        )
+        for position, value in enumerate((aei, versus_mysql, versus_duckdb, index, tlp)):
+            totals[position] += value
+    lines.append(
+        f"{'Sum':<10} {totals[0]:>4} {totals[1]:>8} {totals[2]:>8} {totals[3]:>6} {totals[4]:>4}   (20, 4, 1, 2, 1)"
+    )
+    aei_only = sum(
+        1
+        for component in _COMPONENTS
+        for bug in confirmed_logic_bugs(component)
+        if bug.detectable_by == {faults.ORACLE_AEI}
+    )
+    lines.append(f"Bugs only AEI can observe (paper: 14): {aei_only}")
+    confirmed_mysql, confirmed_duckdb = reachability_cross_check()
+    lines.append(
+        "reachability cross-check from the dialect catalogs: "
+        f"P.vs.M. {confirmed_mysql}/{totals[1]} confirmed, P.vs.D. {confirmed_duckdb}/{totals[2]} confirmed "
+        "(ST_CoveredBy is not comparable against MySQL; the EMPTY-element disjoint bug "
+        "sits in the GEOS path shared with DuckDB Spatial)"
+    )
+    lines.append(
+        "note: the catalog follows the paper's Table 3 component attribution "
+        "(GEOS 9 / PostGIS 7 logic bugs); the paper's Table 4 lists the same 20 bugs as GEOS 8 / PostGIS 8."
+    )
+    lines.append(
+        "note: the Index and TLP columns are each one higher than the paper because the "
+        "emulated '~= with GiST' report is reachable through both the index toggle and TLP."
+    )
+    write_report("table4_oracle_comparison", lines)
+
+    # Shape assertions: AEI sees every logic bug, the baselines each see only
+    # a small fraction, and the ranking AEI >> P.vs.M. > Index/TLP/P.vs.D.
+    # matches the paper.
+    assert totals[0] == 20
+    assert [totals[1], totals[2], totals[3], totals[4]] == [4, 1, 3, 2]
+    assert rows[0][0] == "GEOS" and rows[0][1] in (8, 9)
+    # Paper: 14 of the 20 logic bugs are overlooked by every other method; the
+    # catalog reproduces 12 because the emulated index/TLP-reachable reports
+    # cover two additional bugs.
+    assert aei_only >= 12
+
+
+def test_table4_aei_only_bug_is_missed_by_all_baselines_experimentally(benchmark):
+    """Spot-check one AEI-only bug end to end against every baseline oracle."""
+    import random
+
+    from repro.baselines.index_oracle import IndexToggleOracle
+    from repro.baselines.tlp import TLPOracle
+    from repro.core.generator import DatabaseSpec
+    from repro.core.oracle import AEIOracle
+    from repro.engine.database import connect
+
+    bug_id = "postgis-covers-precision-loss"
+    spec = DatabaseSpec(tables={"t1": ["LINESTRING(0 1,2 0)"], "t2": ["POINT(0.2 0.9)"]})
+
+    def run_all() -> dict[str, int]:
+        rng = random.Random(3)
+        from repro.core.affine import AffineTransformation
+
+        aei = AEIOracle(lambda: connect("postgis", bug_ids=[bug_id]), rng=rng)
+        aei_outcome = aei.check(
+            spec,
+            query_count=40,
+            transformation=AffineTransformation.from_parts(1, 0, 0, 1, 0, -1),
+        )
+        tlp = TLPOracle(lambda: connect("postgis", bug_ids=[bug_id]), rng=rng)
+        tlp_outcome = tlp.check(spec, query_count=20)
+        index = IndexToggleOracle(lambda: connect("postgis", bug_ids=[bug_id]), rng=rng)
+        index_outcome = index.check(spec, query_count=20)
+        return {
+            "aei": len(aei_outcome.discrepancies),
+            "tlp": len(tlp_outcome.findings),
+            "index": len(index_outcome.findings),
+        }
+
+    findings = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    write_report(
+        "table4_spot_check",
+        [
+            "Spot check (postgis-covers-precision-loss):",
+            f"  AEI discrepancies:   {findings['aei']} (expected > 0)",
+            f"  TLP findings:        {findings['tlp']} (expected 0)",
+            f"  Index findings:      {findings['index']} (expected 0)",
+        ],
+    )
+    assert findings["aei"] > 0
+    assert findings["tlp"] == 0
+    assert findings["index"] == 0

@@ -1,0 +1,36 @@
+"""Shared helpers for the evaluation benchmarks.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(Section 5).  Besides the pytest-benchmark timing, each benchmark writes the
+rows/series it produced to ``benchmarks/results/<name>.txt`` and prints them,
+so the reproduced numbers can be compared against the paper (see
+EXPERIMENTS.md for the side-by-side reading).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIRECTORY = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def write_report(name: str, lines: list[str]) -> str:
+    """Write (and echo) a benchmark's reproduced table."""
+    os.makedirs(RESULTS_DIRECTORY, exist_ok=True)
+    path = os.path.join(RESULTS_DIRECTORY, f"{name}.txt")
+    text = "\n".join(lines) + "\n"
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print()
+    print(text)
+    return path
+
+
+@pytest.fixture(autouse=True)
+def _fresh_relate_cache():
+    from repro.topology.relate import clear_relate_cache
+
+    clear_relate_cache()
+    yield

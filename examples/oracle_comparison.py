@@ -1,0 +1,95 @@
+"""Compare AEI against the baseline oracles on a single injected bug.
+
+The paper's Table 4 asks: of the logic bugs AEI found, how many could the
+previous methodologies (cross-system differential testing, index toggling,
+TLP) have found?  This example walks one concrete bug — the GEOS
+"last-one-wins" collection boundary bug of Listing 6 — through all four
+oracles and prints who can see it and why.
+
+Run with::
+
+    python examples/oracle_comparison.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import connect
+from repro.baselines.differential import DifferentialOracle
+from repro.baselines.index_oracle import IndexToggleOracle
+from repro.baselines.tlp import TLPOracle
+from repro.core.generator import DatabaseSpec
+from repro.core.oracle import AEIOracle
+from repro.engine.faults import bug_by_id
+
+BUG_ID = "geos-mixed-boundary-last-one-wins"
+
+# The Listing 6 shape: a point and a collection whose interior contains it.
+# The collection lists its LINESTRING first; canonicalization reorders the
+# elements by dimension (POINT first), which flips the buggy last-one-wins
+# boundary decision between SDB1 and SDB2 - that is how AEI catches it.
+SPEC = DatabaseSpec(
+    tables={
+        "t1": ["POINT(0 0)"],
+        "t2": ["GEOMETRYCOLLECTION(LINESTRING(0 0,1 0),POINT(0 0))"],
+    }
+)
+
+
+def main() -> None:
+    bug = bug_by_id(BUG_ID)
+    print(f"Bug under study: {bug.bug_id}\n  {bug.summary}\n")
+    rng = random.Random(1)
+
+    # --- AEI -----------------------------------------------------------------
+    aei = AEIOracle(lambda: connect("postgis", bug_ids=[BUG_ID]), rng=rng)
+    aei_outcome = aei.check(SPEC, query_count=60)
+    print(f"AEI:           {len(aei_outcome.discrepancies)} discrepancy(ies) -> "
+          f"{'DETECTED' if aei_outcome.discrepancies else 'missed'}")
+
+    # --- differential: PostGIS vs DuckDB Spatial (both GEOS-backed) ----------
+    shared = DifferentialOracle(
+        "postgis",
+        "duckdb_spatial",
+        bug_ids_a=(BUG_ID,),
+        bug_ids_b=(BUG_ID,),
+        rng=rng,
+    )
+    shared_outcome = shared.check(SPEC, query_count=60)
+    print(
+        f"P. vs D.:      {len(shared_outcome.findings)} finding(s) -> "
+        f"{'DETECTED' if shared_outcome.findings else 'missed (both systems share the GEOS bug)'}"
+    )
+
+    # --- differential: PostGIS vs MySQL ---------------------------------------
+    cross = DifferentialOracle(
+        "postgis", "mysql", bug_ids_a=(BUG_ID,), bug_ids_b=(), rng=rng
+    )
+    cross_outcome = cross.check(SPEC, query_count=60)
+    print(
+        f"P. vs M.:      {len(cross_outcome.findings)} finding(s) -> "
+        f"{'DETECTED' if cross_outcome.findings else 'missed'}"
+        "   (can_observe_bug="
+        f"{cross.can_observe_bug(bug)})"
+    )
+
+    # --- index toggling --------------------------------------------------------
+    index = IndexToggleOracle(lambda: connect("postgis", bug_ids=[BUG_ID]), rng=rng)
+    index_outcome = index.check(SPEC, query_count=60)
+    print(
+        f"Index:         {len(index_outcome.findings)} finding(s) -> "
+        f"{'DETECTED' if index_outcome.findings else 'missed (both access paths share the bug)'}"
+    )
+
+    # --- TLP -------------------------------------------------------------------
+    tlp = TLPOracle(lambda: connect("postgis", bug_ids=[BUG_ID]), rng=rng)
+    tlp_outcome = tlp.check(SPEC, query_count=60)
+    print(
+        f"TLP:           {len(tlp_outcome.findings)} finding(s) -> "
+        f"{'DETECTED' if tlp_outcome.findings else 'missed (partitions are consistently wrong)'}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Overlay operations and the conversion-layer (GeoJSON) differential oracle.
+
+This example exercises the two subsystems that extend Spatter beyond the
+topological-predicate oracle:
+
+1. the exact overlay engine (``ST_Intersection`` / ``ST_Union`` /
+   ``ST_Difference`` / ``ST_SymDifference``), which the derivative strategy
+   uses to manufacture rich topologies from existing geometries, and
+2. the GeoJSON conversion layer with the format differential oracle that
+   rediscovers the paper's Section 7 finding (DuckDB Spatial reading
+   ``{"type": "Polygon", "coordinates": []}`` as NULL).
+
+Run with::
+
+    python examples/overlay_and_formats.py
+"""
+
+from __future__ import annotations
+
+from repro import connect, load_wkt
+from repro.baselines import PAPER_EMPTY_POLYGON_DOCUMENT, FormatDifferentialOracle
+from repro.functions import metrics
+from repro.overlay import difference, intersection, sym_difference, union
+
+
+def overlay_walkthrough() -> None:
+    print("== Overlay operations (the GEOS overlay analogue) ==")
+    a = load_wkt("POLYGON((0 0,4 0,4 4,0 4,0 0))")
+    b = load_wkt("POLYGON((2 2,6 2,6 6,2 6,2 2))")
+    for name, result in (
+        ("intersection", intersection(a, b)),
+        ("union", union(a, b)),
+        ("difference", difference(a, b)),
+        ("sym_difference", sym_difference(a, b)),
+    ):
+        print(f"  {name:<15} area={float(metrics.area(result)):6.1f}  {result.wkt}")
+
+    donut = difference(
+        load_wkt("POLYGON((0 0,10 0,10 10,0 10,0 0))"),
+        load_wkt("POLYGON((3 3,7 3,7 7,3 7,3 3))"),
+    )
+    print(f"  carving a hole  area={float(metrics.area(donut)):6.1f}  holes={len(donut.holes)}")
+
+    clipped = intersection(
+        load_wkt("LINESTRING(-5 5,15 5)"),
+        load_wkt("POLYGON((0 0,10 0,10 10,0 10,0 0))"),
+    )
+    print(f"  line clipping   length={metrics.length(clipped):.1f}  {clipped.wkt}")
+    print()
+
+
+def overlay_through_sql() -> None:
+    print("== Overlay through the SQL surface of every emulated system ==")
+    for dialect in ("postgis", "duckdb_spatial", "mysql", "sqlserver"):
+        db = connect(dialect)
+        area = db.query_value(
+            "SELECT ST_Area(ST_SymDifference("
+            "ST_GeomFromText('POLYGON((0 0,4 0,4 4,0 4,0 0))'), "
+            "ST_GeomFromText('POLYGON((2 2,6 2,6 6,2 6,2 2))')))"
+        )
+        print(f"  {dialect:<15} ST_Area(ST_SymDifference(...)) = {area}")
+    print()
+
+
+def conversion_layer_differential() -> None:
+    print("== Format differential oracle (the paper's GDAL/GeoJSON finding) ==")
+    oracle = FormatDifferentialOracle("postgis", "duckdb_spatial")
+    workload = [
+        "POINT(1 2)",
+        "LINESTRING(0 0,1 1)",
+        "POLYGON((0 0,1 0,1 1,0 1,0 0))",
+        "POLYGON EMPTY",
+        "MULTIPOLYGON(((0 0,1 0,1 1,0 1,0 0)))",
+    ]
+    outcome = oracle.run(workload, extra_documents=[PAPER_EMPTY_POLYGON_DOCUMENT])
+    print(f"  documents checked : {outcome.documents_checked}")
+    print(f"  findings          : {len(outcome.findings)}")
+    for finding in outcome.findings:
+        print(f"    - {finding.describe()}")
+    assert outcome.found_empty_polygon_bug(), "the known GeoJSON finding should reappear"
+    print()
+
+
+def main() -> None:
+    overlay_walkthrough()
+    overlay_through_sql()
+    conversion_layer_differential()
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Quickstart: detect a logic bug with Affine Equivalent Inputs.
+
+This example reproduces the paper's motivating example (Listings 1 and 2):
+a PostGIS release whose ``ST_Covers`` loses precision away from the origin.
+The same query template is executed against a generated database (SDB1) and
+its affine-equivalent follow-up (SDB2); differing row counts reveal the bug.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import connect
+from repro.core.affine import AffineTransformation
+from repro.core.generator import DatabaseSpec
+from repro.core.oracle import AEIOracle
+
+
+def main() -> None:
+    # SDB1: the geometries of the paper's Listing 1.
+    spec = DatabaseSpec(
+        tables={
+            "t1": ["LINESTRING(0 1,2 0)"],
+            "t2": ["POINT(0.2 0.9)"],
+        }
+    )
+
+    # The affine transformation that produces Listing 2's geometries:
+    # translate so that one vertex of the line lands on the origin.
+    transformation = AffineTransformation.from_parts(1, 0, 0, 1, 0, -1)
+
+    print("=== Buggy release (PostGIS emulation with its reported bugs) ===")
+    buggy_oracle = AEIOracle(
+        lambda: connect("postgis", emulate_release_under_test=True),
+        rng=random.Random(0),
+    )
+    outcome = buggy_oracle.check(spec, query_count=40, transformation=transformation)
+    for discrepancy in outcome.discrepancies:
+        print("  logic bug found:", discrepancy.describe())
+        print("  injected ground truth:", ", ".join(discrepancy.triggered_bug_ids))
+    if not outcome.discrepancies:
+        print("  no discrepancy observed (try more queries)")
+
+    print()
+    print("=== Fixed engine ===")
+    clean_oracle = AEIOracle(lambda: connect("postgis"), rng=random.Random(0))
+    clean_outcome = clean_oracle.check(spec, query_count=40, transformation=transformation)
+    print(
+        f"  {clean_outcome.queries_run} queries, "
+        f"{len(clean_outcome.discrepancies)} discrepancies (expected: 0)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Spatter reproduction: finding logic bugs in spatial database engines via
+Affine Equivalent Inputs (Deng, Mang, Zhang, Rigger -- SIGMOD 2024).
+
+The package is organised in layers:
+
+* :mod:`repro.geometry` -- OGC geometry model, WKT, exact primitives;
+* :mod:`repro.topology` -- DE-9IM relate engine, named predicates, measures;
+* :mod:`repro.functions` -- spatial editing/accessor/affine functions;
+* :mod:`repro.engine` -- MiniSDB, the in-process spatial SQL engine standing
+  in for PostGIS / MySQL / DuckDB Spatial / SQL Server, with dialect
+  emulation and the injected-bug catalog;
+* :mod:`repro.core` -- Spatter itself: geometry-aware generation, affine
+  equivalent input construction, canonicalization, the AEI oracle, and the
+  campaign runner;
+* :mod:`repro.baselines` -- the comparison oracles of Table 4 (differential,
+  TLP, index toggling) and the random-shape-only generator;
+* :mod:`repro.analysis` -- coverage and timing measurement for the
+  evaluation benchmarks.
+
+Quick start::
+
+    from repro import connect, TestingCampaign, CampaignConfig
+
+    campaign = TestingCampaign(CampaignConfig(dialect="postgis", seed=1))
+    result = campaign.run(rounds=5)
+    print(result.summary())
+"""
+
+from repro.engine import BUG_CATALOG, FaultPlan, InjectedBug, SpatialDatabase, connect
+from repro.engine.dialects import available_dialects, get_dialect
+from repro.core import (
+    AEIOracle,
+    AffineTransformation,
+    CampaignResult,
+    GeneratorConfig,
+    GeometryAwareGenerator,
+    TestingCampaign,
+    canonicalize,
+    random_affine_transformation,
+)
+from repro.core.campaign import CampaignConfig
+from repro.geometry import dump_wkt, load_wkt
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "connect",
+    "SpatialDatabase",
+    "FaultPlan",
+    "InjectedBug",
+    "BUG_CATALOG",
+    "get_dialect",
+    "available_dialects",
+    "load_wkt",
+    "dump_wkt",
+    "canonicalize",
+    "AffineTransformation",
+    "random_affine_transformation",
+    "GeometryAwareGenerator",
+    "GeneratorConfig",
+    "AEIOracle",
+    "TestingCampaign",
+    "CampaignConfig",
+    "CampaignResult",
+]

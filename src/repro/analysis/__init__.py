@@ -1,0 +1,20 @@
+"""Measurement utilities used by the evaluation benchmarks.
+
+* :mod:`repro.analysis.coverage` — a line-coverage tracer scoped to the
+  engine/topology packages (the Table 5 and Figure 8(b,c) experiments);
+* :mod:`repro.analysis.timing` — the Spatter-vs-SDBMS time split (Figure 7);
+* :mod:`repro.analysis.stats` — small helpers for summarising repeated runs.
+"""
+
+from repro.analysis.coverage import CoverageReport, CoverageTracker
+from repro.analysis.timing import TimeSplit, measure_campaign_time_split
+from repro.analysis.stats import mean, summarize
+
+__all__ = [
+    "CoverageTracker",
+    "CoverageReport",
+    "TimeSplit",
+    "measure_campaign_time_split",
+    "mean",
+    "summarize",
+]

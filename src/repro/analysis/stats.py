@@ -1,0 +1,49 @@
+"""Small statistics helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for an empty sequence)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def standard_deviation(values: Sequence[float]) -> float:
+    """Population standard deviation (0.0 for fewer than two samples)."""
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    centre = mean(values)
+    return math.sqrt(sum((value - centre) ** 2 for value in values) / len(values))
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean, standard deviation, minimum and maximum of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summary statistics for a sample (all zeros for an empty sample)."""
+    values = list(values)
+    if not values:
+        return Summary(count=0, mean=0.0, std=0.0, minimum=0.0, maximum=0.0)
+    return Summary(
+        count=len(values),
+        mean=mean(values),
+        std=standard_deviation(values),
+        minimum=min(values),
+        maximum=max(values),
+    )

@@ -1,0 +1,71 @@
+"""Run-time distribution measurement (Figure 7).
+
+Figure 7 of the paper shows, for each SDBMS and for N ∈ {1, 10, 50, 100}
+geometries per run, the total time Spatter spends versus the part of it
+spent executing statements inside the SDBMS.  The campaign runner already
+tracks both numbers; this module packages the sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.campaign import CampaignConfig, TestingCampaign
+
+
+@dataclass
+class TimeSplit:
+    """One Figure 7 data point."""
+
+    dialect: str
+    geometry_count: int
+    spatter_seconds: float
+    sdbms_seconds: float
+    queries_run: int
+
+    @property
+    def sdbms_share(self) -> float:
+        """Fraction of the total time spent inside the SDBMS."""
+        if self.spatter_seconds == 0:
+            return 0.0
+        return self.sdbms_seconds / self.spatter_seconds
+
+
+def measure_campaign_time_split(
+    dialect: str,
+    geometry_count: int,
+    queries: int = 100,
+    repeats: int = 3,
+    seed: int = 0,
+    emulate_release_under_test: bool = True,
+) -> TimeSplit:
+    """Average the Spatter/SDBMS time split over ``repeats`` runs.
+
+    Mirrors the paper's methodology: each run generates one database of
+    ``geometry_count`` geometries and evaluates ``queries`` random template
+    queries; the experiment is repeated to absorb performance noise.
+    """
+    total_spatter = 0.0
+    total_sdbms = 0.0
+    total_queries = 0
+    for repeat in range(repeats):
+        campaign = TestingCampaign(
+            CampaignConfig(
+                dialect=dialect,
+                geometry_count=geometry_count,
+                queries_per_round=queries,
+                seed=seed + repeat,
+                emulate_release_under_test=emulate_release_under_test,
+            )
+        )
+        result = campaign.run(rounds=1)
+        total_spatter += result.total_seconds
+        total_sdbms += result.sdbms_seconds
+        total_queries += result.queries_run
+    return TimeSplit(
+        dialect=dialect,
+        geometry_count=geometry_count,
+        spatter_seconds=total_spatter / repeats,
+        sdbms_seconds=total_sdbms / repeats,
+        queries_run=total_queries // repeats,
+    )

@@ -1,0 +1,31 @@
+"""Baseline oracles and generators the paper compares Spatter against.
+
+* :mod:`repro.baselines.rsg` — the self-constructed random-shape-only
+  generator baseline of Section 5.4 (Figure 8);
+* :mod:`repro.baselines.differential` — cross-system differential testing
+  (Table 4's "P. vs. M." and "P. vs. D." columns);
+* :mod:`repro.baselines.tlp` — Ternary Logic Partitioning adapted to the
+  spatial join template (Table 4's "TLP" column);
+* :mod:`repro.baselines.index_oracle` — differential testing between index
+  and sequential scans within one system (Table 4's "Index" column);
+* :mod:`repro.baselines.format_differential` — differential testing of the
+  GeoJSON conversion layer (the paper's Section 7 GDAL finding).
+"""
+
+from repro.baselines.differential import DifferentialOracle
+from repro.baselines.format_differential import (
+    PAPER_EMPTY_POLYGON_DOCUMENT,
+    FormatDifferentialOracle,
+)
+from repro.baselines.index_oracle import IndexToggleOracle
+from repro.baselines.rsg import random_shape_campaign_config
+from repro.baselines.tlp import TLPOracle
+
+__all__ = [
+    "DifferentialOracle",
+    "FormatDifferentialOracle",
+    "PAPER_EMPTY_POLYGON_DOCUMENT",
+    "IndexToggleOracle",
+    "TLPOracle",
+    "random_shape_campaign_config",
+]

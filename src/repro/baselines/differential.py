@@ -1,0 +1,150 @@
+"""Cross-system differential testing.
+
+The classic oracle for relational DBMS testing: run the same statements on
+two systems and flag differing outputs.  Section 5.3 of the paper explains
+why this is weak for SDBMSs — functions implemented in only one system
+cannot be compared at all, shared third-party libraries (GEOS) make both
+systems wrong in the same way, and legitimately different function
+definitions produce false alarms.  All three effects are reproduced here:
+
+* queries using a predicate unsupported by either dialect are *inapplicable*;
+* GEOS-mechanism bugs are active in both GEOS-backed dialects, so their
+  outputs agree and the discrepancy is invisible;
+* dialect differences in validation (strict vs. lenient) can make the
+  comparison error out, which the oracle has to ignore.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import EngineCrash, ReproError
+from repro.core.generator import DatabaseSpec
+from repro.core.queries import QueryTemplate, TopologicalQuery
+from repro.engine.database import SpatialDatabase, connect
+from repro.engine.dialects import get_dialect
+
+
+@dataclass
+class DifferentialFinding:
+    """Two systems returned different counts for the same statements."""
+
+    query: TopologicalQuery
+    count_a: int
+    count_b: int
+    dialect_a: str
+    dialect_b: str
+
+
+@dataclass
+class DifferentialOutcome:
+    findings: list[DifferentialFinding] = field(default_factory=list)
+    inapplicable_queries: int = 0
+    errors_ignored: int = 0
+    queries_run: int = 0
+
+
+class DifferentialOracle:
+    """Compares two emulated systems on the same generated database."""
+
+    def __init__(
+        self,
+        dialect_a: str,
+        dialect_b: str,
+        bug_ids_a: tuple[str, ...] | None = None,
+        bug_ids_b: tuple[str, ...] | None = None,
+        emulate_release_under_test: bool = True,
+        rng: random.Random | None = None,
+    ):
+        self.dialect_a = dialect_a
+        self.dialect_b = dialect_b
+        self.bug_ids_a = bug_ids_a
+        self.bug_ids_b = bug_ids_b
+        self.emulate = emulate_release_under_test
+        self.rng = rng or random.Random()
+
+    def _connect(self, dialect: str, bug_ids: tuple[str, ...] | None) -> SpatialDatabase:
+        if bug_ids is not None:
+            return connect(dialect, bug_ids=bug_ids)
+        return connect(dialect, emulate_release_under_test=self.emulate)
+
+    def comparable_predicates(self) -> list[str]:
+        """Predicates both dialects document (the only comparable ones)."""
+        a = set(get_dialect(self.dialect_a).topological_predicates())
+        b = set(get_dialect(self.dialect_b).topological_predicates())
+        return sorted(a & b)
+
+    def check(self, spec: DatabaseSpec, query_count: int = 10) -> DifferentialOutcome:
+        """Run random comparable queries over the same spec on both systems."""
+        outcome = DifferentialOutcome()
+        comparable = set(self.comparable_predicates())
+
+        try:
+            database_a = self._materialise(self.dialect_a, self.bug_ids_a, spec)
+            database_b = self._materialise(self.dialect_b, self.bug_ids_b, spec)
+        except (EngineCrash, ReproError):
+            outcome.errors_ignored += 1
+            return outcome
+
+        template_a = QueryTemplate(database_a.dialect, self.rng)
+        tables = spec.table_names()
+        for _ in range(query_count):
+            query = template_a.random_query(tables, include_distance_predicates=False)
+            if query.predicate not in comparable:
+                outcome.inapplicable_queries += 1
+                continue
+            outcome.queries_run += 1
+            try:
+                count_a = database_a.query_value(query.sql())
+                count_b = database_b.query_value(query.sql())
+            except (EngineCrash, ReproError):
+                outcome.errors_ignored += 1
+                continue
+            if count_a != count_b:
+                outcome.findings.append(
+                    DifferentialFinding(
+                        query=query,
+                        count_a=count_a,
+                        count_b=count_b,
+                        dialect_a=self.dialect_a,
+                        dialect_b=self.dialect_b,
+                    )
+                )
+        return outcome
+
+    def _materialise(self, dialect, bug_ids, spec: DatabaseSpec) -> SpatialDatabase:
+        database = self._connect(dialect, bug_ids)
+        for statement in spec.create_statements():
+            database.execute(statement)
+        return database
+
+    # ------------------------------------------------------------- analysis
+    def can_observe_bug(self, bug) -> bool:
+        """Ground-truth reachability analysis for the Table 4 comparison.
+
+        A cross-system comparison can only reveal a bug if (1) the buggy
+        functions exist in both dialects, and (2) the bug is *not* shared by
+        both systems through a common library (GEOS), and (3) the bug targets
+        one of the two compared systems at all.
+        """
+        from repro.engine import faults
+
+        dialect_a = get_dialect(self.dialect_a)
+        dialect_b = get_dialect(self.dialect_b)
+        both_geos = dialect_a.geos_backed and dialect_b.geos_backed
+        if bug.component == faults.COMPONENT_GEOS and both_geos:
+            return False
+        targeted = {
+            faults.COMPONENT_GEOS: ("postgis", "duckdb_spatial"),
+            faults.COMPONENT_POSTGIS: ("postgis",),
+            faults.COMPONENT_DUCKDB: ("duckdb_spatial",),
+            faults.COMPONENT_MYSQL: ("mysql",),
+            faults.COMPONENT_SQLSERVER: ("sqlserver",),
+        }.get(bug.component, ())
+        if self.dialect_a not in targeted and self.dialect_b not in targeted:
+            return False
+        if not bug.functions:
+            return True
+        comparable = set(self.comparable_predicates())
+        return any(function in comparable for function in bug.functions if function.startswith("st_"))

@@ -1,0 +1,127 @@
+"""Format-conversion differential oracle (the paper's GDAL/GeoJSON finding).
+
+AEI validates topological query results; it deliberately does not exercise
+the file reading/conversion layer (Section 7, *Limitations of AEI*).  The
+paper reports that the one conversion-layer bug they found — DuckDB Spatial
+returning NULL for the GeoJSON document ``{"type": "Polygon",
+"coordinates": []}`` instead of ``POLYGON EMPTY`` — was detected by
+*differential* testing of the conversion functions across SDBMSs.
+
+This module reproduces that oracle: every geometry of a workload is
+serialised to GeoJSON and parsed back through each emulated system's
+conversion behaviour; systems that disagree about the round-tripped geometry
+(or return NULL where others return a geometry) produce a finding.  The
+emulated DuckDB Spatial conversion reproduces the released GDAL behaviour
+the paper observed, so the known finding is rediscovered deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.canonical import canonicalize
+from repro.errors import ReproError
+from repro.geometry import load_wkt
+from repro.geometry.geojson import dump_geojson, load_geojson
+from repro.geometry.model import Geometry, Polygon
+
+#: The exact document from the paper's Section 7 discussion.
+PAPER_EMPTY_POLYGON_DOCUMENT = '{"type":"Polygon","coordinates":[]}'
+
+
+@dataclass
+class FormatFinding:
+    """Two systems round-tripped the same GeoJSON document differently."""
+
+    document: str
+    dialect_a: str
+    dialect_b: str
+    result_a: str | None
+    result_b: str | None
+
+    def describe(self) -> str:
+        return (
+            f"{self.dialect_a} reads {self.document!r} as {self.result_a!r} "
+            f"but {self.dialect_b} reads it as {self.result_b!r}"
+        )
+
+
+@dataclass
+class FormatComparisonOutcome:
+    """All findings of one format-differential run."""
+
+    findings: list[FormatFinding] = field(default_factory=list)
+    documents_checked: int = 0
+    errors_ignored: int = 0
+
+    def found_empty_polygon_bug(self) -> bool:
+        """True if the paper's known GeoJSON NULL finding was rediscovered."""
+        return any(
+            finding.result_a is None or finding.result_b is None
+            for finding in self.findings
+        )
+
+
+def read_geojson_as(dialect: str, document: str) -> Geometry | None:
+    """Parse a GeoJSON document with the conversion behaviour of one system.
+
+    The emulated DuckDB Spatial reader reproduces the released GDAL
+    behaviour the paper reports: a Polygon with an empty coordinate array
+    yields NULL instead of ``POLYGON EMPTY``.  Every other dialect follows
+    the specification.
+    """
+    geometry = load_geojson(document)
+    if dialect.lower() == "duckdb_spatial":
+        if isinstance(geometry, Polygon) and geometry.is_empty:
+            return None
+    return geometry
+
+
+class FormatDifferentialOracle:
+    """Compare GeoJSON conversion behaviour between two emulated systems."""
+
+    def __init__(self, dialect_a: str = "postgis", dialect_b: str = "duckdb_spatial"):
+        self.dialect_a = dialect_a
+        self.dialect_b = dialect_b
+
+    def check_document(self, document: str, outcome: FormatComparisonOutcome) -> None:
+        """Round-trip one GeoJSON document through both systems and compare."""
+        outcome.documents_checked += 1
+        try:
+            geometry_a = read_geojson_as(self.dialect_a, document)
+            geometry_b = read_geojson_as(self.dialect_b, document)
+        except ReproError:
+            outcome.errors_ignored += 1
+            return
+        wkt_a = None if geometry_a is None else canonicalize(geometry_a).wkt
+        wkt_b = None if geometry_b is None else canonicalize(geometry_b).wkt
+        if wkt_a != wkt_b:
+            outcome.findings.append(
+                FormatFinding(
+                    document=document,
+                    dialect_a=self.dialect_a,
+                    dialect_b=self.dialect_b,
+                    result_a=wkt_a,
+                    result_b=wkt_b,
+                )
+            )
+
+    def run(self, wkts: Iterable[str], extra_documents: Sequence[str] = ()) -> FormatComparisonOutcome:
+        """Round-trip a workload of WKT geometries plus raw GeoJSON documents.
+
+        WKT inputs are serialised to GeoJSON by the reference writer first,
+        which is how the paper compared systems: same logical geometry, same
+        interchange document, different readers.
+        """
+        outcome = FormatComparisonOutcome()
+        for wkt in wkts:
+            try:
+                document = dump_geojson(load_wkt(wkt))
+            except ReproError:
+                outcome.errors_ignored += 1
+                continue
+            self.check_document(document, outcome)
+        for document in extra_documents:
+            self.check_document(document, outcome)
+        return outcome

@@ -1,0 +1,88 @@
+"""The Index oracle: differential testing between access paths.
+
+Within one system, the same query must return the same rows whether the
+planner uses a sequential scan or a spatial index (GiST) scan.  The paper
+uses this oracle as a baseline ("Index" column of Table 4) and notes that it
+only helps when the test case actually exercises the index — which is why it
+can in principle find the two index-related bugs but nothing else.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import EngineCrash, ReproError
+from repro.core.generator import DatabaseSpec
+from repro.core.queries import QueryTemplate, TopologicalQuery
+from repro.engine.database import SpatialDatabase
+
+
+@dataclass
+class IndexFinding:
+    """Sequential scan and index scan returned different counts."""
+
+    query: TopologicalQuery
+    count_seqscan: int
+    count_index: int
+
+
+@dataclass
+class IndexOutcome:
+    findings: list[IndexFinding] = field(default_factory=list)
+    queries_run: int = 0
+    errors_ignored: int = 0
+
+
+class IndexToggleOracle:
+    """Runs every query twice: with sequential scans and with index scans."""
+
+    def __init__(self, database_factory, rng: random.Random | None = None):
+        self.database_factory = database_factory
+        self.rng = rng or random.Random()
+
+    def _materialise(self, spec: DatabaseSpec, geometry_column: str = "g") -> SpatialDatabase:
+        database = self.database_factory()
+        for statement in spec.create_statements():
+            database.execute(statement)
+        for table in spec.table_names():
+            database.execute(
+                f"CREATE INDEX idx_{table} ON {table} USING GIST ({geometry_column})"
+            )
+        return database
+
+    def check(self, spec: DatabaseSpec, query_count: int = 10) -> IndexOutcome:
+        """Compare seq-scan and index-scan counts for random template queries."""
+        outcome = IndexOutcome()
+        try:
+            database = self._materialise(spec)
+        except (EngineCrash, ReproError):
+            outcome.errors_ignored += 1
+            return outcome
+        template = QueryTemplate(database.dialect, self.rng)
+        tables = spec.table_names()
+        for _ in range(query_count):
+            query = template.random_query(tables, include_distance_predicates=False)
+            outcome.queries_run += 1
+            finding = self.check_single(database, query)
+            if finding is not None:
+                outcome.findings.append(finding)
+        return outcome
+
+    def check_single(
+        self, database: SpatialDatabase, query: TopologicalQuery
+    ) -> IndexFinding | None:
+        """One comparison; returns a finding when the two paths disagree."""
+        try:
+            database.execute("SET enable_seqscan = true")
+            count_seqscan = database.query_value(query.sql())
+            database.execute("SET enable_seqscan = false")
+            count_index = database.query_value(query.sql())
+            database.execute("SET enable_seqscan = true")
+        except (EngineCrash, ReproError):
+            return None
+        if count_seqscan != count_index:
+            return IndexFinding(
+                query=query, count_seqscan=count_seqscan, count_index=count_index
+            )
+        return None

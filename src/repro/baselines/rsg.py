@@ -1,0 +1,27 @@
+"""The random-shape-only generator baseline (RSG).
+
+The paper's ablation (Section 5.4, Figure 8) compares the geometry-aware
+generator (random-shape + derivative strategies) against a baseline that
+only uses the random-shape strategy.  In this reproduction the baseline is
+simply a campaign configuration with the derivative strategy disabled, so
+both configurations share every other pipeline component.
+"""
+
+from __future__ import annotations
+
+from repro.core.campaign import CampaignConfig
+
+
+def random_shape_campaign_config(base: CampaignConfig | None = None) -> CampaignConfig:
+    """A copy of ``base`` with the derivative strategy switched off."""
+    base = base or CampaignConfig()
+    return CampaignConfig(
+        dialect=base.dialect,
+        bug_ids=base.bug_ids,
+        emulate_release_under_test=base.emulate_release_under_test,
+        geometry_count=base.geometry_count,
+        table_count=base.table_count,
+        queries_per_round=base.queries_per_round,
+        use_derivative_strategy=False,
+        seed=base.seed,
+    )

@@ -1,0 +1,117 @@
+"""Ternary Logic Partitioning (TLP) adapted to the spatial join template.
+
+TLP (Rigger & Su, OOPSLA 2020) derives three partitioning queries from an
+original query — rows where a predicate is TRUE, FALSE, and NULL — and
+checks that their result sizes sum to the size of the unpartitioned query.
+The paper uses TLP as the state-of-the-art relational baseline and shows it
+misses most spatial logic bugs because the *same* (incorrect) predicate
+evaluation is used in all partitions (Section 1 and Table 4).
+
+For the spatial join template the partitioning looks like::
+
+    total      = SELECT COUNT(*) FROM t1, t2
+    true_part  = SELECT COUNT(*) FROM t1, t2 WHERE p(t1.g, t2.g)
+    false_part = SELECT COUNT(*) FROM t1, t2 WHERE NOT p(t1.g, t2.g)
+    null_part  = SELECT COUNT(*) FROM t1, t2 WHERE p(t1.g, t2.g) IS NULL
+
+and the oracle checks ``true_part + false_part + null_part == total``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import EngineCrash, ReproError
+from repro.core.generator import DatabaseSpec
+from repro.core.queries import QueryTemplate, TopologicalQuery
+from repro.engine.database import SpatialDatabase
+
+
+@dataclass
+class TLPFinding:
+    """The three partitions did not sum to the unpartitioned count."""
+
+    query: TopologicalQuery
+    total: int
+    true_part: int
+    false_part: int
+    null_part: int
+
+
+@dataclass
+class TLPOutcome:
+    findings: list[TLPFinding] = field(default_factory=list)
+    queries_run: int = 0
+    errors_ignored: int = 0
+
+
+class TLPOracle:
+    """Checks the ternary partitioning property on one system."""
+
+    def __init__(self, database_factory, rng: random.Random | None = None):
+        self.database_factory = database_factory
+        self.rng = rng or random.Random()
+
+    def _materialise(self, spec: DatabaseSpec) -> SpatialDatabase:
+        database = self.database_factory()
+        for statement in spec.create_statements():
+            database.execute(statement)
+        return database
+
+    @staticmethod
+    def partition_queries(query: TopologicalQuery) -> dict[str, str]:
+        """The four COUNT queries of one TLP check."""
+        left = f"{query.table_a}.{query.geometry_column}"
+        right = f"{query.table_b}.{query.geometry_column}"
+        if query.uses_distance:
+            predicate = f"{query.predicate}({left}, {right}, {query.distance})"
+        else:
+            predicate = f"{query.predicate}({left}, {right})"
+        from_clause = f"FROM {query.table_a}, {query.table_b}"
+        return {
+            "total": f"SELECT COUNT(*) {from_clause}",
+            "true": f"SELECT COUNT(*) {from_clause} WHERE {predicate}",
+            "false": f"SELECT COUNT(*) {from_clause} WHERE NOT {predicate}",
+            "null": f"SELECT COUNT(*) {from_clause} WHERE {predicate} IS NULL",
+        }
+
+    def check(self, spec: DatabaseSpec, query_count: int = 10) -> TLPOutcome:
+        """Run TLP checks over random template queries."""
+        outcome = TLPOutcome()
+        try:
+            database = self._materialise(spec)
+        except (EngineCrash, ReproError):
+            outcome.errors_ignored += 1
+            return outcome
+        template = QueryTemplate(database.dialect, self.rng)
+        tables = spec.table_names()
+        for _ in range(query_count):
+            query = template.random_query(tables, include_distance_predicates=False)
+            outcome.queries_run += 1
+            finding = self.check_single(database, query)
+            if finding is not None:
+                outcome.findings.append(finding)
+        return outcome
+
+    def check_single(
+        self, database: SpatialDatabase, query: TopologicalQuery
+    ) -> TLPFinding | None:
+        """One TLP check; returns a finding when the partition sums disagree."""
+        queries = self.partition_queries(query)
+        try:
+            total = database.query_value(queries["total"])
+            true_part = database.query_value(queries["true"])
+            false_part = database.query_value(queries["false"])
+            null_part = database.query_value(queries["null"])
+        except (EngineCrash, ReproError):
+            return None
+        if true_part + false_part + null_part != total:
+            return TLPFinding(
+                query=query,
+                total=total,
+                true_part=true_part,
+                false_part=false_part,
+                null_part=null_part,
+            )
+        return None

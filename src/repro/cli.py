@@ -1,0 +1,106 @@
+"""Command-line entry point: ``spatter``.
+
+Runs a testing campaign against one emulated SDBMS and prints every
+discrepancy, crash, and the deduplicated unique bugs, mirroring how the
+paper's artifact is driven from the command line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.campaign import CampaignConfig, TestingCampaign
+from repro.engine.dialects import available_dialects, default_fault_profile
+from repro.engine.faults import bug_by_id
+
+
+def build_argument_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="spatter",
+        description=(
+            "Find logic bugs in the emulated spatial database engines via "
+            "Affine Equivalent Inputs."
+        ),
+    )
+    parser.add_argument(
+        "--dialect",
+        choices=available_dialects(),
+        default="postgis",
+        help="emulated system under test (default: postgis)",
+    )
+    parser.add_argument("--rounds", type=int, default=5, help="generation/validation rounds")
+    parser.add_argument(
+        "--duration", type=float, default=None, help="wall-clock budget in seconds (overrides --rounds)"
+    )
+    parser.add_argument("--geometries", type=int, default=10, help="geometries per generated database (N)")
+    parser.add_argument("--tables", type=int, default=2, help="tables per generated database (m)")
+    parser.add_argument("--queries", type=int, default=20, help="template queries per round")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--clean",
+        action="store_true",
+        help="test the fully fixed engine instead of the buggy release emulation",
+    )
+    parser.add_argument(
+        "--random-shape-only",
+        action="store_true",
+        help="disable the derivative strategy (the RSG baseline)",
+    )
+    parser.add_argument(
+        "--list-bugs",
+        action="store_true",
+        help="print the injected bug catalog for the dialect and exit",
+    )
+    return parser
+
+
+def _print_bug_catalog(dialect: str) -> None:
+    print(f"Injected bug profile for {dialect}:")
+    for bug_id in default_fault_profile(dialect):
+        bug = bug_by_id(bug_id)
+        print(f"  [{bug.kind:5s}] [{bug.status:11s}] {bug.bug_id}: {bug.summary}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_argument_parser()
+    arguments = parser.parse_args(argv)
+
+    if arguments.list_bugs:
+        _print_bug_catalog(arguments.dialect)
+        return 0
+
+    config = CampaignConfig(
+        dialect=arguments.dialect,
+        emulate_release_under_test=not arguments.clean,
+        geometry_count=arguments.geometries,
+        table_count=arguments.tables,
+        queries_per_round=arguments.queries,
+        use_derivative_strategy=not arguments.random_shape_only,
+        seed=arguments.seed,
+    )
+    campaign = TestingCampaign(config)
+    if arguments.duration is not None:
+        result = campaign.run(duration_seconds=arguments.duration)
+    else:
+        result = campaign.run(rounds=arguments.rounds)
+
+    print(result.summary())
+    if result.discrepancies:
+        print("\nDiscrepancies:")
+        for discrepancy in result.discrepancies:
+            print(f"  - {discrepancy.describe()}")
+    if result.crashes:
+        print("\nCrashes:")
+        for crash in result.crashes:
+            print(f"  - {crash.statement}: {crash.message}")
+    if result.unique_bug_ids:
+        print("\nUnique injected bugs detected (ground truth):")
+        for bug_id in result.unique_bug_ids:
+            print(f"  - {bug_id}")
+    return 0 if not (result.discrepancies or result.crashes) else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Spatter core: the paper's primary contribution.
+
+The pipeline mirrors Figure 5 of the paper:
+
+1. **Geometry-aware generation** (:mod:`repro.core.generator`): a spatial
+   database SDB1 is populated with geometries produced by the random-shape
+   strategy and the derivative strategy (Algorithm 1).
+2. **Affine Equivalent Inputs construction** (:mod:`repro.core.affine`,
+   :mod:`repro.core.canonical`): every geometry is canonicalised and then
+   transformed with one shared integer mapping matrix (Algorithm 2),
+   producing SDB2.
+3. **Results validation** (:mod:`repro.core.oracle`): the same COUNT query
+   template is instantiated against SDB1 and SDB2; differing counts reveal a
+   logic bug.
+
+:mod:`repro.core.campaign` drives the three steps in a loop, records
+discrepancies and crashes, reduces and deduplicates them — the automated
+version of the paper's four-month testing campaign.
+"""
+
+from repro.core.affine import AffineTransformation, random_affine_transformation
+from repro.core.canonical import canonicalize
+from repro.core.generator import GeneratorConfig, GeometryAwareGenerator
+from repro.core.oracle import AEIOracle, Discrepancy
+from repro.core.campaign import CampaignResult, TestingCampaign
+
+__all__ = [
+    "AffineTransformation",
+    "random_affine_transformation",
+    "canonicalize",
+    "GeneratorConfig",
+    "GeometryAwareGenerator",
+    "AEIOracle",
+    "Discrepancy",
+    "TestingCampaign",
+    "CampaignResult",
+]

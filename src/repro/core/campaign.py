@@ -1,0 +1,161 @@
+"""The testing-campaign driver (the automated version of Section 5.1).
+
+A campaign repeatedly (1) generates a database with the geometry-aware
+generator, (2) builds its affine-equivalent follow-up, (3) runs template
+queries over both, and (4) records, reduces and deduplicates every
+discrepancy and crash.  It also keeps the timing split (time inside the
+SDBMS vs. total Spatter time) that Figure 7 reports and exposes
+unique-bugs-over-time data for Figure 8(a).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.core.dedup import Deduplicator
+from repro.core.generator import GeneratorConfig, GeometryAwareGenerator
+from repro.core.oracle import AEIOracle, CrashReport, Discrepancy
+from repro.engine.database import SpatialDatabase, connect
+from repro.engine.dialects import default_fault_profile
+from repro.engine.faults import FaultPlan
+
+
+@dataclass
+class CampaignConfig:
+    """Everything a campaign needs to know."""
+
+    dialect: str = "postgis"
+    bug_ids: tuple[str, ...] | None = None  # None = the dialect's default profile
+    emulate_release_under_test: bool = True
+    geometry_count: int = 10
+    table_count: int = 2
+    queries_per_round: int = 20
+    use_derivative_strategy: bool = True
+    seed: int = 0
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign produced."""
+
+    config: CampaignConfig
+    rounds: int = 0
+    queries_run: int = 0
+    errors_ignored: int = 0
+    discrepancies: list[Discrepancy] = field(default_factory=list)
+    crashes: list[CrashReport] = field(default_factory=list)
+    unique_bug_ids: list[str] = field(default_factory=list)
+    unique_bug_timeline: list[tuple[float, int]] = field(default_factory=list)
+    total_seconds: float = 0.0
+    sdbms_seconds: float = 0.0
+
+    @property
+    def unique_bug_count(self) -> int:
+        return len(self.unique_bug_ids)
+
+    def summary(self) -> str:
+        return (
+            f"{self.config.dialect}: {self.rounds} rounds, {self.queries_run} queries, "
+            f"{len(self.discrepancies)} discrepancies, {len(self.crashes)} crashes, "
+            f"{self.unique_bug_count} unique bugs, "
+            f"{self.sdbms_seconds:.3f}s in SDBMS / {self.total_seconds:.3f}s total"
+        )
+
+
+class TestingCampaign:
+    """Runs Spatter against one emulated system."""
+
+    #: not a pytest test class, despite the name
+    __test__ = False
+
+    def __init__(self, config: CampaignConfig | None = None):
+        self.config = config or CampaignConfig()
+        self.rng = random.Random(self.config.seed)
+        self.deduplicator = Deduplicator()
+
+    # ------------------------------------------------------------- plumbing
+    def _bug_ids(self) -> tuple[str, ...]:
+        if self.config.bug_ids is not None:
+            return tuple(self.config.bug_ids)
+        if self.config.emulate_release_under_test:
+            return tuple(default_fault_profile(self.config.dialect))
+        return ()
+
+    def new_connection(self) -> SpatialDatabase:
+        """A fresh connection to the system under test."""
+        return connect(self.config.dialect, bug_ids=self._bug_ids())
+
+    # ------------------------------------------------------------------ run
+    def run(
+        self,
+        rounds: int | None = None,
+        duration_seconds: float | None = None,
+    ) -> CampaignResult:
+        """Run for a number of rounds or for a wall-clock budget."""
+        if rounds is None and duration_seconds is None:
+            rounds = 5
+        result = CampaignResult(config=self.config)
+        started = time.perf_counter()
+
+        while True:
+            elapsed = time.perf_counter() - started
+            if duration_seconds is not None and elapsed >= duration_seconds:
+                break
+            if rounds is not None and result.rounds >= rounds:
+                break
+            self._run_round(result, started)
+
+        result.total_seconds = time.perf_counter() - started
+        result.unique_bug_ids = list(self.deduplicator.result.unique_bug_ids)
+        result.unique_bug_timeline = self.deduplicator.unique_bugs_over_time()
+        return result
+
+    def _run_round(self, result: CampaignResult, started: float) -> None:
+        result.rounds += 1
+        generation_connection = self.new_connection()
+        generator = GeometryAwareGenerator(
+            generation_connection,
+            GeneratorConfig(
+                geometry_count=self.config.geometry_count,
+                table_count=self.config.table_count,
+                use_derivative_strategy=self.config.use_derivative_strategy,
+            ),
+            rng=self.rng,
+        )
+        sdbms_connections: list[SpatialDatabase] = [generation_connection]
+
+        def tracked_factory() -> SpatialDatabase:
+            connection = self.new_connection()
+            sdbms_connections.append(connection)
+            return connection
+
+        oracle = AEIOracle(tracked_factory, rng=self.rng)
+        try:
+            spec = generator.generate()
+        except Exception as crash:  # EngineCrash during derivation
+            from repro.errors import EngineCrash
+
+            if isinstance(crash, EngineCrash):
+                report = CrashReport(
+                    statement="<derivative strategy>", message=str(crash), bug_id=crash.bug_id
+                )
+                result.crashes.append(report)
+                elapsed = time.perf_counter() - started
+                self.deduplicator.observe_crash(report, elapsed)
+                result.sdbms_seconds += sum(c.stats.seconds_in_engine for c in sdbms_connections)
+                return
+            raise
+
+        outcome = oracle.check(spec, query_count=self.config.queries_per_round)
+        elapsed = time.perf_counter() - started
+        result.queries_run += outcome.queries_run
+        result.errors_ignored += outcome.errors_ignored
+        for discrepancy in outcome.discrepancies:
+            result.discrepancies.append(discrepancy)
+            self.deduplicator.observe_discrepancy(discrepancy, elapsed)
+        for crash in outcome.crashes:
+            result.crashes.append(crash)
+            self.deduplicator.observe_crash(crash, elapsed)
+        result.sdbms_seconds += sum(c.stats.seconds_in_engine for c in sdbms_connections)

@@ -1,0 +1,142 @@
+"""Canonicalization (Section 4.3 of the paper).
+
+Canonicalization converts a geometry's representation into an equivalent
+canonical form without changing the point set it denotes.  The paper treats
+it as the special case of AEI whose mapping matrix is the identity, and it
+found several bugs on its own (Listings 5 and 6 were detected through
+canonicalised follow-ups).
+
+Two levels are applied:
+
+* **element level** (MULTI and MIXED geometries only): EMPTY removal,
+  homogenization (single-element MULTI collapses to its basic type, nested
+  collections are flattened), duplicate-element removal, and reordering of
+  the elements by dimension;
+* **value level** (each basic element): consecutive duplicate coordinate
+  removal and deterministic reordering (a LINESTRING is reversed when its
+  endpoints compare descending; polygon rings are forced clockwise).
+"""
+
+from __future__ import annotations
+
+from repro.geometry.model import (
+    Geometry,
+    GeometryCollection,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+    _MultiGeometry,
+)
+from repro.geometry.primitives import ring_is_clockwise
+
+
+def canonicalize(geometry: Geometry) -> Geometry:
+    """Return the canonical representation of a geometry."""
+    if isinstance(geometry, _MultiGeometry):
+        return _canonicalize_collection(geometry)
+    return _canonicalize_basic(geometry)
+
+
+# --------------------------------------------------------------- element level
+def _canonicalize_collection(geometry: _MultiGeometry) -> Geometry:
+    # Step 1: flatten nested collections and drop EMPTY elements.
+    elements = [element for element in _flatten_elements(geometry) if not element.is_empty]
+    # Step 2: canonicalise each surviving element at the value level.
+    elements = [_canonicalize_basic(element) for element in elements]
+    # Step 3: remove duplicated elements (duplicates identified by shape).
+    unique: list[Geometry] = []
+    seen: set[str] = set()
+    for element in elements:
+        key = element.wkt
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(element)
+    # Step 4: reorder elements by dimension (then lexicographically for
+    # determinism).
+    unique.sort(key=lambda g: (g.dimension, g.wkt))
+
+    if not unique:
+        return GeometryCollection.empty()
+    # Homogenization: a single element collapses to its basic type; a uniform
+    # collection becomes the corresponding MULTI type.
+    if len(unique) == 1:
+        return unique[0]
+    types = {type(element) for element in unique}
+    if types == {Point}:
+        return MultiPoint(unique)
+    if types == {LineString}:
+        return MultiLineString(unique)
+    if types == {Polygon}:
+        return MultiPolygon(unique)
+    return GeometryCollection(unique)
+
+
+def _flatten_elements(geometry: _MultiGeometry) -> list[Geometry]:
+    elements: list[Geometry] = []
+    for element in geometry.geoms:
+        if isinstance(element, _MultiGeometry):
+            elements.extend(_flatten_elements(element))
+        else:
+            elements.append(element)
+    return elements
+
+
+# ----------------------------------------------------------------- value level
+def _canonicalize_basic(geometry: Geometry) -> Geometry:
+    if isinstance(geometry, Point):
+        return geometry
+    if isinstance(geometry, LineString):
+        return _canonicalize_linestring(geometry)
+    if isinstance(geometry, Polygon):
+        return _canonicalize_polygon(geometry)
+    if isinstance(geometry, _MultiGeometry):  # nested call from collections
+        return _canonicalize_collection(geometry)
+    return geometry
+
+
+def _remove_consecutive_duplicates(points: list) -> list:
+    cleaned = []
+    for point in points:
+        if cleaned and cleaned[-1] == point:
+            continue
+        cleaned.append(point)
+    return cleaned
+
+
+def _canonicalize_linestring(line: LineString) -> LineString:
+    if line.is_empty:
+        return LineString.empty()
+    points = _remove_consecutive_duplicates(list(line.points))
+    if len(points) < 2:
+        points = list(line.points)[:2]
+    # Reorder by direction: compare endpoints on the x axis then the y axis
+    # and reverse the linestring when they are descending.
+    first, last = points[0], points[-1]
+    if (last.x, last.y) < (first.x, first.y):
+        points = list(reversed(points))
+    return LineString(points)
+
+
+def _canonicalize_polygon(polygon: Polygon) -> Polygon:
+    if polygon.is_empty:
+        return Polygon.empty()
+    rings = []
+    for ring in polygon.rings():
+        cleaned = _remove_consecutive_duplicates(list(ring))
+        if cleaned and cleaned[0] != cleaned[-1]:
+            cleaned.append(cleaned[0])
+        if len(set(cleaned)) < 3:
+            # Degenerate ring: keep the original representation untouched so
+            # canonicalization never turns a parsable geometry into an error.
+            rings.append(list(ring))
+            continue
+        # Convert every loop to a clockwise orientation.
+        interior = cleaned[:-1]
+        if not ring_is_clockwise(cleaned):
+            interior = list(reversed(interior))
+        rings.append(interior + [interior[0]])
+    return Polygon(rings[0], rings[1:])

@@ -1,0 +1,88 @@
+"""Discrepancy deduplication.
+
+A one-hour fuzzing run produces thousands of discrepancy-inducing cases that
+boil down to a handful of unique bugs (the paper reports 2,366 and 9,913 raw
+cases for the two generator configurations of Figure 8).  Deduplication maps
+each case to a bug identity:
+
+* **ground-truth deduplication** uses the injected-bug ids the fault layer
+  recorded when the discrepancy was produced — this is the analogue of the
+  paper's binary search over fix commits, available to us because the bugs
+  are injected rather than historical;
+* **signature deduplication** is the fallback a tester without ground truth
+  would use: the predicate under test plus the multiset of geometry types in
+  the reduced test case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.oracle import CrashReport, Discrepancy
+from repro.geometry import load_wkt
+
+
+def ground_truth_identity(discrepancy: Discrepancy) -> tuple[str, ...]:
+    """The injected bug ids responsible for a discrepancy (may be empty)."""
+    return tuple(sorted(set(discrepancy.triggered_bug_ids)))
+
+
+def signature_identity(discrepancy: Discrepancy) -> str:
+    """A syntactic bug signature: predicate + geometry type multiset."""
+    types: list[str] = []
+    for statement in discrepancy.original_statements:
+        if not statement.upper().startswith("INSERT"):
+            continue
+        wkt = statement.split("VALUES ('", 1)[-1].rsplit("')", 1)[0].replace("''", "'")
+        try:
+            types.append(load_wkt(wkt).geom_type)
+        except Exception:  # noqa: BLE001 - signature building must not fail
+            types.append("UNPARSED")
+    return f"{discrepancy.query.predicate}|{'+'.join(sorted(types))}"
+
+
+@dataclass
+class DeduplicationResult:
+    """Unique bugs found so far, with first-detection bookkeeping."""
+
+    unique_bug_ids: list[str] = field(default_factory=list)
+    unique_signatures: list[str] = field(default_factory=list)
+    first_detection_seconds: dict[str, float] = field(default_factory=dict)
+
+    def unique_count(self, use_ground_truth: bool = True) -> int:
+        return len(self.unique_bug_ids) if use_ground_truth else len(self.unique_signatures)
+
+
+class Deduplicator:
+    """Tracks unique bugs across a testing campaign."""
+
+    def __init__(self):
+        self.result = DeduplicationResult()
+
+    def observe_discrepancy(self, discrepancy: Discrepancy, elapsed_seconds: float) -> list[str]:
+        """Record a discrepancy; returns the newly-discovered bug ids."""
+        new_ids: list[str] = []
+        for bug_id in ground_truth_identity(discrepancy):
+            if bug_id not in self.result.unique_bug_ids:
+                self.result.unique_bug_ids.append(bug_id)
+                self.result.first_detection_seconds[bug_id] = elapsed_seconds
+                new_ids.append(bug_id)
+        signature = signature_identity(discrepancy)
+        if signature not in self.result.unique_signatures:
+            self.result.unique_signatures.append(signature)
+        return new_ids
+
+    def observe_crash(self, crash: CrashReport, elapsed_seconds: float) -> list[str]:
+        """Record a crash; returns the newly-discovered bug ids."""
+        if crash.bug_id is None:
+            return []
+        if crash.bug_id in self.result.unique_bug_ids:
+            return []
+        self.result.unique_bug_ids.append(crash.bug_id)
+        self.result.first_detection_seconds[crash.bug_id] = elapsed_seconds
+        return [crash.bug_id]
+
+    def unique_bugs_over_time(self) -> list[tuple[float, int]]:
+        """(elapsed seconds, cumulative unique bugs) pairs for Figure 8(a)."""
+        ordered = sorted(self.result.first_detection_seconds.values())
+        return [(seconds, index + 1) for index, seconds in enumerate(ordered)]

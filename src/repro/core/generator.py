@@ -1,0 +1,107 @@
+"""The geometry-aware generator (Algorithm 1 of the paper).
+
+``Generate(N, m)`` creates a spatial database specification with ``m``
+tables and ``N`` geometries.  The first geometry always comes from the
+random-shape strategy (nothing exists to derive from yet); every subsequent
+geometry flips a coin between the random-shape and the derivative strategy.
+
+The generator produces a :class:`DatabaseSpec` — plain table names and WKT
+strings — rather than writing into an engine directly, because the AEI
+oracle needs to materialise the same specification twice (SDB1 and its
+affine-equivalent SDB2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.derive import Deriver
+from repro.core.shapes import RandomShapeGenerator, ShapeConfig
+from repro.engine.database import SpatialDatabase
+
+
+@dataclass
+class DatabaseSpec:
+    """A generated spatial database: geometry WKTs grouped by table."""
+
+    tables: dict[str, list[str]] = field(default_factory=dict)
+
+    def table_names(self) -> list[str]:
+        return sorted(self.tables)
+
+    def geometry_count(self) -> int:
+        return sum(len(rows) for rows in self.tables.values())
+
+    def all_wkts(self) -> list[str]:
+        return [wkt for rows in self.tables.values() for wkt in rows]
+
+    def create_statements(self, geometry_column: str = "g") -> list[str]:
+        """The CREATE TABLE / INSERT statements that materialise the spec."""
+        statements = []
+        for table in self.table_names():
+            statements.append(f"CREATE TABLE {table} ({geometry_column} geometry)")
+            for wkt in self.tables[table]:
+                escaped = wkt.replace("'", "''")
+                statements.append(
+                    f"INSERT INTO {table} ({geometry_column}) VALUES ('{escaped}')"
+                )
+        return statements
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Configuration of the geometry-aware generator.
+
+    ``use_derivative_strategy=False`` turns the generator into the paper's
+    self-constructed baseline (RSG: random-shape only, Section 5.4).
+    """
+
+    geometry_count: int = 10
+    table_count: int = 2
+    use_derivative_strategy: bool = True
+    random_shape_probability: float = 0.5
+    shape_config: ShapeConfig = ShapeConfig()
+
+
+class GeometryAwareGenerator:
+    """Implements Algorithm 1 against a target SDBMS connection."""
+
+    def __init__(
+        self,
+        database: SpatialDatabase,
+        config: GeneratorConfig | None = None,
+        rng: random.Random | None = None,
+    ):
+        self.database = database
+        self.config = config or GeneratorConfig()
+        self.rng = rng or random.Random()
+        self.shapes = RandomShapeGenerator(self.rng, self.config.shape_config)
+        self.deriver = Deriver(database, self.rng)
+
+    def generate(
+        self, geometry_count: int | None = None, table_count: int | None = None
+    ) -> DatabaseSpec:
+        """Generate a database spec with the requested number of geometries."""
+        total = geometry_count if geometry_count is not None else self.config.geometry_count
+        tables = table_count if table_count is not None else self.config.table_count
+        table_names = [f"t{i}" for i in range(1, tables + 1)]
+        spec = DatabaseSpec(tables={name: [] for name in table_names})
+
+        # Line 3-4: the very first geometry always uses the random-shape
+        # strategy and goes into a random table.
+        first = self.shapes.random_geometry().wkt
+        spec.tables[self.rng.choice(table_names)].append(first)
+
+        for _ in range(1, total):
+            if self._use_random_shape():
+                wkt = self.shapes.random_geometry().wkt
+            else:
+                wkt = self.deriver.derive(spec.all_wkts())
+            spec.tables[self.rng.choice(table_names)].append(wkt)
+        return spec
+
+    def _use_random_shape(self) -> bool:
+        if not self.config.use_derivative_strategy or not self.deriver.available():
+            return True
+        return self.rng.random() < self.config.random_shape_probability

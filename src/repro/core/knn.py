@@ -1,0 +1,150 @@
+"""AEI for K-nearest-neighbour queries (the paper's Section 7 extension).
+
+The paper sketches how Affine Equivalent Inputs could test KNN functionality
+— supported by geospatial systems and vector databases alike — provided the
+transformation family is restricted: rotation, translation and uniform
+scaling preserve the *relative* distance order, whereas shearing does not.
+
+This module implements that extension end to end:
+
+1. a database is generated (or supplied) exactly as for the topological
+   oracle;
+2. the follow-up database applies a *rigid* transformation
+   (:func:`repro.core.affine.rigid_affine_transformation`): a quarter-turn
+   rotation, a uniform integer scale and an integer translation;
+3. the same KNN query — the k rows nearest to a query point, evaluated via
+   ``ORDER BY ST_Distance(...) LIMIT k`` — is executed against both
+   databases, with the query point transformed alongside the data;
+4. differing row-id result lists reveal a logic bug.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import EngineCrash, ReproError
+from repro.geometry import load_wkt
+from repro.core.affine import AffineTransformation, rigid_affine_transformation
+from repro.core.canonical import canonicalize
+from repro.core.generator import DatabaseSpec
+from repro.engine.database import SpatialDatabase
+
+
+@dataclass
+class KNNDiscrepancy:
+    """The same KNN query returned different neighbour lists."""
+
+    query_point: str
+    transformed_query_point: str
+    k: int
+    neighbours_original: tuple[int, ...]
+    neighbours_followup: tuple[int, ...]
+    transformation: AffineTransformation
+
+    def describe(self) -> str:
+        return (
+            f"k={self.k} nearest to {self.query_point}: {self.neighbours_original} "
+            f"vs {self.neighbours_followup} after {self.transformation.describe()}"
+        )
+
+
+@dataclass
+class KNNOutcome:
+    discrepancies: list[KNNDiscrepancy] = field(default_factory=list)
+    queries_run: int = 0
+    errors_ignored: int = 0
+
+
+class KNNOracle:
+    """Validates KNN results with rigid Affine Equivalent Inputs."""
+
+    def __init__(self, database_factory, rng: random.Random | None = None):
+        self.database_factory = database_factory
+        self.rng = rng or random.Random()
+
+    # ----------------------------------------------------------------- build
+    def materialise(self, spec: DatabaseSpec) -> SpatialDatabase:
+        """Create one table per spec table, with row ids for neighbour lists."""
+        database = self.database_factory()
+        for table in spec.table_names():
+            database.execute(f"CREATE TABLE {table} (id int, g geometry)")
+            for row_id, wkt in enumerate(spec.tables[table], start=1):
+                escaped = wkt.replace("'", "''")
+                database.execute(
+                    f"INSERT INTO {table} (id, g) VALUES ({row_id}, '{escaped}')"
+                )
+        return database
+
+    def build_followup_spec(
+        self, spec: DatabaseSpec, transformation: AffineTransformation
+    ) -> DatabaseSpec:
+        followup = DatabaseSpec(tables={})
+        for table, wkts in spec.tables.items():
+            followup.tables[table] = [
+                transformation.apply(canonicalize(load_wkt(wkt))).wkt for wkt in wkts
+            ]
+        return followup
+
+    @staticmethod
+    def knn_sql(table: str, query_point_wkt: str, k: int) -> str:
+        """The KNN query template: order by distance to the query point."""
+        escaped = query_point_wkt.replace("'", "''")
+        return (
+            f"SELECT id FROM {table} "
+            f"ORDER BY ST_Distance(g, '{escaped}'::geometry), id LIMIT {k}"
+        )
+
+    # ------------------------------------------------------------------- run
+    def check(
+        self,
+        spec: DatabaseSpec,
+        query_count: int = 10,
+        k: int = 3,
+        transformation: AffineTransformation | None = None,
+    ) -> KNNOutcome:
+        """Compare KNN results between a spec and its rigid follow-up."""
+        outcome = KNNOutcome()
+        transformation = transformation or rigid_affine_transformation(self.rng)
+        followup_spec = self.build_followup_spec(spec, transformation)
+        try:
+            original = self.materialise(spec)
+            followup = self.materialise(followup_spec)
+        except (EngineCrash, ReproError):
+            outcome.errors_ignored += 1
+            return outcome
+
+        tables = spec.table_names()
+        for _ in range(query_count):
+            table = self.rng.choice(tables)
+            query_point = load_wkt(
+                f"POINT({self.rng.randint(-10, 10)} {self.rng.randint(-10, 10)})"
+            )
+            transformed_point = transformation.apply(query_point)
+            outcome.queries_run += 1
+            try:
+                neighbours_original = tuple(
+                    row[0]
+                    for row in original.query_rows(self.knn_sql(table, query_point.wkt, k))
+                )
+                neighbours_followup = tuple(
+                    row[0]
+                    for row in followup.query_rows(
+                        self.knn_sql(table, transformed_point.wkt, k)
+                    )
+                )
+            except (EngineCrash, ReproError):
+                outcome.errors_ignored += 1
+                continue
+            if neighbours_original != neighbours_followup:
+                outcome.discrepancies.append(
+                    KNNDiscrepancy(
+                        query_point=query_point.wkt,
+                        transformed_query_point=transformed_point.wkt,
+                        k=k,
+                        neighbours_original=neighbours_original,
+                        neighbours_followup=neighbours_followup,
+                        transformation=transformation,
+                    )
+                )
+        return outcome

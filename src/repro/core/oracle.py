@@ -1,0 +1,170 @@
+"""The AEI oracle: build SDB1 and SDB2, run the same query, compare counts.
+
+This is the "Results Validation" step of Figure 5.  Given a generated
+database specification, the oracle
+
+1. materialises SDB1 in a fresh connection to the system under test;
+2. canonicalises every geometry and applies one shared affine transformation
+   to produce SDB2 (Definition 3.4 makes the two databases Affine Equivalent
+   Inputs for every topological query);
+3. instantiates the query template and executes it against both databases;
+4. reports a :class:`Discrepancy` whenever the two row counts differ.
+
+Semantic errors raised by the SDBMS (invalid geometries) are ignored, and
+crashes are converted into :class:`CrashReport` records, mirroring how the
+paper's campaign distinguishes logic bugs from crash bugs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import EngineCrash, ReproError, SemanticGeometryError
+from repro.geometry import load_wkt
+from repro.core.affine import AffineTransformation, random_affine_transformation
+from repro.core.canonical import canonicalize
+from repro.core.generator import DatabaseSpec
+from repro.core.queries import QueryTemplate, TopologicalQuery
+from repro.engine.database import SpatialDatabase
+
+
+@dataclass
+class Discrepancy:
+    """A logic-bug candidate: the same AEI query returned different counts."""
+
+    query: TopologicalQuery
+    count_original: int
+    count_followup: int
+    original_statements: list[str]
+    followup_statements: list[str]
+    transformation: AffineTransformation
+    triggered_bug_ids: tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        return (
+            f"{self.query.sql()} returned {self.count_original} on SDB1 but "
+            f"{self.count_followup} on SDB2 ({self.transformation.describe()})"
+        )
+
+
+@dataclass
+class CrashReport:
+    """A crash-bug candidate: the engine raised EngineCrash."""
+
+    statement: str
+    message: str
+    bug_id: str | None = None
+
+
+@dataclass
+class OracleOutcome:
+    """Everything one oracle invocation produced."""
+
+    discrepancies: list[Discrepancy] = field(default_factory=list)
+    crashes: list[CrashReport] = field(default_factory=list)
+    queries_run: int = 0
+    errors_ignored: int = 0
+
+
+class AEIOracle:
+    """Validates a system under test with Affine Equivalent Inputs."""
+
+    def __init__(
+        self,
+        database_factory,
+        rng: random.Random | None = None,
+        canonicalize_followup: bool = True,
+    ):
+        """``database_factory`` returns a *fresh* connection to the system
+        under test each time it is called (the oracle needs two databases per
+        round)."""
+        self.database_factory = database_factory
+        self.rng = rng or random.Random()
+        self.canonicalize_followup = canonicalize_followup
+
+    # ------------------------------------------------------------------ steps
+    def build_followup_spec(
+        self, spec: DatabaseSpec, transformation: AffineTransformation
+    ) -> DatabaseSpec:
+        """Canonicalise and affine-transform every geometry of a spec."""
+        followup = DatabaseSpec(tables={})
+        for table, wkts in spec.tables.items():
+            transformed = []
+            for wkt in wkts:
+                geometry = load_wkt(wkt)
+                if self.canonicalize_followup:
+                    geometry = canonicalize(geometry)
+                transformed.append(transformation.apply(geometry).wkt)
+            followup.tables[table] = transformed
+        return followup
+
+    def materialise(self, spec: DatabaseSpec) -> SpatialDatabase:
+        """Create the tables and rows of a spec in a fresh connection."""
+        database = self.database_factory()
+        for statement in spec.create_statements():
+            database.execute(statement)
+        return database
+
+    # ------------------------------------------------------------------- run
+    def check(
+        self,
+        spec: DatabaseSpec,
+        query_count: int = 10,
+        transformation: AffineTransformation | None = None,
+    ) -> OracleOutcome:
+        """Run ``query_count`` random template queries over an AEI pair."""
+        outcome = OracleOutcome()
+        transformation = transformation or random_affine_transformation(self.rng)
+        followup_spec = self.build_followup_spec(spec, transformation)
+
+        try:
+            original = self.materialise(spec)
+            followup = self.materialise(followup_spec)
+        except EngineCrash as crash:
+            outcome.crashes.append(
+                CrashReport(statement="<database construction>", message=str(crash), bug_id=crash.bug_id)
+            )
+            return outcome
+        except ReproError:
+            outcome.errors_ignored += 1
+            return outcome
+
+        template = QueryTemplate(original.dialect, self.rng)
+        tables = spec.table_names()
+        for _ in range(query_count):
+            query = template.random_query(tables, include_distance_predicates=False)
+            outcome.queries_run += 1
+            before_original = len(original.fault_plan.triggered)
+            before_followup = len(followup.fault_plan.triggered)
+            try:
+                count_original = original.query_value(query.sql())
+                count_followup = followup.query_value(query.sql())
+            except EngineCrash as crash:
+                outcome.crashes.append(
+                    CrashReport(statement=query.sql(), message=str(crash), bug_id=crash.bug_id)
+                )
+                continue
+            except SemanticGeometryError:
+                outcome.errors_ignored += 1
+                continue
+            except ReproError:
+                outcome.errors_ignored += 1
+                continue
+            if count_original != count_followup:
+                newly_triggered = (
+                    original.fault_plan.triggered[before_original:]
+                    + followup.fault_plan.triggered[before_followup:]
+                )
+                outcome.discrepancies.append(
+                    Discrepancy(
+                        query=query,
+                        count_original=count_original,
+                        count_followup=count_followup,
+                        original_statements=spec.create_statements(),
+                        followup_statements=followup_spec.create_statements(),
+                        transformation=transformation,
+                        triggered_bug_ids=tuple(dict.fromkeys(newly_triggered)),
+                    )
+                )
+        return outcome

@@ -1,0 +1,92 @@
+"""Query template instantiation (Figure 5, "Results Validation").
+
+The template is::
+
+    SELECT COUNT(*) FROM <table1> JOIN <table2> ON <TopoRlt>
+
+The two table names are chosen from the generated database and the
+topological-relationship condition is chosen from the predicates the tested
+dialect documents.  Distance-based RANGE predicates (``ST_DWithin`` and
+``ST_DFullyWithin``) take an extra integer distance argument; the same
+distance must be *scaled consistently* for the follow-up database because an
+affine transformation does not preserve absolute distances — the template
+therefore marks such queries so the oracle can skip them for non-rigid
+transformations, mirroring the paper's restriction of distance oracles to
+rotate/translate/scale (Section 7).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.engine.dialects import Dialect
+
+#: predicates whose result depends on absolute distances.
+DISTANCE_PREDICATES = ("st_dwithin", "st_dfullywithin")
+
+
+@dataclass(frozen=True)
+class TopologicalQuery:
+    """One instantiated query template."""
+
+    table_a: str
+    table_b: str
+    predicate: str
+    distance: int | None = None
+    geometry_column: str = "g"
+
+    @property
+    def uses_distance(self) -> bool:
+        return self.predicate in DISTANCE_PREDICATES
+
+    def sql(self) -> str:
+        """The COUNT query against the join of the two tables."""
+        left = f"{self.table_a}.{self.geometry_column}"
+        right = f"{self.table_b}.{self.geometry_column}"
+        if self.uses_distance:
+            condition = f"{self.predicate}({left}, {right}, {self.distance})"
+        else:
+            condition = f"{self.predicate}({left}, {right})"
+        return (
+            f"SELECT COUNT(*) FROM {self.table_a} JOIN {self.table_b} ON {condition}"
+        )
+
+    def describe(self) -> str:
+        return self.sql()
+
+
+class QueryTemplate:
+    """Randomly fills the three placeholders of the paper's query template."""
+
+    def __init__(self, dialect: Dialect, rng: random.Random, geometry_column: str = "g"):
+        self.dialect = dialect
+        self.rng = rng
+        self.geometry_column = geometry_column
+        self.predicates = dialect.topological_predicates()
+        if not self.predicates:
+            raise ValueError(f"dialect {dialect.name} exposes no topological predicates")
+
+    def random_query(
+        self, table_names: list[str], include_distance_predicates: bool = True
+    ) -> TopologicalQuery:
+        """Instantiate the template over the given tables."""
+        if not table_names:
+            raise ValueError("cannot build a query without tables")
+        predicates = self.predicates
+        if not include_distance_predicates:
+            predicates = [p for p in predicates if p not in DISTANCE_PREDICATES]
+        predicate = self.rng.choice(predicates)
+        table_a = self.rng.choice(table_names)
+        table_b = self.rng.choice(table_names)
+        distance = self.rng.randint(1, 20) if predicate in DISTANCE_PREDICATES else None
+        return TopologicalQuery(
+            table_a=table_a,
+            table_b=table_b,
+            predicate=predicate,
+            distance=distance,
+            geometry_column=self.geometry_column,
+        )
+
+    def all_predicates(self) -> list[str]:
+        return list(self.predicates)

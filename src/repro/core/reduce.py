@@ -1,0 +1,98 @@
+"""Bug-inducing test case reduction (delta debugging).
+
+Before reporting, the paper reduces each discrepancy-inducing pair of
+statement sequences automatically (citing Zeller & Hildebrandt's
+delta-debugging) and then manually.  This module implements the automatic
+part: it repeatedly removes geometries from the generated database while the
+discrepancy persists, yielding the minimal spec that still triggers the
+differing counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EngineCrash, ReproError
+from repro.core.affine import AffineTransformation
+from repro.core.generator import DatabaseSpec
+from repro.core.queries import TopologicalQuery
+
+
+@dataclass
+class ReducedCase:
+    """The outcome of reduction: the minimal spec and its differing counts."""
+
+    spec: DatabaseSpec
+    query: TopologicalQuery
+    count_original: int
+    count_followup: int
+    removed_geometries: int
+
+
+class TestCaseReducer:
+    """ddmin-style reduction over the rows of a generated database."""
+
+    #: not a pytest test class, despite the name
+    __test__ = False
+
+    def __init__(self, oracle, max_rounds: int = 10):
+        """``oracle`` is an :class:`~repro.core.oracle.AEIOracle`."""
+        self.oracle = oracle
+        self.max_rounds = max_rounds
+
+    def _still_fails(
+        self,
+        spec: DatabaseSpec,
+        query: TopologicalQuery,
+        transformation: AffineTransformation,
+    ) -> tuple[bool, int, int]:
+        """Re-run one query over an AEI pair built from the candidate spec."""
+        followup_spec = self.oracle.build_followup_spec(spec, transformation)
+        try:
+            original = self.oracle.materialise(spec)
+            followup = self.oracle.materialise(followup_spec)
+            count_original = original.query_value(query.sql())
+            count_followup = followup.query_value(query.sql())
+        except (EngineCrash, ReproError):
+            return False, 0, 0
+        return count_original != count_followup, count_original, count_followup
+
+    def reduce(
+        self,
+        spec: DatabaseSpec,
+        query: TopologicalQuery,
+        transformation: AffineTransformation,
+    ) -> ReducedCase:
+        """Remove as many geometries as possible while the discrepancy holds."""
+        current = DatabaseSpec(tables={name: list(rows) for name, rows in spec.tables.items()})
+        failing, count_original, count_followup = self._still_fails(current, query, transformation)
+        removed = 0
+        if not failing:
+            return ReducedCase(current, query, count_original, count_followup, removed)
+
+        for _ in range(self.max_rounds):
+            shrunk = False
+            for table in list(current.tables):
+                rows = current.tables[table]
+                index = 0
+                while index < len(rows):
+                    candidate = DatabaseSpec(
+                        tables={
+                            name: (list(values) if name != table else values[:index] + values[index + 1 :])
+                            for name, values in current.tables.items()
+                        }
+                    )
+                    still_fails, new_original, new_followup = self._still_fails(
+                        candidate, query, transformation
+                    )
+                    if still_fails:
+                        current = candidate
+                        rows = current.tables[table]
+                        count_original, count_followup = new_original, new_followup
+                        removed += 1
+                        shrunk = True
+                    else:
+                        index += 1
+            if not shrunk:
+                break
+        return ReducedCase(current, query, count_original, count_followup, removed)

@@ -1,0 +1,154 @@
+"""The random-shape strategy: syntactically valid random geometries.
+
+Per Section 4.1 of the paper, the random-shape strategy picks a geometry
+type uniformly and fills in its syntax with random coordinates.  The result
+is always valid WKT but may be semantically invalid (for example a
+self-intersecting polygon); the SDBMS is expected to reject such shapes with
+an error, which Spatter ignores.
+
+To mirror Section 4.2 ("Avoiding precision issues"), all generated
+coordinates are small integers — floating-point values never enter the
+pipeline.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.geometry.model import (
+    ALL_TYPE_NAMES,
+    Coordinate,
+    Geometry,
+    GeometryCollection,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+
+
+@dataclass(frozen=True)
+class ShapeConfig:
+    """Tunable knobs of the random-shape strategy."""
+
+    coordinate_range: tuple[int, int] = (0, 10)
+    max_line_points: int = 5
+    max_ring_points: int = 6
+    max_elements: int = 3
+    empty_probability: float = 0.08
+    empty_element_probability: float = 0.10
+    nested_collection_probability: float = 0.15
+
+
+class RandomShapeGenerator:
+    """Generates one random geometry per call (Algorithm 1, lines 13-16)."""
+
+    def __init__(self, rng: random.Random, config: ShapeConfig | None = None):
+        self.rng = rng
+        self.config = config or ShapeConfig()
+
+    # ----------------------------------------------------------------- public
+    def random_geometry(self, type_name: str | None = None) -> Geometry:
+        """A random geometry of the given (or a random) OGC type."""
+        name = type_name or self.rng.choice(ALL_TYPE_NAMES)
+        builder = {
+            "POINT": self.random_point,
+            "LINESTRING": self.random_linestring,
+            "POLYGON": self.random_polygon,
+            "MULTIPOINT": self.random_multipoint,
+            "MULTILINESTRING": self.random_multilinestring,
+            "MULTIPOLYGON": self.random_multipolygon,
+            "GEOMETRYCOLLECTION": self.random_collection,
+        }[name.upper()]
+        return builder()
+
+    # --------------------------------------------------------------- builders
+    def random_coordinate(self) -> Coordinate:
+        low, high = self.config.coordinate_range
+        return Coordinate(self.rng.randint(low, high), self.rng.randint(low, high))
+
+    def random_point(self) -> Point:
+        if self._flip(self.config.empty_probability):
+            return Point.empty()
+        return Point(self.random_coordinate())
+
+    def random_linestring(self) -> LineString:
+        if self._flip(self.config.empty_probability):
+            return LineString.empty()
+        count = self.rng.randint(2, self.config.max_line_points)
+        points = [self.random_coordinate() for _ in range(count)]
+        if self._flip(0.2):
+            points.append(points[0])  # occasionally closed
+        return LineString(points)
+
+    def random_polygon(self) -> Polygon:
+        if self._flip(self.config.empty_probability):
+            return Polygon.empty()
+        count = self.rng.randint(3, self.config.max_ring_points)
+        ring = [self.random_coordinate() for _ in range(count)]
+        while len({(c.x, c.y) for c in ring}) < 3:
+            ring.append(self.random_coordinate())
+        holes = []
+        if self._flip(0.15):
+            holes.append([self.random_coordinate() for _ in range(3)])
+        return Polygon(ring, holes)
+
+    def random_multipoint(self) -> MultiPoint:
+        if self._flip(self.config.empty_probability):
+            return MultiPoint.empty()
+        elements = [
+            Point.empty() if self._flip(self.config.empty_element_probability) else Point(self.random_coordinate())
+            for _ in range(self.rng.randint(1, self.config.max_elements))
+        ]
+        return MultiPoint(elements)
+
+    def random_multilinestring(self) -> MultiLineString:
+        if self._flip(self.config.empty_probability):
+            return MultiLineString.empty()
+        elements = []
+        for _ in range(self.rng.randint(1, self.config.max_elements)):
+            if self._flip(self.config.empty_element_probability):
+                elements.append(LineString.empty())
+            else:
+                count = self.rng.randint(2, self.config.max_line_points)
+                elements.append(LineString([self.random_coordinate() for _ in range(count)]))
+        return MultiLineString(elements)
+
+    def random_multipolygon(self) -> MultiPolygon:
+        if self._flip(self.config.empty_probability):
+            return MultiPolygon.empty()
+        elements = []
+        for _ in range(self.rng.randint(1, self.config.max_elements)):
+            if self._flip(self.config.empty_element_probability):
+                elements.append(Polygon.empty())
+            else:
+                elements.append(self.random_polygon_element())
+        return MultiPolygon(elements)
+
+    def random_polygon_element(self) -> Polygon:
+        count = self.rng.randint(3, self.config.max_ring_points)
+        ring = [self.random_coordinate() for _ in range(count)]
+        while len({(c.x, c.y) for c in ring}) < 3:
+            ring.append(self.random_coordinate())
+        return Polygon(ring)
+
+    def random_collection(self, depth: int = 0) -> GeometryCollection:
+        if self._flip(self.config.empty_probability):
+            return GeometryCollection.empty()
+        elements: list[Geometry] = []
+        for _ in range(self.rng.randint(1, self.config.max_elements)):
+            if depth == 0 and self._flip(self.config.nested_collection_probability):
+                elements.append(self.random_collection(depth=1))
+            else:
+                basic = self.rng.choice(
+                    ("POINT", "LINESTRING", "POLYGON", "MULTIPOINT", "MULTILINESTRING", "MULTIPOLYGON")
+                )
+                elements.append(self.random_geometry(basic))
+        return GeometryCollection(elements)
+
+    # ---------------------------------------------------------------- helpers
+    def _flip(self, probability: float) -> bool:
+        return self.rng.random() < probability

@@ -1,0 +1,29 @@
+"""MiniSDB: an in-process spatial SQL engine.
+
+This package is the substrate standing in for the paper's four target
+systems (PostGIS, MySQL, DuckDB Spatial, SQL Server).  It provides:
+
+* a SQL subset large enough for every statement in the paper's listings and
+  for everything Spatter generates (CREATE TABLE / CREATE INDEX / INSERT /
+  SELECT with joins, WHERE, COUNT(*) / SET),
+* a spatial function registry (``ST_*``) backed by the exact topology engine,
+* an R-tree ("GiST") index with a seq-scan toggle,
+* prepared-geometry caching,
+* per-dialect function catalogs, and
+* a fault-injection layer that reproduces the bug classes the paper found in
+  the real systems.
+"""
+
+from repro.engine.database import SpatialDatabase, connect
+from repro.engine.dialects import available_dialects, get_dialect
+from repro.engine.faults import BUG_CATALOG, FaultPlan, InjectedBug
+
+__all__ = [
+    "SpatialDatabase",
+    "connect",
+    "get_dialect",
+    "available_dialects",
+    "FaultPlan",
+    "InjectedBug",
+    "BUG_CATALOG",
+]

@@ -1,0 +1,199 @@
+"""Abstract syntax tree node types for MiniSDB's SQL subset.
+
+The subset covers every statement appearing in the paper's listings and
+everything Spatter's query template can generate:
+
+* ``CREATE TABLE name (col type, ...)`` and ``CREATE TABLE name AS SELECT ...``
+* ``CREATE INDEX name ON table USING GIST (column)``
+* ``INSERT INTO table (cols) VALUES (...), (...)``
+* ``SELECT select_list FROM from_items [JOIN ... ON expr] [WHERE expr]``
+  with table aliases, comma cross joins, and derived tables
+* ``SET name = value`` for both engine settings (``enable_seqscan``) and
+  MySQL-style session variables (``@g1``)
+* ``DROP TABLE name``
+
+Expressions cover literals, column references (optionally qualified),
+session variables, function calls, ``::geometry`` casts, comparison and
+boolean operators, the PostGIS ``~=`` operator, and ``IS [NOT] NULL``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence, Union
+
+
+# ----------------------------------------------------------------- expressions
+class Expression:
+    """Base class for expression nodes."""
+
+
+@dataclass
+class Literal(Expression):
+    """A string, numeric, boolean, or NULL literal."""
+
+    value: Any
+
+
+@dataclass
+class ColumnRef(Expression):
+    """A column reference, optionally qualified with a table alias."""
+
+    name: str
+    table: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass
+class SessionVariable(Expression):
+    """A MySQL-style session variable such as ``@g1``."""
+
+    name: str
+
+
+@dataclass
+class FunctionCall(Expression):
+    """A function invocation, e.g. ``ST_Covers(t1.g, t2.g)`` or ``COUNT(*)``."""
+
+    name: str
+    arguments: list[Expression] = field(default_factory=list)
+    is_star: bool = False  # COUNT(*)
+
+
+@dataclass
+class Cast(Expression):
+    """A ``value::type`` cast (only ``geometry`` is meaningful)."""
+
+    operand: Expression
+    type_name: str
+
+
+@dataclass
+class BinaryOp(Expression):
+    """A binary operation: comparisons, AND/OR, and the ``~=`` operator."""
+
+    operator: str
+    left: Expression
+    right: Expression
+
+
+@dataclass
+class UnaryOp(Expression):
+    """A unary operation: NOT or numeric negation."""
+
+    operator: str
+    operand: Expression
+
+
+@dataclass
+class IsNull(Expression):
+    """``expr IS NULL`` / ``expr IS NOT NULL``."""
+
+    operand: Expression
+    negated: bool = False
+
+
+# ------------------------------------------------------------------ statements
+class Statement:
+    """Base class for statement nodes."""
+
+
+@dataclass
+class ColumnDef:
+    """A column in CREATE TABLE."""
+
+    name: str
+    type_name: str
+
+
+@dataclass
+class CreateTable(Statement):
+    name: str
+    columns: list[ColumnDef] = field(default_factory=list)
+    as_select: Optional["Select"] = None
+
+
+@dataclass
+class CreateIndex(Statement):
+    name: str
+    table: str
+    column: str
+    method: str = "gist"
+
+
+@dataclass
+class DropTable(Statement):
+    name: str
+    if_exists: bool = False
+
+
+@dataclass
+class Insert(Statement):
+    table: str
+    columns: list[str]
+    rows: list[list[Expression]]
+
+
+@dataclass
+class SetStatement(Statement):
+    """``SET name = value`` — engine setting or session variable."""
+
+    name: str
+    value: Expression
+    is_session_variable: bool = False
+
+
+@dataclass
+class TableRef:
+    """A FROM item referencing a stored table, with an optional alias."""
+
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        return (self.alias or self.name).lower()
+
+
+@dataclass
+class SubqueryRef:
+    """A FROM item that is a derived table (subquery)."""
+
+    select: "Select"
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        return (self.alias or "__subquery__").lower()
+
+
+FromItem = Union[TableRef, SubqueryRef]
+
+
+@dataclass
+class Join:
+    """An explicit ``JOIN ... ON`` clause attached to the previous FROM item."""
+
+    item: FromItem
+    condition: Optional[Expression] = None
+
+
+@dataclass
+class SelectItem:
+    """One entry of the select list."""
+
+    expression: Optional[Expression]
+    alias: Optional[str] = None
+    is_star: bool = False
+
+
+@dataclass
+class Select(Statement):
+    items: list[SelectItem] = field(default_factory=list)
+    from_items: list[FromItem] = field(default_factory=list)
+    joins: list[Join] = field(default_factory=list)
+    where: Optional[Expression] = None
+    order_by: list[Expression] = field(default_factory=list)
+    limit: Optional[int] = None

@@ -1,0 +1,284 @@
+"""Dialect emulation: which spatial features each target system exposes.
+
+The paper tests four systems whose feature sets differ (Section 5.2 shows
+how those differences blunt differential testing): ``ST_Covers`` exists only
+in PostGIS and DuckDB Spatial, ``ST_DFullyWithin`` and the ``~=`` operator
+only in PostGIS, MySQL lacks EMPTY-aware editing functions, and so on.  A
+:class:`Dialect` captures those per-system catalogs; an engine instance is
+created for a dialect plus a fault profile (the injected bugs that system's
+emulated release ships with).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine import faults
+
+# Predicates every tested system supports (OGC core).
+_COMMON_PREDICATES = (
+    "st_intersects",
+    "st_disjoint",
+    "st_equals",
+    "st_touches",
+    "st_crosses",
+    "st_within",
+    "st_contains",
+    "st_overlaps",
+)
+
+# Constructors and accessors every system supports.
+_COMMON_FUNCTIONS = (
+    "st_geomfromtext",
+    "st_astext",
+    "st_asbinary",
+    "st_geomfromwkb",
+    "st_isempty",
+    "st_isvalid",
+    "st_dimension",
+    "st_geometrytype",
+    "st_numgeometries",
+    "st_geometryn",
+    "st_numpoints",
+    "st_pointn",
+    "st_x",
+    "st_y",
+    "st_envelope",
+    "st_centroid",
+    "st_boundary",
+    "st_convexhull",
+    "st_distance",
+    "st_swapxy",
+    "st_translate",
+    "st_scale",
+    "st_affine",
+    "st_reverse",
+    "st_collect",
+    "st_relate",
+    # scalar measures and ring/line accessors shared by every tested system
+    "st_area",
+    "st_length",
+    "st_npoints",
+    "st_exteriorring",
+    "st_numinteriorrings",
+    "st_interiorringn",
+    "st_startpoint",
+    "st_endpoint",
+    "st_isclosed",
+    "st_simplify",
+    # overlay operations (OGC core, implemented by every tested system)
+    "st_intersection",
+    "st_union",
+    "st_difference",
+    "st_symdifference",
+    # GeoJSON conversion layer (GDAL in DuckDB Spatial, native elsewhere)
+    "st_asgeojson",
+    "st_geomfromgeojson",
+)
+
+
+@dataclass(frozen=True)
+class Dialect:
+    """One emulated SDBMS: its name and supported feature catalog."""
+
+    name: str
+    label: str
+    functions: frozenset
+    operators: frozenset
+    supports_empty_elements: bool = True
+    strict_validation: bool = False
+    geos_backed: bool = False
+
+    def supports_function(self, name: str) -> bool:
+        return name.lower() in self.functions
+
+    def supports_operator(self, operator: str) -> bool:
+        return operator in self.operators
+
+    def topological_predicates(self) -> list[str]:
+        """Boolean predicates usable in Spatter's query template."""
+        candidates = list(_COMMON_PREDICATES) + [
+            "st_covers",
+            "st_coveredby",
+            "st_dwithin",
+            "st_dfullywithin",
+        ]
+        return [name for name in candidates if name in self.functions]
+
+    def editing_functions(self) -> list[str]:
+        """Editing functions available to the derivative strategy (Table 1)."""
+        candidates = [
+            "st_setpoint",
+            "st_polygonize",
+            "st_dumprings",
+            "st_forcepolygoncw",
+            "st_forcepolygonccw",
+            "st_geometryn",
+            "st_collectionextract",
+            "st_boundary",
+            "st_convexhull",
+            "st_envelope",
+            "st_centroid",
+            "st_reverse",
+            "st_swapxy",
+            "st_collect",
+            "st_exteriorring",
+            "st_startpoint",
+            "st_endpoint",
+            "st_simplify",
+            "st_segmentize",
+            "st_linemerge",
+            "st_closestpoint",
+            "st_shortestline",
+            "st_longestline",
+            "st_snap",
+            "st_addpoint",
+        ]
+        return [name for name in candidates if name in self.functions]
+
+
+def _dialect(
+    name: str,
+    label: str,
+    extra_functions: tuple[str, ...] = (),
+    removed_functions: tuple[str, ...] = (),
+    operators: tuple[str, ...] = ("=", "<>", "<", ">", "<=", ">="),
+    supports_empty_elements: bool = True,
+    strict_validation: bool = False,
+    geos_backed: bool = False,
+) -> Dialect:
+    functions = set(_COMMON_PREDICATES) | set(_COMMON_FUNCTIONS) | set(extra_functions)
+    functions -= set(removed_functions)
+    return Dialect(
+        name=name,
+        label=label,
+        functions=frozenset(functions),
+        operators=frozenset(operators),
+        supports_empty_elements=supports_empty_elements,
+        strict_validation=strict_validation,
+        geos_backed=geos_backed,
+    )
+
+
+POSTGIS = _dialect(
+    "postgis",
+    "PostGIS",
+    extra_functions=(
+        "st_covers",
+        "st_coveredby",
+        "st_dwithin",
+        "st_dfullywithin",
+        "st_setpoint",
+        "st_polygonize",
+        "st_dumprings",
+        "st_forcepolygoncw",
+        "st_forcepolygonccw",
+        "st_collectionextract",
+        "st_makeenvelope",
+        "st_perimeter",
+        "st_azimuth",
+        "st_maxdistance",
+        "st_linemerge",
+        "st_segmentize",
+        "st_addpoint",
+        "st_removepoint",
+        "st_closestpoint",
+        "st_shortestline",
+        "st_longestline",
+        "st_snap",
+        "st_isring",
+    ),
+    operators=("=", "<>", "<", ">", "<=", ">=", "~="),
+    geos_backed=True,
+)
+
+DUCKDB_SPATIAL = _dialect(
+    "duckdb_spatial",
+    "DuckDB Spatial",
+    extra_functions=(
+        "st_covers",
+        "st_coveredby",
+        "st_dwithin",
+        "st_collectionextract",
+        "st_polygonize",
+        "st_forcepolygoncw",
+        "st_setpoint",
+        "st_dumprings",
+        "st_perimeter",
+        "st_linemerge",
+        "st_shortestline",
+        "st_closestpoint",
+    ),
+    strict_validation=True,
+    geos_backed=True,
+)
+
+MYSQL = _dialect(
+    "mysql",
+    "MySQL GIS",
+    extra_functions=("st_dwithin", "st_isring"),
+    removed_functions=(
+        "st_dumprings",
+        "st_forcepolygoncw",
+        "st_polygonize",
+        "st_interiorringn",
+    ),
+    strict_validation=False,
+)
+
+SQLSERVER = _dialect(
+    "sqlserver",
+    "SQL Server",
+    removed_functions=(
+        "st_swapxy",
+        "st_collectionextract",
+        "st_relate",
+        "st_simplify",
+        "st_isclosed",
+        "st_asgeojson",
+        "st_geomfromgeojson",
+    ),
+    supports_empty_elements=False,
+    strict_validation=True,
+)
+
+_DIALECTS = {d.name: d for d in (POSTGIS, DUCKDB_SPATIAL, MYSQL, SQLSERVER)}
+
+
+def get_dialect(name: str) -> Dialect:
+    """Look up a dialect by name (``postgis``, ``duckdb_spatial``, ``mysql``,
+    ``sqlserver``)."""
+    try:
+        return _DIALECTS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown dialect {name!r}; available: {', '.join(sorted(_DIALECTS))}"
+        ) from None
+
+
+def available_dialects() -> list[str]:
+    """Names of all emulated systems."""
+    return sorted(_DIALECTS)
+
+
+def default_fault_profile(dialect_name: str) -> list[str]:
+    """Bug ids active in the emulated 'release under test' of a dialect.
+
+    GEOS bugs affect both GEOS-backed systems (PostGIS and DuckDB Spatial),
+    mirroring how the paper's shared-library bugs produced consistent but
+    incorrect results in both systems.
+    """
+    name = dialect_name.lower()
+    profile: list[str] = []
+    for bug in faults.BUG_CATALOG:
+        if bug.component == faults.COMPONENT_GEOS and name in ("postgis", "duckdb_spatial"):
+            profile.append(bug.bug_id)
+        elif bug.component == faults.COMPONENT_POSTGIS and name == "postgis":
+            profile.append(bug.bug_id)
+        elif bug.component == faults.COMPONENT_DUCKDB and name == "duckdb_spatial":
+            profile.append(bug.bug_id)
+        elif bug.component == faults.COMPONENT_MYSQL and name == "mysql":
+            profile.append(bug.bug_id)
+        elif bug.component == faults.COMPONENT_SQLSERVER and name == "sqlserver":
+            profile.append(bug.bug_id)
+    return profile

@@ -1,0 +1,5 @@
+"""Spatial index structures for MiniSDB."""
+
+from repro.engine.index.rtree import RTree, RTreeEntry
+
+__all__ = ["RTree", "RTreeEntry"]

@@ -1,0 +1,90 @@
+"""SQL tokenizer for MiniSDB."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import SQLParseError
+
+# Token kinds.
+KEYWORD = "keyword"
+IDENTIFIER = "identifier"
+NUMBER = "number"
+STRING = "string"
+OPERATOR = "operator"
+PUNCTUATION = "punctuation"
+VARIABLE = "variable"
+END = "end"
+
+KEYWORDS = {
+    "create", "table", "index", "on", "using", "gist", "drop", "if", "exists",
+    "insert", "into", "values", "select", "from", "join", "inner", "left",
+    "cross", "where", "and", "or", "not", "as", "set", "null", "true",
+    "false", "count", "is", "order", "by", "limit", "asc", "desc",
+}
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    (?P<space>\s+)
+  | (?P<comment>--[^\n]*)
+  | (?P<variable>@[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<number>\d+\.\d*|\.\d+|\d+)
+  | (?P<identifier>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<operator><=|>=|<>|!=|~=|::|=|<|>|\*|/|\+|-)
+  | (?P<punctuation>[(),;.])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass
+class Token:
+    """A single SQL token."""
+
+    kind: str
+    value: str
+    position: int
+
+    def matches(self, kind: str, value: str | None = None) -> bool:
+        if self.kind != kind:
+            return False
+        if value is None:
+            return True
+        return self.value.lower() == value.lower()
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize a SQL string; raises :class:`SQLParseError` on bad input."""
+    tokens: list[Token] = []
+    position = 0
+    length = len(sql)
+    while position < length:
+        match = _TOKEN_PATTERN.match(sql, position)
+        if match is None:
+            raise SQLParseError(f"unexpected character {sql[position]!r} at offset {position}")
+        position = match.end()
+        kind = match.lastgroup
+        text = match.group()
+        if kind in ("space", "comment"):
+            continue
+        if kind == "identifier":
+            token_kind = KEYWORD if text.lower() in KEYWORDS else IDENTIFIER
+            tokens.append(Token(token_kind, text, match.start()))
+        elif kind == "string":
+            # Strip the quotes and unescape doubled single quotes.
+            inner = text[1:-1].replace("''", "'")
+            tokens.append(Token(STRING, inner, match.start()))
+        elif kind == "number":
+            tokens.append(Token(NUMBER, text, match.start()))
+        elif kind == "variable":
+            tokens.append(Token(VARIABLE, text[1:], match.start()))
+        elif kind == "operator":
+            tokens.append(Token(OPERATOR, text, match.start()))
+        elif kind == "punctuation":
+            tokens.append(Token(PUNCTUATION, text, match.start()))
+        else:  # pragma: no cover - defensive
+            raise SQLParseError(f"unhandled token kind {kind!r}")
+    tokens.append(Token(END, "", length))
+    return tokens

@@ -1,0 +1,367 @@
+"""Recursive-descent parser for MiniSDB's SQL subset."""
+
+from __future__ import annotations
+
+from repro.errors import SQLParseError
+from repro.engine import ast
+from repro.engine.lexer import (
+    END,
+    IDENTIFIER,
+    KEYWORD,
+    NUMBER,
+    OPERATOR,
+    PUNCTUATION,
+    STRING,
+    VARIABLE,
+    Token,
+    tokenize,
+)
+
+
+def parse_statement(sql: str) -> ast.Statement:
+    """Parse a single SQL statement."""
+    statements = parse_script(sql)
+    if len(statements) != 1:
+        raise SQLParseError(f"expected exactly one statement, found {len(statements)}")
+    return statements[0]
+
+
+def parse_script(sql: str) -> list[ast.Statement]:
+    """Parse a script of one or more ';'-separated statements."""
+    parser = _Parser(tokenize(sql), sql)
+    return parser.parse_script()
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], sql: str):
+        self.tokens = tokens
+        self.sql = sql
+        self.position = 0
+
+    # ------------------------------------------------------------- utilities
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token.kind != END:
+            self.position += 1
+        return token
+
+    def accept(self, kind: str, value: str | None = None) -> Token | None:
+        if self.peek().matches(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value: str | None = None) -> Token:
+        token = self.peek()
+        if not token.matches(kind, value):
+            wanted = value or kind
+            raise SQLParseError(
+                f"expected {wanted!r} but found {token.value!r} in: {self.sql.strip()}"
+            )
+        return self.advance()
+
+    def expect_identifier(self) -> str:
+        token = self.peek()
+        if token.kind in (IDENTIFIER, KEYWORD):
+            self.advance()
+            return token.value
+        raise SQLParseError(f"expected an identifier, found {token.value!r}")
+
+    # ------------------------------------------------------------ statements
+    def parse_script(self) -> list[ast.Statement]:
+        statements: list[ast.Statement] = []
+        while not self.peek().matches(END):
+            if self.accept(PUNCTUATION, ";"):
+                continue
+            statements.append(self.parse_single())
+        return statements
+
+    def parse_single(self) -> ast.Statement:
+        token = self.peek()
+        if token.matches(KEYWORD, "create"):
+            return self._parse_create()
+        if token.matches(KEYWORD, "drop"):
+            return self._parse_drop()
+        if token.matches(KEYWORD, "insert"):
+            return self._parse_insert()
+        if token.matches(KEYWORD, "select"):
+            return self._parse_select()
+        if token.matches(KEYWORD, "set"):
+            return self._parse_set()
+        raise SQLParseError(f"unsupported statement starting with {token.value!r}")
+
+    def _parse_create(self) -> ast.Statement:
+        self.expect(KEYWORD, "create")
+        if self.accept(KEYWORD, "table"):
+            return self._parse_create_table()
+        if self.accept(KEYWORD, "index"):
+            return self._parse_create_index()
+        raise SQLParseError("CREATE must be followed by TABLE or INDEX")
+
+    def _parse_create_table(self) -> ast.CreateTable:
+        name = self.expect_identifier()
+        if self.accept(KEYWORD, "as"):
+            select = self._parse_select()
+            return ast.CreateTable(name=name, as_select=select)
+        self.expect(PUNCTUATION, "(")
+        columns = []
+        while True:
+            column_name = self.expect_identifier()
+            type_name = self.expect_identifier()
+            columns.append(ast.ColumnDef(column_name, type_name))
+            if not self.accept(PUNCTUATION, ","):
+                break
+        self.expect(PUNCTUATION, ")")
+        return ast.CreateTable(name=name, columns=columns)
+
+    def _parse_create_index(self) -> ast.CreateIndex:
+        name = self.expect_identifier()
+        self.expect(KEYWORD, "on")
+        table = self.expect_identifier()
+        method = "gist"
+        if self.accept(KEYWORD, "using"):
+            method = self.expect_identifier().lower()
+        self.expect(PUNCTUATION, "(")
+        column = self.expect_identifier()
+        self.expect(PUNCTUATION, ")")
+        return ast.CreateIndex(name=name, table=table, column=column, method=method)
+
+    def _parse_drop(self) -> ast.DropTable:
+        self.expect(KEYWORD, "drop")
+        self.expect(KEYWORD, "table")
+        if_exists = False
+        if self.accept(KEYWORD, "if"):
+            self.expect(KEYWORD, "exists")
+            if_exists = True
+        name = self.expect_identifier()
+        return ast.DropTable(name=name, if_exists=if_exists)
+
+    def _parse_insert(self) -> ast.Insert:
+        self.expect(KEYWORD, "insert")
+        self.expect(KEYWORD, "into")
+        table = self.expect_identifier()
+        columns: list[str] = []
+        if self.accept(PUNCTUATION, "("):
+            while True:
+                columns.append(self.expect_identifier())
+                if not self.accept(PUNCTUATION, ","):
+                    break
+            self.expect(PUNCTUATION, ")")
+        self.expect(KEYWORD, "values")
+        rows = []
+        while True:
+            self.expect(PUNCTUATION, "(")
+            row = [self.parse_expression()]
+            while self.accept(PUNCTUATION, ","):
+                row.append(self.parse_expression())
+            self.expect(PUNCTUATION, ")")
+            rows.append(row)
+            if not self.accept(PUNCTUATION, ","):
+                break
+        return ast.Insert(table=table, columns=columns, rows=rows)
+
+    def _parse_set(self) -> ast.SetStatement:
+        self.expect(KEYWORD, "set")
+        token = self.peek()
+        if token.kind == VARIABLE:
+            self.advance()
+            self.expect(OPERATOR, "=")
+            value = self.parse_expression()
+            return ast.SetStatement(name=token.value, value=value, is_session_variable=True)
+        name = self.expect_identifier()
+        self.expect(OPERATOR, "=")
+        value = self.parse_expression()
+        return ast.SetStatement(name=name, value=value, is_session_variable=False)
+
+    def _parse_select(self) -> ast.Select:
+        self.expect(KEYWORD, "select")
+        select = ast.Select()
+        select.items.append(self._parse_select_item())
+        while self.accept(PUNCTUATION, ","):
+            select.items.append(self._parse_select_item())
+
+        if self.accept(KEYWORD, "from"):
+            select.from_items.append(self._parse_from_item())
+            while True:
+                if self.accept(PUNCTUATION, ","):
+                    select.from_items.append(self._parse_from_item())
+                    continue
+                if self.peek().matches(KEYWORD, "join") or self.peek().matches(KEYWORD, "inner") or self.peek().matches(KEYWORD, "cross") or self.peek().matches(KEYWORD, "left"):
+                    self.accept(KEYWORD, "inner") or self.accept(KEYWORD, "cross") or self.accept(KEYWORD, "left")
+                    self.expect(KEYWORD, "join")
+                    item = self._parse_from_item()
+                    condition = None
+                    if self.accept(KEYWORD, "on"):
+                        condition = self.parse_expression()
+                    select.joins.append(ast.Join(item=item, condition=condition))
+                    continue
+                break
+
+        if self.accept(KEYWORD, "where"):
+            select.where = self.parse_expression()
+        if self.accept(KEYWORD, "order"):
+            self.expect(KEYWORD, "by")
+            select.order_by.append(self.parse_expression())
+            while self.accept(PUNCTUATION, ","):
+                select.order_by.append(self.parse_expression())
+            self.accept(KEYWORD, "asc") or self.accept(KEYWORD, "desc")
+        if self.accept(KEYWORD, "limit"):
+            token = self.expect(NUMBER)
+            select.limit = int(token.value)
+        return select
+
+    def _parse_select_item(self) -> ast.SelectItem:
+        if self.peek().matches(OPERATOR, "*"):
+            self.advance()
+            return ast.SelectItem(expression=None, is_star=True)
+        expression = self.parse_expression()
+        alias = None
+        if self.accept(KEYWORD, "as"):
+            alias = self.expect_identifier()
+        elif self.peek().kind == IDENTIFIER:
+            alias = self.advance().value
+        return ast.SelectItem(expression=expression, alias=alias)
+
+    def _parse_from_item(self) -> ast.FromItem:
+        if self.accept(PUNCTUATION, "("):
+            select = self._parse_select()
+            self.expect(PUNCTUATION, ")")
+            alias = None
+            if self.accept(KEYWORD, "as"):
+                alias = self.expect_identifier()
+            elif self.peek().kind == IDENTIFIER:
+                alias = self.advance().value
+            return ast.SubqueryRef(select=select, alias=alias)
+        name = self.expect_identifier()
+        alias = None
+        if self.accept(KEYWORD, "as"):
+            alias = self.expect_identifier()
+        elif self.peek().kind == IDENTIFIER:
+            alias = self.advance().value
+        return ast.TableRef(name=name, alias=alias)
+
+    # ----------------------------------------------------------- expressions
+    def parse_expression(self) -> ast.Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expression:
+        left = self._parse_and()
+        while self.accept(KEYWORD, "or"):
+            right = self._parse_and()
+            left = ast.BinaryOp("or", left, right)
+        return left
+
+    def _parse_and(self) -> ast.Expression:
+        left = self._parse_not()
+        while self.accept(KEYWORD, "and"):
+            right = self._parse_not()
+            left = ast.BinaryOp("and", left, right)
+        return left
+
+    def _parse_not(self) -> ast.Expression:
+        if self.accept(KEYWORD, "not"):
+            return ast.UnaryOp("not", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> ast.Expression:
+        left = self._parse_additive()
+        while True:
+            token = self.peek()
+            if token.kind == OPERATOR and token.value in ("=", "<>", "!=", "<", ">", "<=", ">=", "~="):
+                operator = self.advance().value
+                right = self._parse_additive()
+                left = ast.BinaryOp(operator, left, right)
+                continue
+            if token.matches(KEYWORD, "is"):
+                self.advance()
+                negated = bool(self.accept(KEYWORD, "not"))
+                self.expect(KEYWORD, "null")
+                left = ast.IsNull(operand=left, negated=negated)
+                continue
+            break
+        return left
+
+    def _parse_additive(self) -> ast.Expression:
+        left = self._parse_unary()
+        while True:
+            token = self.peek()
+            if token.kind == OPERATOR and token.value in ("+", "-", "*", "/"):
+                operator = self.advance().value
+                right = self._parse_unary()
+                left = ast.BinaryOp(operator, left, right)
+                continue
+            break
+        return left
+
+    def _parse_unary(self) -> ast.Expression:
+        if self.peek().matches(OPERATOR, "-"):
+            self.advance()
+            return ast.UnaryOp("-", self._parse_unary())
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expression:
+        expression = self._parse_primary()
+        while self.peek().matches(OPERATOR, "::"):
+            self.advance()
+            type_name = self.expect_identifier()
+            expression = ast.Cast(operand=expression, type_name=type_name.lower())
+        return expression
+
+    def _parse_primary(self) -> ast.Expression:
+        token = self.peek()
+        if token.kind == NUMBER:
+            self.advance()
+            value = float(token.value) if "." in token.value else int(token.value)
+            return ast.Literal(value)
+        if token.kind == STRING:
+            self.advance()
+            return ast.Literal(token.value)
+        if token.kind == VARIABLE:
+            self.advance()
+            return ast.SessionVariable(token.value)
+        if token.matches(KEYWORD, "null"):
+            self.advance()
+            return ast.Literal(None)
+        if token.matches(KEYWORD, "true"):
+            self.advance()
+            return ast.Literal(True)
+        if token.matches(KEYWORD, "false"):
+            self.advance()
+            return ast.Literal(False)
+        if token.matches(PUNCTUATION, "("):
+            self.advance()
+            inner = self.parse_expression()
+            self.expect(PUNCTUATION, ")")
+            return inner
+        if token.matches(KEYWORD, "count"):
+            self.advance()
+            self.expect(PUNCTUATION, "(")
+            if self.accept(OPERATOR, "*"):
+                self.expect(PUNCTUATION, ")")
+                return ast.FunctionCall(name="count", is_star=True)
+            argument = self.parse_expression()
+            self.expect(PUNCTUATION, ")")
+            return ast.FunctionCall(name="count", arguments=[argument])
+        if token.kind in (IDENTIFIER, KEYWORD):
+            return self._parse_identifier_expression()
+        raise SQLParseError(f"unexpected token {token.value!r} in expression")
+
+    def _parse_identifier_expression(self) -> ast.Expression:
+        name = self.expect_identifier()
+        if self.peek().matches(PUNCTUATION, "("):
+            self.advance()
+            arguments: list[ast.Expression] = []
+            if not self.peek().matches(PUNCTUATION, ")"):
+                arguments.append(self.parse_expression())
+                while self.accept(PUNCTUATION, ","):
+                    arguments.append(self.parse_expression())
+            self.expect(PUNCTUATION, ")")
+            return ast.FunctionCall(name=name.lower(), arguments=arguments)
+        if self.peek().matches(PUNCTUATION, "."):
+            self.advance()
+            column = self.expect_identifier()
+            return ast.ColumnRef(name=column.lower(), table=name.lower())
+        return ast.ColumnRef(name=name.lower())

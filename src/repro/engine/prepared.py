@@ -1,0 +1,70 @@
+"""Prepared-geometry cache.
+
+PostGIS/GEOS speed up repeated predicate evaluations against the same
+geometry (typically the outer side of a spatial join) by "preparing" it once
+and caching per-candidate results.  The paper found a logic bug in exactly
+this component (Listing 7): the prepared variant of ``ST_Contains`` silently
+disagreed with the non-prepared variant.
+
+MiniSDB implements the same architecture: joins evaluate containment
+predicates through a :class:`PreparedGeometryCache`.  When the
+``geos-prepared-contains-collection`` bug is active, a *repeated*
+GEOMETRYCOLLECTION probe against the same prepared geometry is answered
+incorrectly with ``False`` instead of the cached result, reproducing the
+"pair (3,2) is missing" symptom of Listing 7.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.model import Geometry, GeometryCollection, _MultiGeometry
+
+
+class PreparedGeometryCache:
+    """Cache of predicate results keyed by (prepared WKT, probe WKT)."""
+
+    def __init__(self, buggy_collection_repeat: bool = False):
+        self.buggy_collection_repeat = buggy_collection_repeat
+        self._results: dict[tuple[str, str, str], bool] = {}
+        self._probe_counts: dict[tuple[str, str, str], int] = {}
+        self.hits = 0
+        self.misses = 0
+        #: set to True every time the injected bug actually perturbed a result
+        self.bug_fired = False
+
+    def evaluate(self, predicate_name: str, prepared: Geometry, probe: Geometry, compute) -> bool:
+        """Evaluate ``compute()`` through the cache.
+
+        ``compute`` is a zero-argument callable producing the correct result;
+        it is only invoked on a cache miss.
+        """
+        key = (predicate_name, prepared.wkt, probe.wkt)
+        self._probe_counts[key] = self._probe_counts.get(key, 0) + 1
+
+        if key in self._results:
+            self.hits += 1
+            cached = self._results[key]
+            if (
+                self.buggy_collection_repeat
+                and isinstance(probe, GeometryCollection)
+                and not isinstance(prepared, GeometryCollection)
+                and self._probe_counts[key] > 1
+            ):
+                # The buggy fast path rebuilds its interior-point index lazily
+                # for repeated collection probes against a prepared basic or
+                # MULTI geometry and loses the match (paper Listing 7).
+                self.bug_fired = True
+                return False
+            return cached
+
+        self.misses += 1
+        result = bool(compute())
+        self._results[key] = result
+        return result
+
+    def clear(self) -> None:
+        """Drop every cached result (used between campaign iterations)."""
+        self._results.clear()
+        self._probe_counts.clear()
+        self.hits = 0
+        self.misses = 0
+        self.bug_fired = False

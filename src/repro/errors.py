@@ -1,0 +1,60 @@
+"""Exception hierarchy shared by every repro subpackage.
+
+The hierarchy mirrors how a real spatial DBMS surfaces problems: parse
+errors for malformed WKT or SQL, semantic errors for invalid geometries or
+unsupported functions, and execution errors for runtime failures.  Spatter
+(the tester) treats :class:`SemanticGeometryError` the way the paper treats
+errors returned by the SDBMS for semantically invalid shapes: it ignores
+them and moves on.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class WKTParseError(ReproError):
+    """Raised when a WKT string cannot be parsed."""
+
+
+class GeometryTypeError(ReproError):
+    """Raised when a geometry of an unexpected type is supplied."""
+
+
+class SemanticGeometryError(ReproError):
+    """Raised when a geometry is syntactically valid but semantically invalid.
+
+    Example: a polygon whose exterior ring self-intersects.  Real SDBMSs
+    reject such inputs with an error, which Spatter ignores.
+    """
+
+
+class SQLParseError(ReproError):
+    """Raised when a SQL statement cannot be tokenized or parsed."""
+
+
+class SQLExecutionError(ReproError):
+    """Raised when a parsed SQL statement fails during execution."""
+
+
+class UnknownFunctionError(SQLExecutionError):
+    """Raised when a SQL statement references a function the dialect lacks."""
+
+
+class TableError(SQLExecutionError):
+    """Raised for missing tables, duplicate tables, or column mismatches."""
+
+
+class EngineCrash(ReproError):
+    """Raised by an injected crash bug.
+
+    A real SDBMS crash terminates the server process; in the in-process
+    engine the crash is modelled as this dedicated exception type so the
+    campaign runner can distinguish crash bugs from ordinary errors.
+    """
+
+    def __init__(self, message: str, bug_id: str | None = None):
+        super().__init__(message)
+        self.bug_id = bug_id

@@ -1,0 +1,113 @@
+"""Spatial functions used by the SQL engine and the derivative strategy.
+
+The paper's geometry-aware generator (Section 4.1, Table 1) derives new
+geometries from existing ones by applying *editing functions* grouped into
+line-based, polygon-based, multi-dimensional and generic categories.  This
+package implements those functions plus the accessors, measures, linear
+editing tools and affine helpers the SQL registry exposes as ``ST_*``
+functions.
+"""
+
+from repro.functions.accessors import (
+    end_point,
+    exterior_ring,
+    geometry_n,
+    interior_ring_n,
+    is_closed,
+    is_ring,
+    num_geometries,
+    num_interior_rings,
+    num_points,
+    point_n,
+    start_point,
+    x_of,
+    y_of,
+)
+from repro.functions.constructive import (
+    boundary,
+    centroid,
+    collect,
+    collection_extract,
+    convex_hull,
+    dump_rings,
+    envelope,
+    force_polygon_ccw,
+    force_polygon_cw,
+    make_envelope,
+    polygonize,
+    reverse,
+    set_point,
+)
+from repro.functions.affine_ops import (
+    affine_transform,
+    rotate,
+    scale,
+    swap_xy,
+    translate,
+)
+from repro.functions.metrics import (
+    area,
+    azimuth,
+    length,
+    num_coordinates,
+    perimeter,
+)
+from repro.functions.linear import (
+    add_point,
+    closest_point,
+    line_merge,
+    longest_line,
+    remove_point,
+    segmentize,
+    shortest_line,
+    simplify,
+    snap,
+)
+
+__all__ = [
+    "boundary",
+    "centroid",
+    "collect",
+    "collection_extract",
+    "convex_hull",
+    "dump_rings",
+    "envelope",
+    "force_polygon_ccw",
+    "force_polygon_cw",
+    "make_envelope",
+    "polygonize",
+    "reverse",
+    "set_point",
+    "geometry_n",
+    "num_geometries",
+    "num_points",
+    "point_n",
+    "x_of",
+    "y_of",
+    "exterior_ring",
+    "interior_ring_n",
+    "num_interior_rings",
+    "start_point",
+    "end_point",
+    "is_closed",
+    "is_ring",
+    "affine_transform",
+    "rotate",
+    "scale",
+    "swap_xy",
+    "translate",
+    "area",
+    "azimuth",
+    "length",
+    "num_coordinates",
+    "perimeter",
+    "add_point",
+    "closest_point",
+    "line_merge",
+    "longest_line",
+    "remove_point",
+    "segmentize",
+    "shortest_line",
+    "simplify",
+    "snap",
+]

@@ -1,0 +1,261 @@
+"""Constructive and editing spatial functions (the paper's Table 1).
+
+Each function takes geometries and returns a new geometry, never mutating
+its input.  Functions that cannot be applied to a given input raise
+:class:`~repro.errors.GeometryTypeError`; the derivative strategy catches
+that and falls back to an EMPTY geometry, exactly as Algorithm 1 (lines
+21–22) prescribes.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.errors import GeometryTypeError
+from repro.geometry.model import (
+    Coordinate,
+    Envelope,
+    Geometry,
+    GeometryCollection,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+    flatten,
+)
+from repro.geometry import primitives
+from repro.topology.labels import LinesComponent
+
+
+def boundary(geometry: Geometry) -> Geometry:
+    """Topological boundary of a geometry (generic editing function).
+
+    * POINT / MULTIPOINT → GEOMETRYCOLLECTION EMPTY (points have no boundary)
+    * LINESTRING / MULTILINESTRING → MULTIPOINT of the mod-2 endpoints
+    * POLYGON / MULTIPOLYGON → MULTILINESTRING of the rings
+    * GEOMETRYCOLLECTION → collection of element boundaries
+    """
+    if geometry.is_empty:
+        return GeometryCollection.empty()
+    if isinstance(geometry, (Point, MultiPoint)):
+        return GeometryCollection.empty()
+    if isinstance(geometry, LineString):
+        return _line_boundary([geometry])
+    if isinstance(geometry, MultiLineString):
+        return _line_boundary(list(geometry.geoms))
+    if isinstance(geometry, Polygon):
+        return MultiLineString([LineString(ring) for ring in geometry.rings()])
+    if isinstance(geometry, MultiPolygon):
+        rings = [
+            LineString(ring)
+            for polygon in geometry.geoms
+            if not polygon.is_empty
+            for ring in polygon.rings()
+        ]
+        return MultiLineString(rings)
+    if isinstance(geometry, GeometryCollection):
+        return GeometryCollection([boundary(g) for g in geometry.geoms if not g.is_empty])
+    raise GeometryTypeError(f"cannot compute the boundary of {geometry.geom_type}")
+
+
+def _line_boundary(elements: list[LineString]) -> Geometry:
+    component = LinesComponent(elements)
+    points = sorted(component.boundary_points, key=lambda c: (c.x, c.y))
+    if not points:
+        return MultiPoint.empty()
+    return MultiPoint([Point(p) for p in points])
+
+
+def convex_hull(geometry: Geometry) -> Geometry:
+    """Convex hull (generic editing function).
+
+    Degenerate inputs collapse gracefully: a single distinct coordinate
+    yields a POINT, collinear coordinates yield a LINESTRING.
+    """
+    coords = list(geometry.coordinates())
+    if not coords:
+        return GeometryCollection.empty()
+    hull = primitives.convex_hull(coords)
+    if len(hull) == 1:
+        return Point(hull[0])
+    if len(hull) == 2:
+        return LineString(hull)
+    return Polygon(hull)
+
+
+def envelope(geometry: Geometry) -> Geometry:
+    """Axis-aligned bounding geometry (POINT, LINESTRING, or POLYGON)."""
+    box = geometry.envelope()
+    if box is None:
+        return Point.empty()
+    return make_envelope(box)
+
+
+def make_envelope(box: Envelope) -> Geometry:
+    """Build the geometry representing an :class:`Envelope`."""
+    if box.min_x == box.max_x and box.min_y == box.max_y:
+        return Point(Coordinate(box.min_x, box.min_y))
+    if box.min_x == box.max_x or box.min_y == box.max_y:
+        return LineString(
+            [Coordinate(box.min_x, box.min_y), Coordinate(box.max_x, box.max_y)]
+        )
+    return Polygon(
+        [
+            Coordinate(box.min_x, box.min_y),
+            Coordinate(box.max_x, box.min_y),
+            Coordinate(box.max_x, box.max_y),
+            Coordinate(box.min_x, box.max_y),
+        ]
+    )
+
+
+def centroid(geometry: Geometry) -> Geometry:
+    """Centroid of the coordinates (vertex average).
+
+    Real SDBMSs weight by length/area; the vertex average is sufficient for
+    the derivative strategy, which only needs *a* deterministic point related
+    to the input shape.
+    """
+    point = primitives.centroid_of_points(list(geometry.coordinates()))
+    if point is None:
+        return Point.empty()
+    return Point(point)
+
+
+def reverse(geometry: Geometry) -> Geometry:
+    """Reverse the coordinate order of every line and ring."""
+    if isinstance(geometry, LineString):
+        return geometry.reversed()
+    if isinstance(geometry, Polygon):
+        if geometry.is_empty:
+            return Polygon.empty()
+        return Polygon(
+            list(reversed(geometry.exterior)),
+            [list(reversed(hole)) for hole in geometry.holes],
+        )
+    if isinstance(geometry, (MultiPoint, MultiLineString, MultiPolygon, GeometryCollection)):
+        return type(geometry)([reverse(g) for g in geometry.geoms])
+    return geometry
+
+
+def set_point(geometry: Geometry, index: int, point: Geometry) -> Geometry:
+    """Replace the ``index``-th (0-based) vertex of a LINESTRING (line-based).
+
+    Negative indexes count from the end, mirroring PostGIS ``ST_SetPoint``.
+    """
+    if not isinstance(geometry, LineString) or geometry.is_empty:
+        raise GeometryTypeError("ST_SetPoint requires a non-empty LINESTRING")
+    if not isinstance(point, Point) or point.is_empty:
+        raise GeometryTypeError("ST_SetPoint requires a non-empty POINT replacement")
+    points = list(geometry.points)
+    if index < 0:
+        index += len(points)
+    if not 0 <= index < len(points):
+        raise GeometryTypeError("ST_SetPoint index out of range")
+    points[index] = point.coordinate
+    return LineString(points)
+
+
+def polygonize(geometry: Geometry) -> Geometry:
+    """Form polygons from closed linework (line-based editing function).
+
+    Closed LINESTRING elements (rings) become polygons; everything else is
+    ignored.  The result is always a GEOMETRYCOLLECTION, matching PostGIS
+    ``ST_Polygonize``.
+    """
+    polygons: list[Geometry] = []
+    for element in flatten(geometry):
+        if isinstance(element, LineString) and element.is_closed and len(set(element.points)) >= 3:
+            if primitives.ring_signed_area(element.points) != 0:
+                polygons.append(Polygon(element.points))
+    return GeometryCollection(polygons)
+
+
+def dump_rings(geometry: Geometry) -> Geometry:
+    """Extract the rings of a POLYGON as polygons (polygon-based function)."""
+    if not isinstance(geometry, Polygon):
+        raise GeometryTypeError("ST_DumpRings requires a POLYGON")
+    if geometry.is_empty:
+        return GeometryCollection.empty()
+    rings = [Polygon(ring) for ring in geometry.rings()]
+    return GeometryCollection(rings)
+
+
+def force_polygon_cw(geometry: Geometry) -> Geometry:
+    """Force clockwise exterior rings and counter-clockwise holes."""
+    return _force_orientation(geometry, exterior_clockwise=True)
+
+
+def force_polygon_ccw(geometry: Geometry) -> Geometry:
+    """Force counter-clockwise exterior rings and clockwise holes."""
+    return _force_orientation(geometry, exterior_clockwise=False)
+
+
+def _force_orientation(geometry: Geometry, exterior_clockwise: bool) -> Geometry:
+    if isinstance(geometry, Polygon):
+        if geometry.is_empty:
+            return Polygon.empty()
+        exterior = _orient_ring(geometry.exterior, clockwise=exterior_clockwise)
+        holes = [_orient_ring(h, clockwise=not exterior_clockwise) for h in geometry.holes]
+        return Polygon(exterior, holes)
+    if isinstance(geometry, MultiPolygon):
+        return MultiPolygon(
+            [_force_orientation(p, exterior_clockwise) for p in geometry.geoms]
+        )
+    if isinstance(geometry, GeometryCollection):
+        return GeometryCollection(
+            [
+                _force_orientation(g, exterior_clockwise)
+                if g.dimension == 2
+                else g
+                for g in geometry.geoms
+            ]
+        )
+    raise GeometryTypeError(
+        "ST_ForcePolygonCW/CCW requires a POLYGON or MULTIPOLYGON input"
+    )
+
+
+def _orient_ring(ring: list[Coordinate], clockwise: bool) -> list[Coordinate]:
+    is_clockwise = primitives.ring_is_clockwise(ring)
+    if is_clockwise == clockwise:
+        return list(ring)
+    return list(reversed(ring))
+
+
+def collection_extract(geometry: Geometry, dimension: int) -> Geometry:
+    """Extract elements of one dimension from a MULTI or MIXED geometry.
+
+    ``dimension`` follows the PostGIS convention: 1 = points, 2 = lines,
+    3 = polygons.  The result is the corresponding MULTI geometry.
+    """
+    if dimension not in (1, 2, 3):
+        raise GeometryTypeError("ST_CollectionExtract dimension must be 1, 2 or 3")
+    wanted_dimension = dimension - 1
+    elements = [
+        element
+        for element in flatten(geometry)
+        if not element.is_empty and element.dimension == wanted_dimension
+    ]
+    if wanted_dimension == 0:
+        return MultiPoint(elements)
+    if wanted_dimension == 1:
+        return MultiLineString(elements)
+    return MultiPolygon(elements)
+
+
+def collect(geometries: list[Geometry]) -> Geometry:
+    """Combine geometries into a MULTI geometry or GEOMETRYCOLLECTION."""
+    non_empty = [g for g in geometries if g is not None]
+    if not non_empty:
+        return GeometryCollection.empty()
+    types = {type(g) for g in non_empty}
+    if types == {Point}:
+        return MultiPoint(non_empty)
+    if types == {LineString}:
+        return MultiLineString(non_empty)
+    if types == {Polygon}:
+        return MultiPolygon(non_empty)
+    return GeometryCollection(non_empty)

@@ -1,0 +1,154 @@
+"""Scalar measurement functions (``ST_Area``, ``ST_Length``, ``ST_Perimeter``...).
+
+Areas are computed exactly with the shoelace formula on the rational
+coordinates; lengths and perimeters require a square root per segment and are
+therefore returned as floats, matching what real SDBMSs return.  The exact
+squared quantities are exposed separately so callers that only need
+comparisons (for example property tests asserting affine scaling behaviour)
+can stay in rational arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+from repro.errors import GeometryTypeError
+from repro.geometry.model import (
+    Coordinate,
+    Geometry,
+    GeometryCollection,
+    LineString,
+    MultiLineString,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+from repro.geometry.primitives import ring_signed_area, squared_distance
+
+
+def area(geometry: Geometry) -> Fraction:
+    """Exact planar area of the polygonal parts of a geometry.
+
+    Holes are subtracted from their polygon; points and lines contribute
+    zero; collections sum the areas of their elements.  EMPTY geometries
+    have zero area.
+    """
+    if geometry.is_empty:
+        return Fraction(0)
+    if isinstance(geometry, Polygon):
+        total = abs(ring_signed_area(geometry.exterior))
+        for hole in geometry.holes:
+            total -= abs(ring_signed_area(hole))
+        return total
+    if isinstance(geometry, (MultiPolygon, GeometryCollection)):
+        return sum((area(element) for element in geometry.geoms), Fraction(0))
+    return Fraction(0)
+
+
+def _segment_length(a: Coordinate, b: Coordinate) -> float:
+    return math.sqrt(float(squared_distance(a, b)))
+
+
+def length(geometry: Geometry) -> float:
+    """Length of the linear parts of a geometry (0 for points and polygons).
+
+    This matches PostGIS ``ST_Length``, which measures LINESTRING and
+    MULTILINESTRING inputs only; polygon boundaries are measured by
+    :func:`perimeter`.
+    """
+    if geometry.is_empty:
+        return 0.0
+    if isinstance(geometry, LineString):
+        return sum(_segment_length(a, b) for a, b in geometry.segments())
+    if isinstance(geometry, (MultiLineString, GeometryCollection)):
+        return sum(length(element) for element in geometry.geoms)
+    return 0.0
+
+
+def perimeter(geometry: Geometry) -> float:
+    """Total boundary length of the polygonal parts of a geometry."""
+    if geometry.is_empty:
+        return 0.0
+    if isinstance(geometry, Polygon):
+        total = 0.0
+        for ring in geometry.rings():
+            total += sum(_segment_length(a, b) for a, b in zip(ring, ring[1:]))
+        return total
+    if isinstance(geometry, (MultiPolygon, GeometryCollection)):
+        return sum(perimeter(element) for element in geometry.geoms)
+    return 0.0
+
+
+def num_coordinates(geometry: Geometry) -> int:
+    """Total number of coordinates in a geometry (PostGIS ``ST_NPoints``)."""
+    return geometry.num_coordinates()
+
+
+def azimuth(a: Geometry, b: Geometry) -> float | None:
+    """Azimuth (radians clockwise from north) of the segment from ``a`` to ``b``.
+
+    Both arguments must be non-empty POINTs; coincident points yield ``None``
+    (SQL NULL), matching PostGIS ``ST_Azimuth``.
+    """
+    if not isinstance(a, Point) or not isinstance(b, Point):
+        raise GeometryTypeError("ST_Azimuth requires two POINT inputs")
+    if a.is_empty or b.is_empty:
+        return None
+    dx = float(b.x - a.x)
+    dy = float(b.y - a.y)
+    if dx == 0.0 and dy == 0.0:
+        return None
+    angle = math.atan2(dx, dy)
+    if angle < 0:
+        angle += 2 * math.pi
+    return angle
+
+
+def squared_length_terms(geometry: Geometry) -> list[Fraction]:
+    """Exact squared segment lengths of the linear parts (helper for tests).
+
+    Affine scaling by an integer factor ``s`` multiplies each term by
+    ``s**2`` exactly, which property tests use to check the measurement
+    functions without floating-point tolerance juggling.
+    """
+    terms: list[Fraction] = []
+    if isinstance(geometry, LineString):
+        terms.extend(squared_distance(a, b) for a, b in geometry.segments())
+    elif isinstance(geometry, (MultiLineString, GeometryCollection)):
+        for element in geometry.geoms:
+            terms.extend(squared_length_terms(element))
+    return terms
+
+
+def point_count_by_type(geometry: Geometry) -> dict[str, int]:
+    """Count coordinates grouped by basic element type (diagnostic helper)."""
+    from repro.geometry.model import flatten
+
+    counts: dict[str, int] = {}
+    for element in flatten(geometry):
+        counts[element.geom_type] = counts.get(element.geom_type, 0) + element.num_coordinates()
+    return counts
+
+
+def bounding_box_dimensions(geometry: Geometry) -> tuple[Fraction, Fraction] | None:
+    """Width and height of the envelope, or None for EMPTY geometries."""
+    box = geometry.envelope()
+    if box is None:
+        return None
+    return box.max_x - box.min_x, box.max_y - box.min_y
+
+
+def is_degenerate(geometry: Geometry) -> bool:
+    """True for polygonal geometries whose area collapsed to zero.
+
+    The random-shape strategy can build syntactically valid but degenerate
+    polygons; the generator uses this check when classifying its output.
+    """
+    if geometry.is_empty:
+        return False
+    if isinstance(geometry, (Polygon, MultiPolygon)):
+        return area(geometry) == 0
+    if isinstance(geometry, GeometryCollection):
+        return any(is_degenerate(element) for element in geometry.geoms)
+    return False

@@ -1,0 +1,39 @@
+"""Geometry substrate: OGC simple-feature geometry model and WKT I/O.
+
+This package provides the geometry objects every other layer builds on:
+
+* :mod:`repro.geometry.model` — the ``Geometry`` class hierarchy (POINT,
+  LINESTRING, POLYGON, the MULTI variants and GEOMETRYCOLLECTION), with
+  exact rational coordinates.
+* :mod:`repro.geometry.wkt` — Well-Known Text parsing and serialisation.
+* :mod:`repro.geometry.primitives` — exact low-level predicates (orientation,
+  segment intersection, point-in-ring, ...).
+* :mod:`repro.geometry.validity` — OGC-style semantic validity checks.
+"""
+
+from repro.geometry.model import (
+    Coordinate,
+    Geometry,
+    GeometryCollection,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+from repro.geometry.wkt import dump_wkt, load_wkt
+
+__all__ = [
+    "Coordinate",
+    "Geometry",
+    "Point",
+    "LineString",
+    "Polygon",
+    "MultiPoint",
+    "MultiLineString",
+    "MultiPolygon",
+    "GeometryCollection",
+    "load_wkt",
+    "dump_wkt",
+]

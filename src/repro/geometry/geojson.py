@@ -1,0 +1,168 @@
+"""GeoJSON (RFC 7946) reading and writing.
+
+The paper's limitations section (Section 7) points out that AEI does not
+exercise the file reading/conversion layer of an SDBMS (implemented by GDAL
+in the real systems) and reports a GeoJSON bug found by *differential*
+testing instead: DuckDB Spatial returned NULL for
+``{"type": "Polygon", "coordinates": []}`` where ``POLYGON EMPTY`` was
+expected.  This module is the conversion-layer substrate for that
+experiment: an exact GeoJSON reader/writer exposed to SQL as
+``ST_AsGeoJSON`` / ``ST_GeomFromGeoJSON`` and used by the format
+differential oracle in :mod:`repro.baselines.format_differential`.
+
+Coordinates are written as integers when they are integral and as floats
+otherwise; reading converts every number exactly via :class:`~fractions.Fraction`.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from typing import Any
+
+from repro.errors import WKTParseError
+from repro.geometry.model import (
+    Coordinate,
+    Geometry,
+    GeometryCollection,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+
+
+class GeoJSONParseError(WKTParseError):
+    """Raised when a GeoJSON document cannot be interpreted as a geometry."""
+
+
+# ---------------------------------------------------------------------------
+# Writing.
+# ---------------------------------------------------------------------------
+def _number(value: Fraction) -> int | float:
+    if value.denominator == 1:
+        return int(value)
+    return float(value)
+
+
+def _position(coordinate: Coordinate) -> list:
+    return [_number(coordinate.x), _number(coordinate.y)]
+
+
+def _ring_positions(ring: list[Coordinate]) -> list[list]:
+    return [_position(coordinate) for coordinate in ring]
+
+
+def geometry_to_mapping(geometry: Geometry) -> dict[str, Any]:
+    """Convert a geometry into a GeoJSON-style mapping (Python dict)."""
+    if isinstance(geometry, Point):
+        coordinates = [] if geometry.is_empty else _position(geometry.coordinate)
+        return {"type": "Point", "coordinates": coordinates}
+    if isinstance(geometry, LineString):
+        return {"type": "LineString", "coordinates": _ring_positions(geometry.points)}
+    if isinstance(geometry, Polygon):
+        rings = [] if geometry.is_empty else [_ring_positions(ring) for ring in geometry.rings()]
+        return {"type": "Polygon", "coordinates": rings}
+    if isinstance(geometry, MultiPoint):
+        return {
+            "type": "MultiPoint",
+            "coordinates": [
+                _position(point.coordinate) for point in geometry.geoms if not point.is_empty
+            ],
+        }
+    if isinstance(geometry, MultiLineString):
+        return {
+            "type": "MultiLineString",
+            "coordinates": [
+                _ring_positions(line.points) for line in geometry.geoms if not line.is_empty
+            ],
+        }
+    if isinstance(geometry, MultiPolygon):
+        return {
+            "type": "MultiPolygon",
+            "coordinates": [
+                [_ring_positions(ring) for ring in polygon.rings()]
+                for polygon in geometry.geoms
+                if not polygon.is_empty
+            ],
+        }
+    if isinstance(geometry, GeometryCollection):
+        return {
+            "type": "GeometryCollection",
+            "geometries": [geometry_to_mapping(element) for element in geometry.geoms],
+        }
+    raise GeoJSONParseError(f"cannot convert {geometry.geom_type} to GeoJSON")
+
+
+def dump_geojson(geometry: Geometry) -> str:
+    """Serialize a geometry as a GeoJSON document string."""
+    return json.dumps(geometry_to_mapping(geometry), separators=(",", ":"))
+
+
+# ---------------------------------------------------------------------------
+# Reading.
+# ---------------------------------------------------------------------------
+def _parse_position(values: Any) -> Coordinate:
+    if not isinstance(values, (list, tuple)) or len(values) < 2:
+        raise GeoJSONParseError(f"invalid GeoJSON position {values!r}")
+    return Coordinate(Fraction(str(values[0])), Fraction(str(values[1])))
+
+
+def _parse_positions(values: Any) -> list[Coordinate]:
+    if not isinstance(values, (list, tuple)):
+        raise GeoJSONParseError(f"invalid GeoJSON coordinate array {values!r}")
+    return [_parse_position(value) for value in values]
+
+
+def mapping_to_geometry(mapping: dict[str, Any]) -> Geometry:
+    """Convert a GeoJSON-style mapping into a geometry."""
+    if not isinstance(mapping, dict) or "type" not in mapping:
+        raise GeoJSONParseError(f"not a GeoJSON geometry object: {mapping!r}")
+    kind = str(mapping["type"])
+
+    if kind == "GeometryCollection":
+        geometries = mapping.get("geometries", [])
+        if not isinstance(geometries, list):
+            raise GeoJSONParseError("GeometryCollection needs a 'geometries' array")
+        return GeometryCollection([mapping_to_geometry(element) for element in geometries])
+
+    coordinates = mapping.get("coordinates", None)
+    if coordinates is None:
+        raise GeoJSONParseError(f"GeoJSON {kind} object is missing 'coordinates'")
+
+    if kind == "Point":
+        if coordinates == []:
+            return Point.empty()
+        return Point(_parse_position(coordinates))
+    if kind == "LineString":
+        return LineString(_parse_positions(coordinates))
+    if kind == "Polygon":
+        if coordinates == []:
+            return Polygon.empty()
+        rings = [_parse_positions(ring) for ring in coordinates]
+        return Polygon(rings[0], rings[1:])
+    if kind == "MultiPoint":
+        return MultiPoint([Point(_parse_position(value)) for value in coordinates])
+    if kind == "MultiLineString":
+        return MultiLineString([LineString(_parse_positions(line)) for line in coordinates])
+    if kind == "MultiPolygon":
+        polygons = []
+        for polygon_coordinates in coordinates:
+            if polygon_coordinates == []:
+                polygons.append(Polygon.empty())
+                continue
+            rings = [_parse_positions(ring) for ring in polygon_coordinates]
+            polygons.append(Polygon(rings[0], rings[1:]))
+        return MultiPolygon(polygons)
+    raise GeoJSONParseError(f"unsupported GeoJSON geometry type {kind!r}")
+
+
+def load_geojson(text: str) -> Geometry:
+    """Parse a GeoJSON document string into a geometry."""
+    try:
+        mapping = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise GeoJSONParseError(f"invalid JSON: {error}") from error
+    return mapping_to_geometry(mapping)

@@ -1,0 +1,185 @@
+"""OGC-style semantic validity checks.
+
+The random-shape strategy of the paper generates geometries that are valid at
+the *syntax* level but possibly invalid at the *semantic* level (for example
+``POLYGON((0 0,1 1,0 1,1 0,0 0))``, whose boundary self-intersects).  Real
+SDBMSs reject such geometries with an error when a topological function is
+applied; Spatter ignores those errors.  The MiniSDB engine uses this module
+to decide when to raise :class:`~repro.errors.SemanticGeometryError`.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.model import (
+    Geometry,
+    GeometryCollection,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+from repro.geometry.primitives import (
+    point_in_ring,
+    ring_signed_area,
+    segment_intersection,
+)
+
+
+def explain_invalidity(geometry: Geometry) -> str | None:
+    """Return a human-readable reason the geometry is invalid, or None if valid."""
+    if isinstance(geometry, Point):
+        return None
+    if isinstance(geometry, LineString):
+        return _explain_linestring(geometry)
+    if isinstance(geometry, Polygon):
+        return _explain_polygon(geometry)
+    if isinstance(geometry, (MultiPoint, MultiLineString, MultiPolygon, GeometryCollection)):
+        for index, element in enumerate(geometry.geoms):
+            reason = explain_invalidity(element)
+            if reason is not None:
+                return f"element {index}: {reason}"
+        if isinstance(geometry, MultiPolygon):
+            return _explain_multipolygon(geometry)
+        return None
+    return None
+
+
+def is_valid(geometry: Geometry) -> bool:
+    """True if the geometry satisfies the OGC semantic validity rules."""
+    return explain_invalidity(geometry) is None
+
+
+def _explain_linestring(line: LineString) -> str | None:
+    if line.is_empty:
+        return None
+    if len(line.points) < 2:
+        return "a LINESTRING needs at least two points"
+    if all(p == line.points[0] for p in line.points):
+        return "a LINESTRING must have at least two distinct points"
+    return None
+
+
+def is_simple_linestring(line: LineString) -> bool:
+    """True if a LINESTRING has no self-intersections.
+
+    A closed line is allowed to share its start and end point; consecutive
+    segments are allowed to share their common vertex.  This is the OGC
+    ``IsSimple`` semantics used by ``ST_IsRing``.
+    """
+    if line.is_empty or len(line.points) < 2:
+        return True
+    segments = list(line.segments())
+    count = len(segments)
+    closed = line.is_closed
+    for i in range(count):
+        a1, a2 = segments[i]
+        if a1 == a2:
+            return False
+        for j in range(i + 1, count):
+            b1, b2 = segments[j]
+            hits = segment_intersection(a1, a2, b1, b2)
+            if not hits:
+                continue
+            if len(hits) > 1:
+                return False
+            hit = hits[0]
+            if j == i + 1 and hit == a2:
+                continue  # consecutive segments share their common vertex
+            if closed and i == 0 and j == count - 1 and hit == a1:
+                continue  # closed line shares its start/end point
+            return False
+    return True
+
+
+def _ring_self_intersects(ring: list) -> bool:
+    """True if a closed ring touches or crosses itself anywhere except at
+    the shared endpoints of consecutive segments."""
+    segments = list(zip(ring, ring[1:]))
+    count = len(segments)
+    for i in range(count):
+        a1, a2 = segments[i]
+        if a1 == a2:
+            return True  # zero-length segment collapses the ring locally
+        for j in range(i + 1, count):
+            b1, b2 = segments[j]
+            hits = segment_intersection(a1, a2, b1, b2)
+            if not hits:
+                continue
+            adjacent = j == i + 1 or (i == 0 and j == count - 1)
+            if len(hits) > 1:
+                return True
+            hit = hits[0]
+            if adjacent:
+                # Consecutive segments legitimately share one endpoint.
+                shared = a2 if j == i + 1 else a1
+                if hit != shared:
+                    return True
+            else:
+                return True
+    return False
+
+
+def _explain_polygon(polygon: Polygon) -> str | None:
+    if polygon.is_empty:
+        return None
+    for index, ring in enumerate(polygon.rings()):
+        if len(set(ring)) < 3:
+            return f"ring {index} has fewer than three distinct points"
+        if _ring_self_intersects(ring):
+            return f"ring {index} is self-intersecting"
+        if ring_signed_area(ring) == 0:
+            return f"ring {index} has zero area"
+    exterior = polygon.exterior
+    for index, hole in enumerate(polygon.holes):
+        outside = [p for p in hole if point_in_ring(p, exterior) == "exterior"]
+        if outside:
+            return f"hole {index} lies outside the exterior ring"
+        # Hole edges must not cross the exterior ring.
+        for a, b in zip(hole, hole[1:]):
+            for c, d in zip(exterior, exterior[1:]):
+                hits = segment_intersection(a, b, c, d)
+                if len(hits) > 1:
+                    return f"hole {index} overlaps the exterior ring"
+    return None
+
+
+def _explain_multipolygon(multi: MultiPolygon) -> str | None:
+    polygons = [p for p in multi.geoms if not p.is_empty]
+    for i in range(len(polygons)):
+        for j in range(i + 1, len(polygons)):
+            if _polygons_interiors_overlap(polygons[i], polygons[j]):
+                return f"polygons {i} and {j} have overlapping interiors"
+    return None
+
+
+def _polygons_interiors_overlap(a: Polygon, b: Polygon) -> bool:
+    """Conservative interior-overlap test used only for validity reporting."""
+    for p in a.exterior:
+        if point_in_ring(p, b.exterior) == "interior" and all(
+            point_in_ring(p, hole) != "interior" for hole in b.holes
+        ):
+            return True
+    for p in b.exterior:
+        if point_in_ring(p, a.exterior) == "interior" and all(
+            point_in_ring(p, hole) != "interior" for hole in a.holes
+        ):
+            return True
+    for s1 in zip(a.exterior, a.exterior[1:]):
+        for s2 in zip(b.exterior, b.exterior[1:]):
+            hits = segment_intersection(s1[0], s1[1], s2[0], s2[1])
+            if len(hits) == 1 and not _is_shared_vertex(hits[0], a, b):
+                # A proper boundary crossing implies interior overlap unless it
+                # is a single shared vertex.
+                if not _point_is_vertex(hits[0], a) or not _point_is_vertex(hits[0], b):
+                    return True
+    return False
+
+
+def _point_is_vertex(p, polygon: Polygon) -> bool:
+    return any(p == v for ring in polygon.rings() for v in ring)
+
+
+def _is_shared_vertex(p, a: Polygon, b: Polygon) -> bool:
+    return _point_is_vertex(p, a) and _point_is_vertex(p, b)

@@ -1,0 +1,188 @@
+"""Well-Known Binary (WKB) reader and writer.
+
+Real SDBMSs exchange geometries in WKB at least as often as in WKT (it is
+the storage and wire format of PostGIS and MySQL), so the substrate provides
+it too: the 2D subset matching the geometry model, in either byte order,
+with EMPTY geometries encoded the way PostGIS emits them (NaN coordinates
+for ``POINT EMPTY``, zero element counts for everything else).
+
+Coordinates pass through IEEE-754 doubles, so a WKT → WKB → WKT round trip
+is exact only for coordinates representable as doubles (integers and
+binary fractions); Spatter's integer-only generation policy (Section 4.2 of
+the paper) keeps every generated geometry inside that subset.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import Iterator
+
+from repro.errors import WKTParseError
+from repro.geometry.model import (
+    Coordinate,
+    Geometry,
+    GeometryCollection,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+
+_TYPE_CODES = {
+    "POINT": 1,
+    "LINESTRING": 2,
+    "POLYGON": 3,
+    "MULTIPOINT": 4,
+    "MULTILINESTRING": 5,
+    "MULTIPOLYGON": 6,
+    "GEOMETRYCOLLECTION": 7,
+}
+_CODE_TYPES = {code: name for name, code in _TYPE_CODES.items()}
+
+BIG_ENDIAN = 0
+LITTLE_ENDIAN = 1
+
+
+class WKBParseError(WKTParseError):
+    """Raised when a WKB byte string cannot be decoded."""
+
+
+# ---------------------------------------------------------------------- writer
+def dump_wkb(geometry: Geometry, byte_order: int = LITTLE_ENDIAN) -> bytes:
+    """Serialise a geometry to WKB bytes."""
+    if byte_order not in (BIG_ENDIAN, LITTLE_ENDIAN):
+        raise ValueError("byte_order must be 0 (big endian) or 1 (little endian)")
+    prefix = "<" if byte_order == LITTLE_ENDIAN else ">"
+    body = bytearray()
+    body.append(byte_order)
+    body += struct.pack(prefix + "I", _TYPE_CODES[geometry.geom_type])
+    body += _dump_body(geometry, prefix, byte_order)
+    return bytes(body)
+
+
+def _dump_coordinate(coordinate: Coordinate | None, prefix: str) -> bytes:
+    if coordinate is None:
+        return struct.pack(prefix + "dd", math.nan, math.nan)
+    return struct.pack(prefix + "dd", float(coordinate.x), float(coordinate.y))
+
+
+def _dump_ring(ring, prefix: str) -> bytes:
+    data = struct.pack(prefix + "I", len(ring))
+    for coordinate in ring:
+        data += _dump_coordinate(coordinate, prefix)
+    return data
+
+
+def _dump_body(geometry: Geometry, prefix: str, byte_order: int) -> bytes:
+    if isinstance(geometry, Point):
+        return _dump_coordinate(geometry.coordinate, prefix)
+    if isinstance(geometry, LineString):
+        return _dump_ring(geometry.points, prefix)
+    if isinstance(geometry, Polygon):
+        if geometry.is_empty:
+            return struct.pack(prefix + "I", 0)
+        rings = list(geometry.rings())
+        data = struct.pack(prefix + "I", len(rings))
+        for ring in rings:
+            data += _dump_ring(ring, prefix)
+        return data
+    if isinstance(geometry, (MultiPoint, MultiLineString, MultiPolygon, GeometryCollection)):
+        data = struct.pack(prefix + "I", len(geometry.geoms))
+        for element in geometry.geoms:
+            data += dump_wkb(element, byte_order)
+        return data
+    raise WKBParseError(f"cannot serialise geometry type {geometry.geom_type}")
+
+
+# ---------------------------------------------------------------------- reader
+class _Reader:
+    def __init__(self, data: bytes):
+        self.data = data
+        self.offset = 0
+
+    def take(self, count: int) -> bytes:
+        if self.offset + count > len(self.data):
+            raise WKBParseError("unexpected end of WKB data")
+        chunk = self.data[self.offset : self.offset + count]
+        self.offset += count
+        return chunk
+
+    def at_end(self) -> bool:
+        return self.offset >= len(self.data)
+
+
+def load_wkb(data: bytes) -> Geometry:
+    """Decode WKB bytes into a :class:`Geometry`."""
+    if not isinstance(data, (bytes, bytearray)):
+        raise WKBParseError(f"WKB must be bytes, got {type(data).__name__}")
+    reader = _Reader(bytes(data))
+    geometry = _load_geometry(reader)
+    if not reader.at_end():
+        raise WKBParseError("trailing bytes after WKB geometry")
+    return geometry
+
+
+def _load_geometry(reader: _Reader) -> Geometry:
+    byte_order = reader.take(1)[0]
+    if byte_order not in (BIG_ENDIAN, LITTLE_ENDIAN):
+        raise WKBParseError(f"invalid byte-order marker {byte_order}")
+    prefix = "<" if byte_order == LITTLE_ENDIAN else ">"
+    (type_code,) = struct.unpack(prefix + "I", reader.take(4))
+    type_name = _CODE_TYPES.get(type_code)
+    if type_name is None:
+        raise WKBParseError(f"unknown WKB geometry type code {type_code}")
+
+    if type_name == "POINT":
+        coordinate = _load_coordinate(reader, prefix)
+        return Point(coordinate) if coordinate is not None else Point.empty()
+    if type_name == "LINESTRING":
+        return LineString(list(_load_ring(reader, prefix)))
+    if type_name == "POLYGON":
+        (ring_count,) = struct.unpack(prefix + "I", reader.take(4))
+        rings = [list(_load_ring(reader, prefix)) for _ in range(ring_count)]
+        if not rings:
+            return Polygon.empty()
+        return Polygon(rings[0], rings[1:])
+    # MULTI types and collections share the element-count layout.
+    (count,) = struct.unpack(prefix + "I", reader.take(4))
+    elements = [_load_geometry(reader) for _ in range(count)]
+    container = {
+        "MULTIPOINT": MultiPoint,
+        "MULTILINESTRING": MultiLineString,
+        "MULTIPOLYGON": MultiPolygon,
+        "GEOMETRYCOLLECTION": GeometryCollection,
+    }[type_name]
+    return container(elements)
+
+
+def _load_coordinate(reader: _Reader, prefix: str) -> Coordinate | None:
+    x, y = struct.unpack(prefix + "dd", reader.take(16))
+    if math.isnan(x) or math.isnan(y):
+        return None
+    return Coordinate(x, y)
+
+
+def _load_ring(reader: _Reader, prefix: str) -> Iterator[Coordinate]:
+    (count,) = struct.unpack(prefix + "I", reader.take(4))
+    for _ in range(count):
+        coordinate = _load_coordinate(reader, prefix)
+        if coordinate is None:
+            raise WKBParseError("NaN coordinate inside a coordinate sequence")
+        yield coordinate
+
+
+def dump_hex_wkb(geometry: Geometry, byte_order: int = LITTLE_ENDIAN) -> str:
+    """WKB as an uppercase hexadecimal string (the psql display format)."""
+    return dump_wkb(geometry, byte_order).hex().upper()
+
+
+def load_hex_wkb(text: str) -> Geometry:
+    """Decode a hexadecimal WKB string."""
+    try:
+        raw = bytes.fromhex(text.strip())
+    except ValueError as error:
+        raise WKBParseError(f"invalid hexadecimal WKB: {error}") from error
+    return load_wkb(raw)

@@ -1,0 +1,36 @@
+"""Exact overlay operations (the GEOS overlay analogue).
+
+This package computes set-theoretic overlays — intersection, union,
+difference and symmetric difference — of arbitrary 2D geometries using the
+same exact-rational arrangement machinery the DE-9IM relate engine is built
+on: all segments of both inputs are fully noded, faces/edges/nodes of the
+arrangement are classified with the inputs' point locators, and the parts
+that satisfy the operation's membership rule are assembled back into
+polygons, linestrings and points.
+
+The public entry points are :func:`intersection`, :func:`union`,
+:func:`difference` and :func:`sym_difference`, all returning new
+:class:`~repro.geometry.model.Geometry` instances.
+"""
+
+from repro.overlay.overlay import (
+    OVERLAY_OPERATIONS,
+    difference,
+    intersection,
+    overlay,
+    sym_difference,
+    union,
+)
+from repro.overlay.regions import areal_overlay, assemble_rings, build_polygons
+
+__all__ = [
+    "OVERLAY_OPERATIONS",
+    "intersection",
+    "union",
+    "difference",
+    "sym_difference",
+    "overlay",
+    "areal_overlay",
+    "assemble_rings",
+    "build_polygons",
+]

@@ -1,0 +1,220 @@
+"""Overlay dispatcher: combine the areal, linear and puntal parts of a result.
+
+The four operations share one pipeline (:func:`overlay`), parameterised by a
+membership rule ``keep(in_a, in_b)`` over closure membership in the two
+inputs:
+
+===============  =============================
+operation        keep(in_a, in_b)
+===============  =============================
+intersection     ``in_a and in_b``
+union            ``in_a or in_b``
+difference       ``in_a and not in_b``
+sym_difference   ``in_a != in_b``
+===============  =============================
+
+The result is assembled *homogeneously by dimension*: the areal part is
+computed first (see :mod:`repro.overlay.regions`); linear candidates covered
+by the areal part are dropped; point candidates covered by either are
+dropped.  The combined output is a basic geometry, a MULTI geometry, or a
+GEOMETRYCOLLECTION of mixed dimensions, mirroring how GEOS reports overlay
+results.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import GeometryTypeError
+from repro.functions.linear import line_merge
+from repro.geometry.model import (
+    Coordinate,
+    Geometry,
+    GeometryCollection,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+from repro.topology.labels import EXTERIOR, TopologyDescriptor
+from repro.topology.noding import midpoint, node_segments
+from repro.overlay.regions import _undirected_key, areal_overlay
+
+MembershipRule = Callable[[bool, bool], bool]
+
+#: Name → membership rule for every supported overlay operation.
+OVERLAY_OPERATIONS: dict[str, MembershipRule] = {
+    "intersection": lambda in_a, in_b: in_a and in_b,
+    "union": lambda in_a, in_b: in_a or in_b,
+    "difference": lambda in_a, in_b: in_a and not in_b,
+    "sym_difference": lambda in_a, in_b: in_a != in_b,
+}
+
+
+def overlay(a: Geometry, b: Geometry, operation: str) -> Geometry:
+    """Compute the overlay of two geometries under the named operation."""
+    if operation not in OVERLAY_OPERATIONS:
+        raise GeometryTypeError(
+            f"unknown overlay operation {operation!r}; "
+            f"expected one of {sorted(OVERLAY_OPERATIONS)}"
+        )
+    keep = OVERLAY_OPERATIONS[operation]
+
+    shortcut = _empty_input_shortcut(a, b, operation)
+    if shortcut is not None:
+        return shortcut
+
+    descriptor_a = TopologyDescriptor(a)
+    descriptor_b = TopologyDescriptor(b)
+
+    polygons = areal_overlay(a, b, keep)
+    area_descriptor = TopologyDescriptor(MultiPolygon(polygons)) if polygons else None
+
+    lines = _linear_part(descriptor_a, descriptor_b, keep, area_descriptor)
+    line_descriptor = (
+        TopologyDescriptor(MultiLineString(lines)) if lines else None
+    )
+
+    points = _point_part(descriptor_a, descriptor_b, keep, area_descriptor, line_descriptor)
+
+    return _assemble(polygons, lines, points)
+
+
+def intersection(a: Geometry, b: Geometry) -> Geometry:
+    """Set-theoretic intersection of two geometries (``ST_Intersection``)."""
+    return overlay(a, b, "intersection")
+
+
+def union(a: Geometry, b: Geometry) -> Geometry:
+    """Set-theoretic union of two geometries (``ST_Union``)."""
+    return overlay(a, b, "union")
+
+
+def difference(a: Geometry, b: Geometry) -> Geometry:
+    """Points of ``a`` not in ``b`` (``ST_Difference``)."""
+    return overlay(a, b, "difference")
+
+
+def sym_difference(a: Geometry, b: Geometry) -> Geometry:
+    """Points in exactly one of the two geometries (``ST_SymDifference``)."""
+    return overlay(a, b, "sym_difference")
+
+
+# ---------------------------------------------------------------------------
+# Pipeline stages.
+# ---------------------------------------------------------------------------
+def _empty_input_shortcut(a: Geometry, b: Geometry, operation: str) -> Geometry | None:
+    """Resolve overlays where one input is EMPTY without running the pipeline."""
+    a_empty = a.is_empty
+    b_empty = b.is_empty
+    if not a_empty and not b_empty:
+        return None
+    if operation == "intersection":
+        return GeometryCollection.empty()
+    if operation == "difference":
+        return GeometryCollection.empty() if a_empty else a
+    # union / sym_difference keep whatever content exists.
+    if a_empty and b_empty:
+        return GeometryCollection.empty()
+    return b if a_empty else a
+
+
+def _closure_membership(descriptor: TopologyDescriptor, point: Coordinate) -> bool:
+    return not descriptor.is_empty and descriptor.locate(point) != EXTERIOR
+
+
+def _linear_part(
+    descriptor_a: TopologyDescriptor,
+    descriptor_b: TopologyDescriptor,
+    keep: MembershipRule,
+    area_descriptor: TopologyDescriptor | None,
+) -> list[LineString]:
+    """Linear sub-segments of the result, merged into maximal linestrings."""
+    segments = descriptor_a.segments() + descriptor_b.segments()
+    if not segments:
+        return []
+    extra_points = descriptor_a.isolated_points() + descriptor_b.isolated_points()
+    noded = node_segments(segments, extra_points)
+
+    kept: dict[tuple, tuple[Coordinate, Coordinate]] = {}
+    for segment in noded:
+        key = _undirected_key(segment)
+        if key in kept:
+            continue
+        mid = midpoint(segment[0], segment[1])
+        in_a = _closure_membership(descriptor_a, mid)
+        in_b = _closure_membership(descriptor_b, mid)
+        if not keep(in_a, in_b):
+            continue
+        if area_descriptor is not None and _closure_membership(area_descriptor, mid):
+            # Already represented by the areal part of the result.
+            continue
+        kept[key] = segment
+
+    if not kept:
+        return []
+    merged = line_merge(MultiLineString([LineString(segment) for segment in kept.values()]))
+    if isinstance(merged, LineString):
+        return [merged]
+    return list(merged.geoms)
+
+
+def _point_part(
+    descriptor_a: TopologyDescriptor,
+    descriptor_b: TopologyDescriptor,
+    keep: MembershipRule,
+    area_descriptor: TopologyDescriptor | None,
+    line_descriptor: TopologyDescriptor | None,
+) -> list[Point]:
+    """Isolated points of the result (input points and crossing nodes)."""
+    candidates: list[Coordinate] = []
+    candidates.extend(descriptor_a.isolated_points())
+    candidates.extend(descriptor_b.isolated_points())
+
+    # Arrangement nodes can become isolated intersection points (two lines
+    # crossing, a line touching a polygon corner, ...).
+    segments = descriptor_a.segments() + descriptor_b.segments()
+    if segments:
+        noded = node_segments(segments, candidates)
+        for start, end in noded:
+            candidates.append(start)
+            candidates.append(end)
+
+    kept: list[Point] = []
+    seen: set[Coordinate] = set()
+    for candidate in candidates:
+        if candidate in seen:
+            continue
+        seen.add(candidate)
+        in_a = _closure_membership(descriptor_a, candidate)
+        in_b = _closure_membership(descriptor_b, candidate)
+        if not keep(in_a, in_b):
+            continue
+        if area_descriptor is not None and _closure_membership(area_descriptor, candidate):
+            continue
+        if line_descriptor is not None and _closure_membership(line_descriptor, candidate):
+            continue
+        kept.append(Point(candidate))
+    return kept
+
+
+def _assemble(
+    polygons: list[Polygon], lines: list[LineString], points: list[Point]
+) -> Geometry:
+    """Combine the per-dimension parts into the final result geometry."""
+    parts_present = sum(1 for part in (polygons, lines, points) if part)
+    if parts_present == 0:
+        return GeometryCollection.empty()
+    if parts_present == 1:
+        if polygons:
+            return polygons[0] if len(polygons) == 1 else MultiPolygon(polygons)
+        if lines:
+            return lines[0] if len(lines) == 1 else MultiLineString(lines)
+        return points[0] if len(points) == 1 else MultiPoint(points)
+    elements: list[Geometry] = []
+    elements.extend(polygons)
+    elements.extend(lines)
+    elements.extend(points)
+    return GeometryCollection(elements)

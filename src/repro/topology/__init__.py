@@ -1,0 +1,46 @@
+"""Topology engine: exact DE-9IM relate, named predicates, and measures.
+
+This package is the analogue of the GEOS/JTS layer the paper's target
+systems share.  It computes the Dimensionally Extended 9-Intersection Model
+matrix (Definition 2.3 in the paper) for any pair of geometries using exact
+rational arithmetic, derives the named topological relationships from it,
+and provides the distance-based measures (``ST_Distance``, ``ST_DWithin``,
+``ST_DFullyWithin``) the paper's RANGE functionality tests exercise.
+"""
+
+from repro.topology.relate import IntersectionMatrix, RelateOptions, relate
+from repro.topology.predicates import (
+    contains,
+    covered_by,
+    covers,
+    crosses,
+    disjoint,
+    equals,
+    intersects,
+    overlaps,
+    relate_pattern,
+    touches,
+    within,
+)
+from repro.topology.measures import distance, dwithin, dfullywithin, max_distance
+
+__all__ = [
+    "IntersectionMatrix",
+    "RelateOptions",
+    "relate",
+    "intersects",
+    "disjoint",
+    "equals",
+    "touches",
+    "crosses",
+    "within",
+    "contains",
+    "overlaps",
+    "covers",
+    "covered_by",
+    "relate_pattern",
+    "distance",
+    "max_distance",
+    "dwithin",
+    "dfullywithin",
+]

@@ -1,0 +1,295 @@
+"""Labelled decomposition of geometries into topological components.
+
+The DE-9IM (Definition 2.3 of the paper) partitions the plane, for each
+geometry, into *interior*, *boundary* and *exterior* point sets.  This module
+turns a :class:`~repro.geometry.model.Geometry` into a
+:class:`TopologyDescriptor` — a list of components, each of which can locate
+an arbitrary point into one of the three classes:
+
+* point components (POINT / MULTIPOINT): the coordinates are interior, the
+  boundary is empty;
+* line components (LINESTRING / MULTILINESTRING): the curve is interior
+  except for the *mod-2* boundary endpoints (endpoints that belong to an odd
+  number of elements); closed curves have an empty boundary;
+* area components (POLYGON / MULTIPOLYGON): the open area is interior, the
+  rings are the boundary.
+
+GEOMETRYCOLLECTION components are combined with a configurable strategy.  The
+default, ``"union"``, gives interior priority (a point interior to any
+element is interior to the collection), which is the behaviour the paper's
+Listing 6 treats as expected.  The ``"last_one_wins"`` and
+``"boundary_priority"`` strategies reproduce the buggy and the
+developer-proposed alternatives discussed in the paper and are selected by
+the fault-injection layer, never by default.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+from repro.geometry.model import (
+    Coordinate,
+    Geometry,
+    GeometryCollection,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+from repro.geometry.primitives import point_in_ring, point_on_segment
+
+INTERIOR = "I"
+BOUNDARY = "B"
+EXTERIOR = "E"
+
+#: Strategies for combining element classes inside a GEOMETRYCOLLECTION.
+UNION_STRATEGY = "union"
+LAST_ONE_WINS_STRATEGY = "last_one_wins"
+BOUNDARY_PRIORITY_STRATEGY = "boundary_priority"
+
+VALID_STRATEGIES = (
+    UNION_STRATEGY,
+    LAST_ONE_WINS_STRATEGY,
+    BOUNDARY_PRIORITY_STRATEGY,
+)
+
+Segment = tuple[Coordinate, Coordinate]
+
+
+class _Component:
+    """A homogeneous topological component with its own point locator."""
+
+    dimension: int = 0
+
+    def locate(self, point: Coordinate) -> str:
+        raise NotImplementedError
+
+    def segments(self) -> list[Segment]:
+        """Line segments contributed to the noding step (may be empty)."""
+        return []
+
+    def isolated_points(self) -> list[Coordinate]:
+        """0-dimensional coordinates contributed to the noding step."""
+        return []
+
+    @property
+    def is_empty(self) -> bool:
+        raise NotImplementedError
+
+
+class PointsComponent(_Component):
+    """POINT / MULTIPOINT component: coordinates are interior points."""
+
+    dimension = 0
+
+    def __init__(self, coordinates: Iterable[Coordinate]):
+        self.coordinates = set(coordinates)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.coordinates
+
+    def locate(self, point: Coordinate) -> str:
+        return INTERIOR if point in self.coordinates else EXTERIOR
+
+    def isolated_points(self) -> list[Coordinate]:
+        return list(self.coordinates)
+
+
+class LinesComponent(_Component):
+    """LINESTRING / MULTILINESTRING component with mod-2 boundary."""
+
+    dimension = 1
+
+    def __init__(self, elements: Sequence[LineString]):
+        self.elements = [e for e in elements if not e.is_empty]
+        self._segments: list[Segment] = []
+        self._degenerate_points: list[Coordinate] = []
+        for element in self.elements:
+            has_real_segment = False
+            for a, b in element.segments():
+                if a == b:
+                    continue
+                self._segments.append((a, b))
+                has_real_segment = True
+            if not has_real_segment and element.points:
+                # A line collapsed to a single location behaves like a point.
+                self._degenerate_points.append(element.points[0])
+        self.boundary_points = self._mod2_boundary(self.elements)
+
+    @staticmethod
+    def _mod2_boundary(elements: Sequence[LineString]) -> set[Coordinate]:
+        counts: Counter[Coordinate] = Counter()
+        for element in elements:
+            if not element.points:
+                continue
+            if len(set(element.points)) < 2:
+                continue
+            counts[element.points[0]] += 1
+            counts[element.points[-1]] += 1
+        return {coord for coord, count in counts.items() if count % 2 == 1}
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._segments and not self._degenerate_points
+
+    def locate(self, point: Coordinate) -> str:
+        if point in self.boundary_points:
+            return BOUNDARY
+        if point in self._degenerate_points:
+            return INTERIOR
+        for a, b in self._segments:
+            if point_on_segment(point, a, b):
+                return INTERIOR
+        return EXTERIOR
+
+    def segments(self) -> list[Segment]:
+        return list(self._segments)
+
+    def isolated_points(self) -> list[Coordinate]:
+        return list(self._degenerate_points)
+
+
+class AreasComponent(_Component):
+    """POLYGON / MULTIPOLYGON component: open area interior, rings boundary."""
+
+    dimension = 2
+
+    def __init__(self, polygons: Sequence[Polygon]):
+        self.polygons = [p for p in polygons if not p.is_empty]
+        self._ring_segments: list[Segment] = []
+        for polygon in self.polygons:
+            for ring in polygon.rings():
+                for a, b in zip(ring, ring[1:]):
+                    if a != b:
+                        self._ring_segments.append((a, b))
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.polygons
+
+    def locate(self, point: Coordinate) -> str:
+        found_interior = False
+        for polygon in self.polygons:
+            location = self._locate_in_polygon(point, polygon)
+            if location == BOUNDARY:
+                return BOUNDARY
+            if location == INTERIOR:
+                found_interior = True
+        return INTERIOR if found_interior else EXTERIOR
+
+    @staticmethod
+    def _locate_in_polygon(point: Coordinate, polygon: Polygon) -> str:
+        exterior_location = point_in_ring(point, polygon.exterior)
+        if exterior_location == "boundary":
+            return BOUNDARY
+        if exterior_location == "exterior":
+            return EXTERIOR
+        for hole in polygon.holes:
+            hole_location = point_in_ring(point, hole)
+            if hole_location == "boundary":
+                return BOUNDARY
+            if hole_location == "interior":
+                return EXTERIOR
+        return INTERIOR
+
+    def segments(self) -> list[Segment]:
+        return list(self._ring_segments)
+
+
+class TopologyDescriptor:
+    """A geometry decomposed into locatable components."""
+
+    def __init__(self, geometry: Geometry, collection_strategy: str = UNION_STRATEGY):
+        if collection_strategy not in VALID_STRATEGIES:
+            raise ValueError(f"unknown collection strategy {collection_strategy!r}")
+        self.geometry = geometry
+        self.collection_strategy = collection_strategy
+        self.components: list[_Component] = []
+        self._decompose(geometry)
+        self.components = [c for c in self.components if not c.is_empty]
+
+    def _decompose(self, geometry: Geometry) -> None:
+        if isinstance(geometry, Point):
+            if not geometry.is_empty:
+                self.components.append(PointsComponent([geometry.coordinate]))
+        elif isinstance(geometry, MultiPoint):
+            coords = [p.coordinate for p in geometry.geoms if not p.is_empty]
+            if coords:
+                self.components.append(PointsComponent(coords))
+        elif isinstance(geometry, LineString):
+            if not geometry.is_empty:
+                self.components.append(LinesComponent([geometry]))
+        elif isinstance(geometry, MultiLineString):
+            elements = [line for line in geometry.geoms if not line.is_empty]
+            if elements:
+                self.components.append(LinesComponent(elements))
+        elif isinstance(geometry, Polygon):
+            if not geometry.is_empty:
+                self.components.append(AreasComponent([geometry]))
+        elif isinstance(geometry, MultiPolygon):
+            polygons = [p for p in geometry.geoms if not p.is_empty]
+            if polygons:
+                self.components.append(AreasComponent(polygons))
+        elif isinstance(geometry, GeometryCollection):
+            for element in geometry.geoms:
+                self._decompose(element)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"cannot decompose geometry type {type(geometry).__name__}")
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.components
+
+    @property
+    def dimension(self) -> int:
+        """Topological dimension of the non-empty content (0 when empty)."""
+        if self.is_empty:
+            return 0
+        return max(component.dimension for component in self.components)
+
+    def locate(self, point: Coordinate) -> str:
+        """Locate a point into interior / boundary / exterior of the geometry."""
+        classes = [component.locate(point) for component in self.components]
+        return combine_classes(classes, self.collection_strategy)
+
+    def segments(self) -> list[Segment]:
+        """All line segments (line elements and polygon rings) for noding."""
+        result: list[Segment] = []
+        for component in self.components:
+            result.extend(component.segments())
+        return result
+
+    def isolated_points(self) -> list[Coordinate]:
+        """All 0-dimensional coordinates for noding."""
+        result: list[Coordinate] = []
+        for component in self.components:
+            result.extend(component.isolated_points())
+        return result
+
+    def has_area(self) -> bool:
+        """True if any component is 2-dimensional."""
+        return any(component.dimension == 2 for component in self.components)
+
+
+def combine_classes(classes: Sequence[str], strategy: str) -> str:
+    """Combine per-component classes of one point into a single class.
+
+    ``"union"`` gives interior priority, ``"boundary_priority"`` gives
+    boundary priority, and ``"last_one_wins"`` keeps the class of the last
+    component that contains the point (the GEOS bug discussed around the
+    paper's Listing 6).
+    """
+    containing = [cls for cls in classes if cls != EXTERIOR]
+    if not containing:
+        return EXTERIOR
+    if strategy == UNION_STRATEGY:
+        return INTERIOR if INTERIOR in containing else BOUNDARY
+    if strategy == BOUNDARY_PRIORITY_STRATEGY:
+        return BOUNDARY if BOUNDARY in containing else INTERIOR
+    if strategy == LAST_ONE_WINS_STRATEGY:
+        return containing[-1]
+    raise ValueError(f"unknown collection strategy {strategy!r}")

@@ -1,0 +1,242 @@
+"""DE-9IM intersection-matrix computation (the paper's Definition 2.3).
+
+The matrix is computed by *arrangement sampling*:
+
+1. decompose both geometries into labelled components
+   (:class:`~repro.topology.labels.TopologyDescriptor`);
+2. fully node the union of their segments
+   (:func:`~repro.topology.noding.node_segments`), so classifications are
+   constant on the open edges and faces of the induced arrangement;
+3. classify witness points — every node (dimension-0 cell), every sub-segment
+   midpoint (dimension-1 cell) and a side-offset point next to every midpoint
+   (dimension-2 cell) — with both geometries' point locators;
+4. each witness contributes its cell dimension to the matrix entry addressed
+   by its (class in A, class in B) pair; entries keep the maximum
+   contribution, exactly the dimension semantics of the DE-9IM dimension
+   calculator D.
+
+Because both geometries are bounded and the plane is not, the
+exterior/exterior entry is always 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.geometry.model import Coordinate, Geometry
+from repro.topology.labels import (
+    BOUNDARY,
+    EXTERIOR,
+    INTERIOR,
+    UNION_STRATEGY,
+    TopologyDescriptor,
+)
+from repro.topology.noding import midpoint, node_segments, side_offsets
+
+_CLASS_INDEX = {INTERIOR: 0, BOUNDARY: 1, EXTERIOR: 2}
+_DIM_SYMBOLS = {-1: "F", 0: "0", 1: "1", 2: "2"}
+
+
+@dataclass(frozen=True)
+class RelateOptions:
+    """Semantic switches for the relate engine.
+
+    ``collection_strategy`` selects how GEOMETRYCOLLECTION interiors and
+    boundaries are combined (see :mod:`repro.topology.labels`); the default
+    matches the semantics the paper treats as correct.
+    """
+
+    collection_strategy: str = UNION_STRATEGY
+
+
+DEFAULT_OPTIONS = RelateOptions()
+
+
+class IntersectionMatrix:
+    """A DE-9IM matrix with dimension values in {F, 0, 1, 2}."""
+
+    def __init__(self, dimensions: Iterable[Iterable[int]] | None = None):
+        if dimensions is None:
+            self._dims = [[-1, -1, -1], [-1, -1, -1], [-1, -1, -1]]
+        else:
+            self._dims = [list(row) for row in dimensions]
+
+    @classmethod
+    def from_string(cls, text: str) -> "IntersectionMatrix":
+        """Build a matrix from a nine-character DE-9IM string like 'FF2101102'."""
+        if len(text) != 9:
+            raise ValueError(f"a DE-9IM string must have nine characters, got {text!r}")
+        values = []
+        for char in text.upper():
+            if char == "F":
+                values.append(-1)
+            elif char in "012":
+                values.append(int(char))
+            else:
+                raise ValueError(f"invalid DE-9IM character {char!r}")
+        return cls([values[0:3], values[3:6], values[6:9]])
+
+    def get(self, row_class: str, column_class: str) -> int:
+        """Dimension for (class of A, class of B); -1 encodes F."""
+        return self._dims[_CLASS_INDEX[row_class]][_CLASS_INDEX[column_class]]
+
+    def set(self, row_class: str, column_class: str, dimension: int) -> None:
+        """Set an entry, keeping the maximum of old and new dimension."""
+        row = _CLASS_INDEX[row_class]
+        column = _CLASS_INDEX[column_class]
+        if dimension > self._dims[row][column]:
+            self._dims[row][column] = dimension
+
+    def transposed(self) -> "IntersectionMatrix":
+        """Matrix with the roles of the two geometries swapped."""
+        return IntersectionMatrix(
+            [[self._dims[c][r] for c in range(3)] for r in range(3)]
+        )
+
+    def __str__(self) -> str:
+        return "".join(
+            _DIM_SYMBOLS[self._dims[row][column]]
+            for row in range(3)
+            for column in range(3)
+        )
+
+    def __repr__(self) -> str:
+        return f"IntersectionMatrix('{self}')"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IntersectionMatrix):
+            return self._dims == other._dims
+        if isinstance(other, str):
+            return str(self) == other.upper()
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(str(self))
+
+    def matches(self, pattern: str) -> bool:
+        """Match against a DE-9IM pattern with T / F / * / 0 / 1 / 2 symbols."""
+        if len(pattern) != 9:
+            raise ValueError(f"a DE-9IM pattern must have nine characters, got {pattern!r}")
+        flat = [self._dims[row][column] for row in range(3) for column in range(3)]
+        for value, symbol in zip(flat, pattern.upper()):
+            if symbol == "*":
+                continue
+            if symbol == "T":
+                if value < 0:
+                    return False
+            elif symbol == "F":
+                if value >= 0:
+                    return False
+            else:
+                if value != int(symbol):
+                    return False
+        return True
+
+
+#: cache of relate results keyed by (WKT a, WKT b, collection strategy).
+#: Real engines cache prepared geometries for the same reason: spatial joins
+#: evaluate the same geometry pair under many predicates.
+_RELATE_CACHE: dict[tuple[str, str, str], IntersectionMatrix] = {}
+_RELATE_CACHE_LIMIT = 16384
+
+
+def clear_relate_cache() -> None:
+    """Drop all memoised relate results (used by benchmarks and tests)."""
+    _RELATE_CACHE.clear()
+
+
+def relate(
+    a: Geometry, b: Geometry, options: RelateOptions = DEFAULT_OPTIONS
+) -> IntersectionMatrix:
+    """Compute the DE-9IM matrix R(a, b)."""
+    key = (a.wkt, b.wkt, options.collection_strategy)
+    cached = _RELATE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    descriptor_a = TopologyDescriptor(a, options.collection_strategy)
+    descriptor_b = TopologyDescriptor(b, options.collection_strategy)
+    matrix = relate_descriptors(descriptor_a, descriptor_b)
+    if len(_RELATE_CACHE) >= _RELATE_CACHE_LIMIT:
+        _RELATE_CACHE.clear()
+    _RELATE_CACHE[key] = matrix
+    return matrix
+
+
+def relate_descriptors(
+    descriptor_a: TopologyDescriptor, descriptor_b: TopologyDescriptor
+) -> IntersectionMatrix:
+    """Compute the DE-9IM matrix from two prepared descriptors."""
+    matrix = IntersectionMatrix()
+    matrix.set(EXTERIOR, EXTERIOR, 2)
+
+    fast = _envelope_disjoint_matrix(descriptor_a, descriptor_b)
+    if fast is not None:
+        return fast
+
+    segments_a = descriptor_a.segments()
+    segments_b = descriptor_b.segments()
+    all_points = descriptor_a.isolated_points() + descriptor_b.isolated_points()
+
+    # Node the union of both geometries' segments so classifications are
+    # constant along the open interior of every resulting sub-segment.
+    noded_union = node_segments(segments_a + segments_b, all_points)
+
+    nodes: set[Coordinate] = set(all_points)
+    for start, end in noded_union:
+        nodes.add(start)
+        nodes.add(end)
+
+    def classify(point: Coordinate, cell_dimension: int) -> None:
+        class_a = descriptor_a.locate(point)
+        class_b = descriptor_b.locate(point)
+        matrix.set(class_a, class_b, cell_dimension)
+
+    for node in nodes:
+        classify(node, 0)
+
+    seen_midpoints: set[Coordinate] = set()
+    for segment in noded_union:
+        mid = midpoint(segment[0], segment[1])
+        if mid in seen_midpoints:
+            continue
+        seen_midpoints.add(mid)
+        classify(mid, 1)
+        left, right = side_offsets(segment, noded_union, nodes)
+        classify(left, 2)
+        classify(right, 2)
+
+    return matrix
+
+
+def _boundary_dimension(descriptor: TopologyDescriptor) -> int:
+    """Dimension of a geometry's boundary set (-1 when the boundary is empty)."""
+    from repro.topology.labels import AreasComponent, LinesComponent
+
+    dimension = -1
+    for component in descriptor.components:
+        if isinstance(component, AreasComponent):
+            dimension = max(dimension, 1)
+        elif isinstance(component, LinesComponent) and component.boundary_points:
+            dimension = max(dimension, 0)
+    return dimension
+
+
+def _envelope_disjoint_matrix(
+    descriptor_a: TopologyDescriptor, descriptor_b: TopologyDescriptor
+) -> IntersectionMatrix | None:
+    """Fast path: when the envelopes do not intersect the geometries are
+    disjoint and the matrix only depends on each side's own dimensions."""
+    if descriptor_a.is_empty or descriptor_b.is_empty:
+        return None
+    envelope_a = descriptor_a.geometry.envelope()
+    envelope_b = descriptor_b.geometry.envelope()
+    if envelope_a is None or envelope_b is None or envelope_a.intersects(envelope_b):
+        return None
+    matrix = IntersectionMatrix()
+    matrix.set(EXTERIOR, EXTERIOR, 2)
+    matrix.set(INTERIOR, EXTERIOR, descriptor_a.dimension)
+    matrix.set(BOUNDARY, EXTERIOR, _boundary_dimension(descriptor_a))
+    matrix.set(EXTERIOR, INTERIOR, descriptor_b.dimension)
+    matrix.set(EXTERIOR, BOUNDARY, _boundary_dimension(descriptor_b))
+    return matrix

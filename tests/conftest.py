@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.engine.database import SpatialDatabase, connect
+from repro.geometry import load_wkt
+from repro.topology.relate import clear_relate_cache
+
+
+@pytest.fixture(autouse=True)
+def _fresh_relate_cache():
+    """Keep relate memoisation from leaking across tests."""
+    clear_relate_cache()
+    yield
+    clear_relate_cache()
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(20240613)
+
+
+@pytest.fixture
+def postgis() -> SpatialDatabase:
+    """A correct (bug-free) PostGIS-like engine."""
+    return connect("postgis")
+
+
+@pytest.fixture
+def buggy_postgis() -> SpatialDatabase:
+    """A PostGIS-like engine with its full injected-bug profile."""
+    return connect("postgis", emulate_release_under_test=True)
+
+
+@pytest.fixture
+def mysql() -> SpatialDatabase:
+    return connect("mysql")
+
+
+@pytest.fixture
+def buggy_mysql() -> SpatialDatabase:
+    return connect("mysql", emulate_release_under_test=True)
+
+
+@pytest.fixture
+def duckdb() -> SpatialDatabase:
+    return connect("duckdb_spatial")
+
+
+def geom(wkt: str):
+    """Shorthand geometry constructor used throughout the tests."""
+    return load_wkt(wkt)

@@ -1,0 +1,71 @@
+"""End-to-end campaign tests: Spatter against the emulated buggy releases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.campaign import CampaignConfig, TestingCampaign
+from repro.engine.faults import bug_by_id
+
+
+class TestCampaignAgainstBuggyRelease:
+    def test_postgis_campaign_finds_injected_bugs(self):
+        campaign = TestingCampaign(
+            CampaignConfig(
+                dialect="postgis", seed=42, geometry_count=8, queries_per_round=15
+            )
+        )
+        result = campaign.run(rounds=4)
+        assert result.rounds == 4
+        assert result.queries_run > 0
+        assert result.discrepancies or result.crashes
+        assert result.unique_bug_count >= 2
+        # every ground-truth id refers to a real catalog entry
+        for bug_id in result.unique_bug_ids:
+            assert bug_by_id(bug_id) is not None
+        # the timeline is monotonically increasing in both axes
+        timeline = result.unique_bug_timeline
+        assert [count for _, count in timeline] == list(range(1, len(timeline) + 1))
+        assert all(b >= a for (a, _), (b, _) in zip(timeline, timeline[1:]))
+
+    def test_clean_engine_produces_no_findings(self):
+        campaign = TestingCampaign(
+            CampaignConfig(
+                dialect="postgis",
+                seed=7,
+                geometry_count=6,
+                queries_per_round=10,
+                emulate_release_under_test=False,
+            )
+        )
+        result = campaign.run(rounds=3)
+        assert result.discrepancies == []
+        assert result.crashes == []
+        assert result.unique_bug_count == 0
+
+    def test_sdbms_time_is_tracked(self):
+        campaign = TestingCampaign(
+            CampaignConfig(dialect="mysql", seed=3, geometry_count=5, queries_per_round=5)
+        )
+        result = campaign.run(rounds=2)
+        assert 0 < result.sdbms_seconds <= result.total_seconds
+
+    def test_duration_budget_is_respected(self):
+        campaign = TestingCampaign(
+            CampaignConfig(dialect="mysql", seed=1, geometry_count=4, queries_per_round=5)
+        )
+        result = campaign.run(duration_seconds=3.0)
+        assert result.rounds >= 1
+
+    def test_summary_mentions_the_dialect(self):
+        campaign = TestingCampaign(
+            CampaignConfig(
+                dialect="duckdb_spatial",
+                seed=2,
+                geometry_count=4,
+                queries_per_round=5,
+                emulate_release_under_test=False,
+            )
+        )
+        result = campaign.run(rounds=1)
+        assert "duckdb_spatial" in result.summary()

@@ -1,0 +1,201 @@
+"""Integration tests reproducing every listing of the paper.
+
+Each test runs the listing's statements twice: once against the emulated
+buggy release (the default fault profile of the targeted system) and once
+against the fully fixed engine, asserting both the buggy output the paper
+reports and the corrected output the paper argues for.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.database import connect
+
+
+class TestListing1And2CoversPrecision:
+    """Listings 1-2 / Figure 1: ST_Covers precision loss in PostGIS."""
+
+    def _run(self, database, line_wkt: str, point_wkt: str) -> int:
+        database.execute("CREATE TABLE t1 (g geometry)")
+        database.execute("CREATE TABLE t2 (g geometry)")
+        database.execute(f"INSERT INTO t1 (g) VALUES ('{line_wkt}')")
+        database.execute(f"INSERT INTO t2 (g) VALUES ('{point_wkt}')")
+        return database.query_value(
+            "SELECT COUNT(*) FROM t1 JOIN t2 ON ST_Covers(t1.g,t2.g)"
+        )
+
+    def test_listing1_buggy_returns_zero(self, buggy_postgis):
+        assert self._run(buggy_postgis, "LINESTRING(0 1,2 0)", "POINT(0.2 0.9)") == 0
+
+    def test_listing1_fixed_returns_one(self, postgis):
+        assert self._run(postgis, "LINESTRING(0 1,2 0)", "POINT(0.2 0.9)") == 1
+
+    def test_listing2_affine_equivalent_input_returns_one_even_when_buggy(self, buggy_postgis):
+        assert self._run(buggy_postgis, "LINESTRING(1 1,0 0)", "POINT(0.9 0.9)") == 1
+
+    def test_aei_pair_disagrees_only_on_the_buggy_engine(self):
+        buggy_first = connect("postgis", emulate_release_under_test=True)
+        buggy_second = connect("postgis", emulate_release_under_test=True)
+        clean_first = connect("postgis")
+        clean_second = connect("postgis")
+        original = ("LINESTRING(0 1,2 0)", "POINT(0.2 0.9)")
+        followup = ("LINESTRING(1 1,0 0)", "POINT(0.9 0.9)")
+        assert self._run(buggy_first, *original) != self._run(buggy_second, *followup)
+        assert self._run(clean_first, *original) == self._run(clean_second, *followup)
+
+
+class TestListing3CrossesAfterScaling:
+    QUERY = "SELECT ST_Crosses(ST_GeomFromText(@g1), ST_GeomFromText(@g2))"
+
+    def _prepare(self, database, scale: int = 1) -> None:
+        line = f"MULTILINESTRING(({99 * scale} {28 * scale},{10 * scale} {2 * scale}))"
+        collection = (
+            f"GEOMETRYCOLLECTION(MULTILINESTRING(({99 * scale} {28 * scale},"
+            f"{10 * scale} {2 * scale})),POLYGON(({36 * scale} {6 * scale},"
+            f"{85 * scale} {62 * scale},{85 * scale} {42 * scale},{36 * scale} {6 * scale})))"
+        )
+        database.execute(f"SET @g1='{line}'")
+        database.execute(f"SET @g2='{collection}'")
+
+    def test_buggy_mysql_flips_after_scaling_by_ten(self, buggy_mysql):
+        self._prepare(buggy_mysql, scale=1)
+        small = buggy_mysql.query_value(self.QUERY)
+        self._prepare(buggy_mysql, scale=10)
+        large = buggy_mysql.query_value(self.QUERY)
+        assert small is False
+        assert large is True  # the incorrect result of Listing 3
+
+    def test_fixed_mysql_is_scale_invariant(self, mysql):
+        self._prepare(mysql, scale=1)
+        small = mysql.query_value(self.QUERY)
+        self._prepare(mysql, scale=10)
+        large = mysql.query_value(self.QUERY)
+        assert small is False and large is False
+
+
+class TestListing4OverlapsAfterAxisSwap:
+    def _prepare(self, database) -> None:
+        database.execute(
+            "SET @g1 = ST_GeomFromText('POLYGON((614 445,30 26,80 30,614 445))')"
+        )
+        database.execute(
+            "SET @g2 = ST_GeomFromText('GEOMETRYCOLLECTION("
+            "POLYGON((614 445,30 26,80 30,614 445)),"
+            "POLYGON((190 1010,40 90,90 40,190 1010)))')"
+        )
+
+    def test_buggy_mysql_changes_verdict_after_swapping_axes(self, buggy_mysql):
+        self._prepare(buggy_mysql)
+        plain = buggy_mysql.query_value("SELECT ST_Overlaps(@g2, @g1)")
+        swapped = buggy_mysql.query_value(
+            "SELECT ST_Overlaps(ST_SwapXY(@g2), ST_SwapXY(@g1))"
+        )
+        assert plain is False
+        assert swapped is True  # the incorrect result of Listing 4
+
+    def test_fixed_mysql_is_axis_order_invariant(self, mysql):
+        self._prepare(mysql)
+        assert mysql.query_value("SELECT ST_Overlaps(@g2, @g1)") is False
+        assert mysql.query_value(
+            "SELECT ST_Overlaps(ST_SwapXY(@g2), ST_SwapXY(@g1))"
+        ) is False
+
+
+class TestListing5DistanceWithEmptyElement:
+    MULTI_QUERY = (
+        "SELECT ST_Distance('MULTIPOINT((1 0),(0 0))'::geometry,"
+        " 'MULTIPOINT((-2 0),EMPTY)'::geometry)"
+    )
+    SIMPLE_QUERY = (
+        "SELECT ST_Distance('MULTIPOINT((1 0),(0 0))'::geometry, 'POINT(-2 0)'::geometry)"
+    )
+
+    def test_buggy_postgis_returns_three(self, buggy_postgis):
+        assert buggy_postgis.query_value(self.MULTI_QUERY) == 3.0
+
+    def test_buggy_postgis_is_correct_without_the_empty_element(self, buggy_postgis):
+        assert buggy_postgis.query_value(self.SIMPLE_QUERY) == 2.0
+
+    def test_fixed_postgis_returns_two(self, postgis):
+        assert postgis.query_value(self.MULTI_QUERY) == 2.0
+
+
+class TestListing6WithinCollection:
+    QUERY = (
+        "SELECT ST_Within(g1,g2) FROM (SELECT 'POINT(0 0)'::geometry As g1,"
+        " 'GEOMETRYCOLLECTION(POINT(0 0),LINESTRING(0 0,1 0))'::geometry As g2)"
+    )
+    REORDERED = (
+        "SELECT ST_Within(g1,g2) FROM (SELECT 'POINT(0 0)'::geometry As g1,"
+        " 'GEOMETRYCOLLECTION(LINESTRING(0 0,1 0),POINT(0 0))'::geometry As g2)"
+    )
+
+    def test_buggy_postgis_returns_false(self, buggy_postgis):
+        assert buggy_postgis.query_value(self.QUERY) is False
+
+    def test_buggy_postgis_is_inconsistent_under_element_reordering(self, buggy_postgis):
+        # The canonicalised follow-up (elements reordered) exposes the
+        # last-one-wins strategy, exactly how AEI found the bug.
+        assert buggy_postgis.query_value(self.QUERY) != buggy_postgis.query_value(
+            self.REORDERED
+        )
+
+    def test_fixed_postgis_returns_true(self, postgis):
+        assert postgis.query_value(self.QUERY) is True
+
+
+class TestListing7PreparedContains:
+    STATEMENTS = (
+        "CREATE table t (id int, geom geometry);"
+        "INSERT INTO t (id, geom) VALUES "
+        "(1,'GEOMETRYCOLLECTION(MULTIPOINT((0 0),(3 1)))'::geometry),"
+        "(2,'GEOMETRYCOLLECTION(MULTIPOINT((0 0),(3 1)))'::geometry),"
+        "(3,'MULTIPOLYGON(((0 0,5 0,0 5,0 0)))'::geometry);"
+    )
+    QUERY = "SELECT a1.id, a2.id FROM t As a1, t As a2 WHERE ST_Contains(a1.geom, a2.geom)"
+
+    def test_buggy_postgis_misses_pair_3_2(self, buggy_postgis):
+        buggy_postgis.execute(self.STATEMENTS)
+        rows = sorted(buggy_postgis.query_rows(self.QUERY))
+        assert rows == [(1, 1), (1, 2), (2, 1), (2, 2), (3, 1), (3, 3)]
+
+    def test_fixed_postgis_returns_all_pairs(self, postgis):
+        postgis.execute(self.STATEMENTS)
+        rows = sorted(postgis.query_rows(self.QUERY))
+        assert rows == [(1, 1), (1, 2), (2, 1), (2, 2), (3, 1), (3, 2), (3, 3)]
+
+
+class TestListing8GistIndexEmpty:
+    STATEMENTS = (
+        "CREATE TABLE t AS SELECT 1 AS id, 'POINT EMPTY'::geometry AS geom;"
+        "CREATE INDEX idx ON t USING GIST (geom);"
+        "SET enable_seqscan = false;"
+    )
+    QUERY = "SELECT COUNT(*) FROM t WHERE geom ~= 'POINT EMPTY'::geometry"
+
+    def test_buggy_postgis_returns_zero(self, buggy_postgis):
+        buggy_postgis.execute(self.STATEMENTS)
+        assert buggy_postgis.query_value(self.QUERY) == 0
+
+    def test_fixed_postgis_returns_one(self, postgis):
+        postgis.execute(self.STATEMENTS)
+        assert postgis.query_value(self.QUERY) == 1
+
+    def test_buggy_postgis_seqscan_still_finds_the_row(self, buggy_postgis):
+        buggy_postgis.execute(self.STATEMENTS)
+        buggy_postgis.execute("SET enable_seqscan = true")
+        assert buggy_postgis.query_value(self.QUERY) == 1
+
+
+class TestListing9DFullyWithin:
+    QUERY = (
+        "SELECT ST_DFullyWithin('LINESTRING(0 0,0 1,1 0,0 0)'::geometry,"
+        "'POLYGON((0 0,0 1,1 0,0 0))'::geometry,100)"
+    )
+
+    def test_buggy_postgis_returns_false(self, buggy_postgis):
+        assert buggy_postgis.query_value(self.QUERY) is False
+
+    def test_fixed_postgis_returns_true(self, postgis):
+        assert postgis.query_value(self.QUERY) is True

@@ -1,0 +1,123 @@
+"""Hypothesis strategies for generating small exact-coordinate geometries.
+
+Coordinates are small integers so that (a) every topological decision is
+exact, matching the paper's decision to avoid floating-point inputs, and
+(b) the arrangement-based relate engine stays fast enough for property
+testing.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.geometry.model import (
+    GeometryCollection,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+
+_COORDINATE = st.tuples(st.integers(-6, 6), st.integers(-6, 6))
+
+
+@st.composite
+def points(draw):
+    return Point(draw(_COORDINATE))
+
+
+@st.composite
+def linestrings(draw):
+    count = draw(st.integers(2, 4))
+    coordinates = draw(
+        st.lists(_COORDINATE, min_size=count, max_size=count).filter(
+            lambda values: len(set(values)) >= 2
+        )
+    )
+    return LineString(coordinates)
+
+
+@st.composite
+def triangles(draw):
+    """Non-degenerate triangles (simple polygons by construction)."""
+    while True:
+        a = draw(_COORDINATE)
+        b = draw(_COORDINATE)
+        c = draw(_COORDINATE)
+        area2 = (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0])
+        if area2 != 0:
+            return Polygon([a, b, c])
+
+
+@st.composite
+def rectangles(draw):
+    x = draw(st.integers(-6, 4))
+    y = draw(st.integers(-6, 4))
+    width = draw(st.integers(1, 4))
+    height = draw(st.integers(1, 4))
+    return Polygon([(x, y), (x + width, y), (x + width, y + height), (x, y + height)])
+
+
+@st.composite
+def multipoints(draw):
+    elements = draw(st.lists(points(), min_size=1, max_size=3))
+    if draw(st.booleans()):
+        elements.append(Point.empty())
+    return MultiPoint(elements)
+
+
+@st.composite
+def multilinestrings(draw):
+    return MultiLineString(draw(st.lists(linestrings(), min_size=1, max_size=2)))
+
+
+@st.composite
+def multipolygons(draw):
+    return MultiPolygon(draw(st.lists(rectangles(), min_size=1, max_size=2)))
+
+
+@st.composite
+def collections(draw):
+    elements = draw(
+        st.lists(st.one_of(points(), linestrings(), triangles()), min_size=1, max_size=3)
+    )
+    return GeometryCollection(elements)
+
+
+def simple_geometries():
+    """Basic geometries: points, lines, triangles, rectangles."""
+    return st.one_of(points(), linestrings(), triangles(), rectangles())
+
+
+def any_geometries():
+    """Every geometry type, including MULTI and MIXED ones."""
+    return st.one_of(
+        points(),
+        linestrings(),
+        triangles(),
+        rectangles(),
+        multipoints(),
+        multilinestrings(),
+        multipolygons(),
+        collections(),
+    )
+
+
+def affine_matrices():
+    """Invertible integer affine transformations with small coefficients."""
+    from repro.core.affine import AffineTransformation
+
+    return (
+        st.tuples(
+            st.integers(-2, 2),
+            st.integers(-2, 2),
+            st.integers(-2, 2),
+            st.integers(-2, 2),
+            st.integers(-5, 5),
+            st.integers(-5, 5),
+        )
+        .filter(lambda values: values[0] * values[3] - values[1] * values[2] != 0)
+        .map(lambda values: AffineTransformation.from_parts(*values))
+    )

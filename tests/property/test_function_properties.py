@@ -1,0 +1,145 @@
+"""Property-based tests for the measurement, linear-editing and GeoJSON layers.
+
+These complement the AEI properties: most of them are invariance statements
+(what a function must preserve) of the same flavour the paper uses to build
+its oracle — exact, decidable without tolerances because the substrate works
+on rational coordinates.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.affine import random_affine_transformation
+from repro.functions import linear, metrics
+from repro.functions.affine_ops import translate
+from repro.geometry.geojson import dump_geojson, load_geojson
+from repro.topology import predicates
+
+from tests.property.strategies import (
+    any_geometries,
+    linestrings,
+    multilinestrings,
+    rectangles,
+    simple_geometries,
+    triangles,
+)
+
+_SETTINGS = dict(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[
+        HealthCheck.large_base_example,
+        HealthCheck.filter_too_much,
+        HealthCheck.too_slow,
+        HealthCheck.data_too_large,
+    ],
+)
+
+
+# ---------------------------------------------------------------------------
+# GeoJSON round trips.
+# ---------------------------------------------------------------------------
+@settings(**_SETTINGS)
+@given(any_geometries())
+def test_geojson_roundtrip_preserves_canonical_form(geometry):
+    """GeoJSON cannot represent EMPTY elements inside MULTI geometries, so the
+    round trip is compared after element-level canonicalization (which removes
+    EMPTY elements on both sides); coordinates must survive exactly."""
+    from repro.core.canonical import canonicalize
+
+    roundtripped = load_geojson(dump_geojson(geometry))
+    assert canonicalize(roundtripped).wkt == canonicalize(geometry).wkt
+
+
+# ---------------------------------------------------------------------------
+# Scalar measures under affine maps.
+# ---------------------------------------------------------------------------
+@settings(**_SETTINGS)
+@given(triangles())
+def test_area_scales_with_the_determinant(polygon):
+    rng = random.Random(polygon.num_coordinates() * 7919)
+    transformation = random_affine_transformation(rng)
+    transformed = transformation.apply(polygon)
+    assert metrics.area(transformed) == abs(transformation.determinant) * metrics.area(polygon)
+
+
+@settings(**_SETTINGS)
+@given(rectangles())
+def test_area_is_translation_invariant(polygon):
+    assert metrics.area(translate(polygon, 17, -23)) == metrics.area(polygon)
+
+
+@settings(**_SETTINGS)
+@given(linestrings())
+def test_length_is_translation_invariant(line):
+    before = metrics.length(line)
+    after = metrics.length(translate(line, -5, 9))
+    assert abs(before - after) < 1e-9
+
+
+@settings(**_SETTINGS)
+@given(triangles())
+def test_perimeter_positive_iff_area_positive(polygon):
+    assert (metrics.perimeter(polygon) > 0) == (metrics.area(polygon) > 0)
+
+
+# ---------------------------------------------------------------------------
+# Linear editing invariants.
+# ---------------------------------------------------------------------------
+@settings(**_SETTINGS)
+@given(multilinestrings())
+def test_line_merge_preserves_total_length(multi):
+    merged = linear.line_merge(multi)
+    assert abs(metrics.length(merged) - metrics.length(multi)) < 1e-9
+
+
+@settings(**_SETTINGS)
+@given(linestrings())
+def test_segmentize_preserves_length_and_endpoints(line):
+    densified = linear.segmentize(line, 1)
+    assert abs(metrics.length(densified) - metrics.length(line)) < 1e-9
+    assert densified.points[0] == line.points[0]
+    assert densified.points[-1] == line.points[-1]
+    assert densified.num_coordinates() >= line.num_coordinates()
+
+
+@settings(**_SETTINGS)
+@given(linestrings())
+def test_simplify_with_zero_tolerance_preserves_endpoints(line):
+    simplified = linear.simplify(line, 0)
+    assert simplified.points[0] == line.points[0]
+    assert simplified.points[-1] == line.points[-1]
+    assert simplified.num_coordinates() <= line.num_coordinates()
+
+
+@settings(**_SETTINGS)
+@given(simple_geometries())
+def test_snap_with_zero_tolerance_to_disjoint_reference_is_identity(geometry):
+    reference = translate(geometry, 100, 100)
+    assert linear.snap(geometry, reference, 0).wkt == geometry.wkt
+
+
+@settings(**_SETTINGS)
+@given(rectangles(), rectangles())
+def test_closest_pair_is_consistent_with_distance(a, b):
+    from repro.topology import measures
+
+    pair = linear.closest_pair(a, b)
+    assert pair is not None
+    start, end = pair
+    from repro.geometry.primitives import squared_distance
+
+    direct = measures.distance(a, b)
+    via_pair = float(squared_distance(start, end)) ** 0.5
+    assert abs(direct - via_pair) < 1e-9
+
+
+@settings(**_SETTINGS)
+@given(rectangles(), rectangles())
+def test_shortest_line_touches_both_operands(a, b):
+    connector = linear.shortest_line(a, b)
+    assert predicates.intersects(connector, a)
+    assert predicates.intersects(connector, b)

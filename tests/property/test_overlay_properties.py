@@ -1,0 +1,110 @@
+"""Property-based tests for the overlay subsystem.
+
+These check the algebraic identities that any correct overlay implementation
+must satisfy (commutativity, inclusion–exclusion of areas, complementarity of
+difference and intersection) and — the property at the heart of the paper —
+that overlay commutes with affine transformations, exactly like the
+topological relationships AEI validates.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.affine import random_affine_transformation
+from repro.functions import metrics
+from repro.overlay import difference, intersection, sym_difference, union
+from repro.topology import predicates
+from repro.topology.relate import relate
+
+from tests.property.strategies import rectangles, triangles
+
+import random
+
+_SETTINGS = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[
+        HealthCheck.large_base_example,
+        HealthCheck.filter_too_much,
+        HealthCheck.too_slow,
+        HealthCheck.data_too_large,
+    ],
+)
+
+
+@settings(**_SETTINGS)
+@given(rectangles(), rectangles())
+def test_intersection_area_is_symmetric(a, b):
+    assert metrics.area(intersection(a, b)) == metrics.area(intersection(b, a))
+
+
+@settings(**_SETTINGS)
+@given(rectangles(), rectangles())
+def test_inclusion_exclusion_for_rectangles(a, b):
+    union_area = metrics.area(union(a, b))
+    assert union_area == metrics.area(a) + metrics.area(b) - metrics.area(intersection(a, b))
+
+
+@settings(**_SETTINGS)
+@given(rectangles(), rectangles())
+def test_difference_partitions_the_first_operand(a, b):
+    assert metrics.area(difference(a, b)) + metrics.area(intersection(a, b)) == metrics.area(a)
+
+
+@settings(**_SETTINGS)
+@given(rectangles(), rectangles())
+def test_sym_difference_area(a, b):
+    expected = metrics.area(a) + metrics.area(b) - 2 * metrics.area(intersection(a, b))
+    assert metrics.area(sym_difference(a, b)) == expected
+
+
+@settings(**_SETTINGS)
+@given(triangles(), triangles())
+def test_intersection_area_never_exceeds_either_operand(a, b):
+    area = metrics.area(intersection(a, b))
+    assert area <= metrics.area(a)
+    assert area <= metrics.area(b)
+
+
+@settings(**_SETTINGS)
+@given(triangles(), triangles())
+def test_union_covers_both_operands(a, b):
+    merged = union(a, b)
+    assert predicates.covers(merged, a)
+    assert predicates.covers(merged, b)
+
+
+@settings(**_SETTINGS)
+@given(triangles(), triangles())
+def test_intersection_is_covered_by_both_operands(a, b):
+    shared = intersection(a, b)
+    if shared.is_empty:
+        return
+    assert predicates.covered_by(shared, a)
+    assert predicates.covered_by(shared, b)
+
+
+@settings(**_SETTINGS)
+@given(rectangles(), rectangles())
+def test_difference_is_disjoint_from_subtrahend_interior(a, b):
+    remainder = difference(a, b)
+    if remainder.is_empty:
+        return
+    # The remainder may touch b along its boundary but never overlap it.
+    matrix = relate(remainder, b)
+    assert matrix.get("I", "I") < 2
+
+
+@settings(**_SETTINGS)
+@given(rectangles(), rectangles())
+def test_overlay_area_commutes_with_affine_transformation(a, b):
+    """The paper's core invariant applied to overlays: |T(A) ∩ T(B)| = |det T|·|A ∩ B|."""
+    rng = random.Random(metrics.num_coordinates(a) * 31 + metrics.num_coordinates(b))
+    transformation = random_affine_transformation(rng)
+    transformed_a = transformation.apply(a)
+    transformed_b = transformation.apply(b)
+    scale = abs(transformation.determinant)
+    assert metrics.area(intersection(transformed_a, transformed_b)) == scale * metrics.area(
+        intersection(a, b)
+    )

@@ -1,0 +1,104 @@
+"""Property-based tests for WKT round-trips, the R-tree, and the SQL engine."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.database import connect
+from repro.engine.index.rtree import RTree
+from repro.geometry import dump_wkt, load_wkt
+from repro.geometry.model import Envelope
+from repro.topology.measures import distance
+
+from tests.property.strategies import any_geometries, simple_geometries
+
+_SETTINGS = settings(max_examples=40, deadline=None)
+
+
+class TestWKTRoundTrip:
+    @_SETTINGS
+    @given(any_geometries())
+    def test_wkt_round_trip_is_identity(self, geometry):
+        assert dump_wkt(load_wkt(geometry.wkt)) == geometry.wkt
+
+    @_SETTINGS
+    @given(any_geometries())
+    def test_round_trip_preserves_structure(self, geometry):
+        parsed = load_wkt(geometry.wkt)
+        assert parsed.geom_type == geometry.geom_type
+        assert parsed.is_empty == geometry.is_empty
+        assert parsed.num_coordinates() == geometry.num_coordinates()
+
+
+class TestMeasureProperties:
+    @_SETTINGS
+    @given(simple_geometries(), simple_geometries())
+    def test_distance_is_symmetric(self, g1, g2):
+        assert distance(g1, g2) == distance(g2, g1)
+
+    @_SETTINGS
+    @given(simple_geometries(), simple_geometries())
+    def test_distance_is_zero_iff_intersecting(self, g1, g2):
+        from repro.topology import intersects
+
+        value = distance(g1, g2)
+        if intersects(g1, g2):
+            assert value == 0.0
+        else:
+            assert value > 0.0
+
+    @_SETTINGS
+    @given(simple_geometries())
+    def test_self_distance_is_zero(self, geometry):
+        assert distance(geometry, geometry) == 0.0
+
+
+class TestRTreeProperties:
+    @_SETTINGS
+    @given(st.lists(st.tuples(st.integers(0, 40), st.integers(0, 40)), min_size=1, max_size=40), st.integers(0, 40), st.integers(0, 40))
+    def test_search_never_misses_an_intersecting_entry(self, origins, qx, qy):
+        tree = RTree(max_entries=4, min_entries=2)
+        entries = []
+        for row_id, (x, y) in enumerate(origins):
+            envelope = Envelope(Fraction(x), Fraction(y), Fraction(x + 3), Fraction(y + 3))
+            entries.append((envelope, row_id))
+            tree.insert(envelope, row_id)
+        query = Envelope(Fraction(qx), Fraction(qy), Fraction(qx + 5), Fraction(qy + 5))
+        expected = {row_id for envelope, row_id in entries if envelope.intersects(query)}
+        assert set(tree.search(query)) >= expected
+        assert set(tree.all_row_ids()) == {row_id for _, row_id in entries}
+
+
+class TestEngineConsistencyProperties:
+    @_SETTINGS
+    @given(
+        st.lists(simple_geometries(), min_size=1, max_size=4),
+        st.lists(simple_geometries(), min_size=1, max_size=4),
+        st.sampled_from(["st_intersects", "st_contains", "st_within", "st_equals"]),
+    )
+    def test_index_and_seqscan_joins_agree_on_a_correct_engine(self, left, right, predicate):
+        database = connect("postgis")
+        database.execute("CREATE TABLE t1 (g geometry)")
+        database.execute("CREATE TABLE t2 (g geometry)")
+        for geometry in left:
+            database.execute(f"INSERT INTO t1 (g) VALUES ('{geometry.wkt}')")
+        for geometry in right:
+            database.execute(f"INSERT INTO t2 (g) VALUES ('{geometry.wkt}')")
+        query = f"SELECT COUNT(*) FROM t1 JOIN t2 ON {predicate}(t1.g, t2.g)"
+        seqscan_count = database.query_value(query)
+        database.execute("CREATE INDEX idx_t2 ON t2 USING GIST (g)")
+        database.execute("SET enable_seqscan = false")
+        assert database.query_value(query) == seqscan_count
+
+    @_SETTINGS
+    @given(st.lists(any_geometries(), min_size=1, max_size=5))
+    def test_count_star_equals_inserted_rows(self, geometries):
+        database = connect("postgis")
+        database.execute("CREATE TABLE t (g geometry)")
+        for geometry in geometries:
+            database.execute(f"INSERT INTO t (g) VALUES ('{geometry.wkt}')")
+        assert database.query_value("SELECT COUNT(*) FROM t") == len(geometries)

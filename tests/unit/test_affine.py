@@ -1,0 +1,91 @@
+"""Unit tests for the affine-transformation construction (Algorithm 2)."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core.affine import (
+    AffineTransformation,
+    random_affine_transformation,
+    rigid_affine_transformation,
+)
+from repro.functions.affine_ops import apply_matrix
+from repro.geometry import load_wkt
+
+
+class TestAffineTransformation:
+    def test_identity(self):
+        identity = AffineTransformation.identity()
+        assert identity.is_identity
+        assert identity.apply(load_wkt("POINT(3 4)")).wkt == "POINT(3 4)"
+
+    def test_from_parts_and_determinant(self):
+        transformation = AffineTransformation.from_parts(2, 0, 0, 3, 1, 1)
+        assert transformation.determinant == 6
+        assert transformation.is_invertible
+
+    def test_apply_matches_manual_matrix_application(self):
+        transformation = AffineTransformation.from_parts(1, 2, 3, 4, 5, 6)
+        geometry = load_wkt("LINESTRING(1 1,2 0)")
+        assert transformation.apply(geometry).wkt == apply_matrix(geometry, transformation.matrix).wkt
+
+    def test_inverse_round_trips(self):
+        transformation = AffineTransformation.from_parts(2, 1, 1, 1, -3, 7)
+        inverse = transformation.inverse()
+        geometry = load_wkt("POLYGON((0 0,4 0,4 4,0 4,0 0))")
+        round_tripped = inverse.apply(transformation.apply(geometry))
+        assert round_tripped.wkt == geometry.wkt
+
+    def test_singular_matrix_has_no_inverse(self):
+        singular = AffineTransformation.from_parts(1, 2, 2, 4, 0, 0)
+        assert not singular.is_invertible
+        with pytest.raises(ValueError):
+            singular.inverse()
+
+    def test_describe_mentions_all_coefficients(self):
+        description = AffineTransformation.from_parts(2, 0, 0, 3, 1, -1).describe()
+        assert "2x" in description and "3" in description
+
+
+class TestRandomTransformations:
+    def test_random_transformation_is_always_invertible(self):
+        rng = random.Random(5)
+        for _ in range(50):
+            assert random_affine_transformation(rng).is_invertible
+
+    def test_random_transformation_uses_integer_entries(self):
+        rng = random.Random(6)
+        transformation = random_affine_transformation(rng)
+        for row in transformation.matrix:
+            for value in row:
+                assert value == int(value)
+
+    def test_transformed_integer_geometry_stays_integral(self):
+        rng = random.Random(7)
+        transformation = random_affine_transformation(rng)
+        moved = transformation.apply(load_wkt("POLYGON((0 0,4 0,4 4,0 4,0 0))"))
+        for coordinate in moved.coordinates():
+            assert coordinate.x.denominator == 1
+            assert coordinate.y.denominator == 1
+
+    def test_rigid_transformation_preserves_relative_distance_ratios(self):
+        rng = random.Random(8)
+        transformation = rigid_affine_transformation(rng)
+        a = load_wkt("POINT(0 0)")
+        b = load_wkt("POINT(2 0)")
+        c = load_wkt("POINT(0 6)")
+        from repro.topology import distance
+
+        before_ratio = distance(a, c) / distance(a, b)
+        after_ratio = distance(
+            transformation.apply(a), transformation.apply(c)
+        ) / distance(transformation.apply(a), transformation.apply(b))
+        assert after_ratio == pytest.approx(before_ratio)
+
+    def test_empty_geometry_transforms_to_empty(self):
+        rng = random.Random(9)
+        transformation = random_affine_transformation(rng)
+        assert transformation.apply(load_wkt("MULTIPOINT((1 1),EMPTY)")).wkt.endswith("EMPTY)")

@@ -1,0 +1,113 @@
+"""Unit tests for the analysis utilities and the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.coverage import COMPONENT_GROUPS, CoverageTracker
+from repro.analysis.stats import mean, standard_deviation, summarize
+from repro.analysis.timing import measure_campaign_time_split
+from repro.cli import main
+from repro.engine.database import connect
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2
+        assert mean([]) == 0.0
+
+    def test_standard_deviation(self):
+        assert standard_deviation([2, 2, 2]) == 0.0
+        assert standard_deviation([5]) == 0.0
+        assert standard_deviation([0, 2]) == 1.0
+
+    def test_summarize(self):
+        summary = summarize([1, 2, 3, 4])
+        assert summary.count == 4
+        assert summary.mean == 2.5
+        assert summary.minimum == 1
+        assert summary.maximum == 4
+        assert summarize([]).count == 0
+
+
+class TestCoverageTracker:
+    def test_component_groups_cover_engine_and_geometry_library(self):
+        assert set(COMPONENT_GROUPS) == {"engine", "geometry-library"}
+
+    def test_tracker_records_lines_for_executed_queries(self):
+        tracker = CoverageTracker()
+        with tracker:
+            database = connect("postgis")
+            database.execute("CREATE TABLE t (g geometry)")
+            database.execute("INSERT INTO t (g) VALUES ('POINT(1 1)')")
+            database.query_value("SELECT COUNT(*) FROM t WHERE ST_IsEmpty(g)")
+        report = tracker.report()
+        assert report.covered_lines("engine") > 50
+        assert report.covered_lines("geometry-library") > 10
+        assert 0 < report.line_coverage("engine") < 100
+
+    def test_more_work_covers_at_least_as_many_lines(self):
+        small_tracker = CoverageTracker()
+        with small_tracker:
+            database = connect("postgis")
+            database.query_value("SELECT ST_IsEmpty('POINT EMPTY'::geometry)")
+        large_tracker = CoverageTracker()
+        with large_tracker:
+            database = connect("postgis")
+            database.execute("CREATE TABLE t (g geometry)")
+            database.execute("INSERT INTO t (g) VALUES ('POLYGON((0 0,4 0,4 4,0 4,0 0))')")
+            database.query_value(
+                "SELECT COUNT(*) FROM t WHERE ST_Contains(g, 'POINT(1 1)'::geometry)"
+            )
+            database.query_value("SELECT ST_IsEmpty('POINT EMPTY'::geometry)")
+        assert large_tracker.report().covered_lines("engine") >= small_tracker.report().covered_lines("engine")
+
+    def test_merged_reports_union_lines(self):
+        first = CoverageTracker()
+        with first:
+            connect("postgis").query_value("SELECT ST_IsEmpty('POINT EMPTY'::geometry)")
+        second = CoverageTracker()
+        with second:
+            connect("postgis").query_value(
+                "SELECT ST_Contains('POLYGON((0 0,2 0,2 2,0 2,0 0))'::geometry, 'POINT(1 1)'::geometry)"
+            )
+        merged = first.report().merged_with(second.report())
+        assert merged.covered_lines("geometry-library") >= max(
+            first.report().covered_lines("geometry-library"),
+            second.report().covered_lines("geometry-library"),
+        )
+        rows = merged.as_rows()
+        assert len(rows) == 2
+
+
+class TestTiming:
+    def test_time_split_measurement(self):
+        split = measure_campaign_time_split(
+            "postgis", geometry_count=3, queries=5, repeats=1, emulate_release_under_test=False
+        )
+        assert split.geometry_count == 3
+        assert split.spatter_seconds > 0
+        assert 0 <= split.sdbms_seconds <= split.spatter_seconds
+        assert 0 <= split.sdbms_share <= 1
+
+
+class TestCLI:
+    def test_list_bugs(self, capsys):
+        assert main(["--list-bugs", "--dialect", "postgis"]) == 0
+        output = capsys.readouterr().out
+        assert "postgis-covers-precision-loss" in output
+
+    def test_clean_run_finds_nothing(self, capsys):
+        exit_code = main(
+            ["--dialect", "mysql", "--clean", "--rounds", "1", "--geometries", "3", "--queries", "3", "--seed", "3"]
+        )
+        assert exit_code == 0
+        assert "0 discrepancies" in capsys.readouterr().out
+
+    def test_buggy_run_reports_findings(self, capsys):
+        exit_code = main(
+            ["--dialect", "postgis", "--rounds", "3", "--geometries", "6", "--queries", "10", "--seed", "1"]
+        )
+        output = capsys.readouterr().out
+        assert "unique bugs" in output
+        assert exit_code in (0, 1)

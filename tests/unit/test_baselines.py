@@ -1,0 +1,140 @@
+"""Unit tests for the baseline oracles (differential, TLP, index toggling, RSG)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.differential import DifferentialOracle
+from repro.baselines.index_oracle import IndexToggleOracle
+from repro.baselines.rsg import random_shape_campaign_config
+from repro.baselines.tlp import TLPOracle
+from repro.core.campaign import CampaignConfig
+from repro.core.generator import DatabaseSpec
+from repro.core.queries import TopologicalQuery
+from repro.engine.database import connect
+from repro.engine.faults import bug_by_id
+
+
+SIMPLE_SPEC = DatabaseSpec(
+    tables={
+        "t1": ["POLYGON((0 0,4 0,4 4,0 4,0 0))", "POINT(1 1)"],
+        "t2": ["POINT(2 2)", "LINESTRING(0 0,4 4)"],
+    }
+)
+
+
+class TestDifferentialOracle:
+    def test_comparable_predicates_exclude_single_system_functions(self):
+        oracle = DifferentialOracle("postgis", "mysql", emulate_release_under_test=False)
+        comparable = oracle.comparable_predicates()
+        assert "st_covers" not in comparable  # PostGIS-only
+        assert "st_intersects" in comparable
+
+    def test_identical_clean_systems_agree(self, rng):
+        oracle = DifferentialOracle(
+            "postgis", "mysql", emulate_release_under_test=False, rng=rng
+        )
+        outcome = oracle.check(SIMPLE_SPEC, query_count=15)
+        assert outcome.findings == []
+
+    def test_shared_geos_bug_is_invisible_to_postgis_vs_duckdb(self):
+        oracle = DifferentialOracle("postgis", "duckdb_spatial")
+        bug = bug_by_id("geos-mixed-boundary-last-one-wins")
+        assert not oracle.can_observe_bug(bug)
+
+    def test_geos_bug_visible_against_mysql_when_function_is_shared(self):
+        oracle = DifferentialOracle("postgis", "mysql")
+        bug = bug_by_id("geos-mixed-boundary-last-one-wins")
+        assert oracle.can_observe_bug(bug)
+
+    def test_postgis_only_function_bug_not_observable_against_mysql(self):
+        oracle = DifferentialOracle("postgis", "mysql")
+        bug = bug_by_id("postgis-covers-precision-loss")
+        assert not oracle.can_observe_bug(bug)
+
+    def test_mysql_specific_bug_not_observable_between_postgis_and_duckdb(self):
+        oracle = DifferentialOracle("postgis", "duckdb_spatial")
+        bug = bug_by_id("mysql-crosses-large-coordinates")
+        assert not oracle.can_observe_bug(bug)
+
+    def test_buggy_against_clean_system_can_disagree(self, rng):
+        # Emulate the MySQL overlaps axis-order bug and compare against a
+        # clean PostGIS: differential testing can see this one.
+        oracle = DifferentialOracle(
+            "mysql",
+            "postgis",
+            bug_ids_a=("mysql-overlaps-axis-order",),
+            bug_ids_b=(),
+            rng=rng,
+        )
+        # A wide (landscape) extent puts the buggy ST_Overlaps branch in play.
+        spec = DatabaseSpec(
+            tables={
+                "t1": ["POLYGON((0 0,50 5,30 10,0 0))"],
+                "t2": [
+                    "GEOMETRYCOLLECTION(POLYGON((0 0,50 5,30 10,0 0)),"
+                    "POLYGON((10 2,60 8,40 3,10 2)))"
+                ],
+            }
+        )
+        outcome = oracle.check(spec, query_count=60)
+        assert any(f.query.predicate == "st_overlaps" for f in outcome.findings)
+
+
+class TestTLPOracle:
+    def test_partition_queries_shape(self):
+        queries = TLPOracle.partition_queries(TopologicalQuery("t1", "t2", "st_within"))
+        assert queries["total"] == "SELECT COUNT(*) FROM t1, t2"
+        assert "WHERE st_within(t1.g, t2.g)" in queries["true"]
+        assert "WHERE NOT st_within" in queries["false"]
+        assert "IS NULL" in queries["null"]
+
+    def test_clean_engine_satisfies_partitioning(self, rng):
+        oracle = TLPOracle(lambda: connect("postgis"), rng)
+        outcome = oracle.check(SIMPLE_SPEC, query_count=12)
+        assert outcome.findings == []
+        assert outcome.queries_run == 12
+
+    def test_logic_bug_invisible_to_tlp(self, rng):
+        # The covers precision bug gives a *consistently* wrong verdict, so
+        # the three partitions still sum up - exactly the blind spot the
+        # paper describes.
+        oracle = TLPOracle(
+            lambda: connect("postgis", bug_ids=["postgis-covers-precision-loss"]), rng
+        )
+        spec = DatabaseSpec(
+            tables={"t1": ["LINESTRING(0 1,2 0)"], "t2": ["POINT(0.2 0.9)"]}
+        )
+        outcome = oracle.check(spec, query_count=20)
+        assert outcome.findings == []
+
+
+class TestIndexToggleOracle:
+    def test_clean_engine_has_consistent_access_paths(self, rng):
+        oracle = IndexToggleOracle(lambda: connect("postgis"), rng)
+        outcome = oracle.check(SIMPLE_SPEC, query_count=10)
+        assert outcome.findings == []
+
+    def test_index_bug_detected_when_empty_geometries_are_present(self, rng):
+        oracle = IndexToggleOracle(
+            lambda: connect("postgis", bug_ids=["postgis-gist-index-drops-empty"]), rng
+        )
+        spec = DatabaseSpec(
+            tables={
+                "t1": ["POINT EMPTY", "POINT(1 1)"],
+                "t2": ["POINT EMPTY", "POINT(1 1)"],
+            }
+        )
+        outcome = oracle.check(spec, query_count=40)
+        assert outcome.findings
+
+
+class TestRSGConfig:
+    def test_rsg_config_only_disables_the_derivative_strategy(self):
+        base = CampaignConfig(dialect="mysql", geometry_count=17, seed=5)
+        rsg = random_shape_campaign_config(base)
+        assert rsg.use_derivative_strategy is False
+        assert rsg.dialect == "mysql"
+        assert rsg.geometry_count == 17
+        assert rsg.seed == 5
+        assert base.use_derivative_strategy is True

@@ -1,0 +1,89 @@
+"""Unit tests for canonicalization (element level and value level)."""
+
+from __future__ import annotations
+
+from repro.core.canonical import canonicalize
+from repro.geometry import load_wkt
+from repro.geometry.primitives import ring_is_clockwise
+from repro.topology import equals
+
+
+def canon(wkt: str) -> str:
+    return canonicalize(load_wkt(wkt)).wkt
+
+
+class TestElementLevel:
+    def test_paper_figure6_example(self):
+        # MULTILINESTRING((0 2,1 0,3 1,3 1,5 0),EMPTY) canonicalises to the
+        # single LINESTRING with the duplicate vertex removed (Figure 6).
+        assert canon("MULTILINESTRING((0 2,1 0,3 1,3 1,5 0),EMPTY)") == "LINESTRING(0 2,1 0,3 1,5 0)"
+
+    def test_empty_removal(self):
+        assert canon("MULTIPOINT((1 1),EMPTY)") == "POINT(1 1)"
+
+    def test_homogenization_of_single_element(self):
+        assert canon("MULTIPOLYGON(((0 0,1 0,0 1,0 0)))").startswith("POLYGON")
+
+    def test_nested_collection_flattening(self):
+        result = canon("GEOMETRYCOLLECTION(GEOMETRYCOLLECTION(POINT(1 1)),POINT(2 2))")
+        assert result == "MULTIPOINT((1 1),(2 2))"
+
+    def test_duplicate_element_removal(self):
+        assert canon("MULTIPOINT((1 1),(1 1),(2 2))") == "MULTIPOINT((1 1),(2 2))"
+
+    def test_reordering_by_dimension(self):
+        result = canonicalize(
+            load_wkt("GEOMETRYCOLLECTION(POLYGON((0 0,1 0,0 1,0 0)),POINT(5 5))")
+        )
+        assert result.geoms[0].geom_type == "POINT"
+        assert result.geoms[1].geom_type == "POLYGON"
+
+    def test_all_empty_collection_collapses_to_empty(self):
+        assert canonicalize(load_wkt("MULTIPOINT(EMPTY,EMPTY)")).is_empty
+
+    def test_uniform_collection_becomes_multi_type(self):
+        assert canon("GEOMETRYCOLLECTION(POINT(1 1),POINT(2 2))") == "MULTIPOINT((1 1),(2 2))"
+
+
+class TestValueLevel:
+    def test_consecutive_duplicate_removal(self):
+        assert canon("LINESTRING(0 2,1 0,3 1,3 1,5 0)") == "LINESTRING(0 2,1 0,3 1,5 0)"
+
+    def test_linestring_reversal_by_endpoint_order(self):
+        assert canon("LINESTRING(5 0,0 0)") == "LINESTRING(0 0,5 0)"
+        assert canon("LINESTRING(0 0,5 0)") == "LINESTRING(0 0,5 0)"
+
+    def test_polygon_rings_become_clockwise(self):
+        result = canonicalize(load_wkt("POLYGON((0 0,4 0,4 4,0 4,0 0))"))
+        assert ring_is_clockwise(result.exterior)
+
+    def test_point_is_unchanged(self):
+        assert canon("POINT(3 7)") == "POINT(3 7)"
+
+    def test_empty_inputs_are_preserved(self):
+        assert canonicalize(load_wkt("POINT EMPTY")).is_empty
+        assert canonicalize(load_wkt("GEOMETRYCOLLECTION EMPTY")).is_empty
+
+
+class TestSemanticsPreserved:
+    def test_canonical_form_is_topologically_equal(self):
+        cases = [
+            "MULTILINESTRING((0 2,1 0,3 1,3 1,5 0),EMPTY)",
+            "POLYGON((0 0,4 0,4 4,0 4,0 0))",
+            "MULTIPOINT((1 1),(1 1),(2 2))",
+            "GEOMETRYCOLLECTION(GEOMETRYCOLLECTION(POINT(1 1)),LINESTRING(0 0,2 2))",
+        ]
+        for wkt in cases:
+            original = load_wkt(wkt)
+            assert equals(original, canonicalize(original)), wkt
+
+    def test_canonicalization_is_idempotent(self):
+        cases = [
+            "MULTILINESTRING((0 2,1 0,3 1,3 1,5 0),EMPTY)",
+            "POLYGON((0 0,4 0,4 4,0 4,0 0),(1 1,2 1,2 2,1 2,1 1))",
+            "GEOMETRYCOLLECTION(POINT(1 1),LINESTRING(0 0,1 1))",
+        ]
+        for wkt in cases:
+            once = canonicalize(load_wkt(wkt))
+            twice = canonicalize(once)
+            assert once.wkt == twice.wkt, wkt

@@ -1,0 +1,91 @@
+"""Unit tests for the extended derivative strategy (Table 1 plus overlays)."""
+
+import random
+
+import pytest
+
+from repro.core.derive import (
+    EDITING_FUNCTIONS,
+    EXTENDED_EDITING_FUNCTIONS,
+    GENERIC,
+    LINE_BASED,
+    MULTI_DIMENSIONAL,
+    POLYGON_BASED,
+    Deriver,
+)
+from repro.engine.database import connect
+from repro.geometry import load_wkt
+
+
+class TestEditingFunctionCatalog:
+    def test_every_category_is_populated(self):
+        categories = {function.category for function in EDITING_FUNCTIONS}
+        assert categories == {LINE_BASED, POLYGON_BASED, MULTI_DIMENSIONAL, GENERIC}
+
+    def test_default_pool_matches_the_paper_table1(self):
+        names = {function.name for function in EDITING_FUNCTIONS}
+        assert "st_intersection" not in names
+        assert {"st_setpoint", "st_polygonize", "st_dumprings", "st_boundary"} <= names
+
+    def test_overlay_functions_are_available_to_the_extended_deriver(self):
+        names = {function.name for function in EXTENDED_EDITING_FUNCTIONS}
+        assert {"st_intersection", "st_union", "st_difference"} <= names
+
+    def test_linear_editing_functions_are_available(self):
+        names = {function.name for function in EXTENDED_EDITING_FUNCTIONS}
+        assert {"st_linemerge", "st_simplify", "st_segmentize", "st_snap"} <= names
+
+    def test_sql_builders_produce_select_statements(self):
+        rng = random.Random(0)
+        wkts = ["LINESTRING(0 0,5 5)", "POLYGON((0 0,4 0,4 4,0 4,0 0))"]
+        for function in EXTENDED_EDITING_FUNCTIONS:
+            sql = function.build_sql(wkts[: function.geometry_arity] * 2, rng)
+            assert sql.upper().startswith("SELECT ST_ASTEXT(")
+
+    def test_dialect_filtering(self):
+        postgis = Deriver(connect("postgis"), random.Random(1), extended=True)
+        mysql = Deriver(connect("mysql"), random.Random(1), extended=True)
+        postgis_names = {f.name for f in postgis.functions}
+        mysql_names = {f.name for f in mysql.functions}
+        # PostGIS exposes strictly more editing functions than MySQL.
+        assert mysql_names < postgis_names
+        assert "st_closestpoint" in postgis_names
+        assert "st_closestpoint" not in mysql_names
+
+
+class TestDerivedGeometries:
+    @pytest.mark.parametrize("dialect", ["postgis", "duckdb_spatial", "mysql", "sqlserver"])
+    def test_derived_wkts_parse_for_every_dialect(self, dialect):
+        rng = random.Random(7)
+        deriver = Deriver(connect(dialect), rng, extended=True)
+        existing = [
+            "POINT(1 1)",
+            "LINESTRING(0 0,5 5)",
+            "POLYGON((0 0,4 0,4 4,0 4,0 0))",
+            "MULTIPOINT((1 1),(2 2))",
+            "GEOMETRYCOLLECTION(POINT(0 0),LINESTRING(0 0,1 0))",
+        ]
+        for _ in range(40):
+            derived = deriver.derive(existing)
+            geometry = load_wkt(derived)
+            assert geometry is not None
+
+    def test_overlay_derivation_through_the_engine(self):
+        db = connect("postgis")
+        wkt = db.query_value(
+            "SELECT ST_AsText(ST_Intersection("
+            "ST_GeomFromText('POLYGON((0 0,4 0,4 4,0 4,0 0))'), "
+            "ST_GeomFromText('POLYGON((2 2,6 2,6 6,2 6,2 2))')))"
+        )
+        derived = load_wkt(wkt)
+        assert derived.geom_type == "POLYGON"
+        assert not derived.is_empty
+
+    def test_failed_derivation_falls_back_to_empty(self):
+        rng = random.Random(3)
+        deriver = Deriver(connect("mysql"), rng)
+        # A deliberately unusable input: derivation failures must fall back
+        # to the EMPTY geometry of Algorithm 1 rather than raising.
+        for _ in range(10):
+            derived = deriver.derive(["POINT EMPTY"])
+            assert load_wkt(derived) is not None

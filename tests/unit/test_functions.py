@@ -1,0 +1,240 @@
+"""Unit tests for the spatial editing / accessor / affine functions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GeometryTypeError
+from repro.functions import (
+    affine_transform,
+    boundary,
+    centroid,
+    collect,
+    collection_extract,
+    convex_hull,
+    dump_rings,
+    envelope,
+    force_polygon_ccw,
+    force_polygon_cw,
+    geometry_n,
+    num_geometries,
+    num_points,
+    point_n,
+    polygonize,
+    reverse,
+    rotate,
+    scale,
+    set_point,
+    swap_xy,
+    translate,
+    x_of,
+    y_of,
+)
+from repro.functions.affine_ops import apply_matrix, rotate_quarter_turns
+from repro.geometry import load_wkt
+from repro.geometry.primitives import ring_is_clockwise
+
+
+def g(wkt: str):
+    return load_wkt(wkt)
+
+
+class TestBoundary:
+    def test_point_boundary_is_empty(self):
+        assert boundary(g("POINT(1 1)")).is_empty
+
+    def test_linestring_boundary_is_its_endpoints(self):
+        result = boundary(g("LINESTRING(0 0,1 0,1 1)"))
+        assert result.wkt == "MULTIPOINT((0 0),(1 1))"
+
+    def test_closed_linestring_boundary_is_empty(self):
+        assert boundary(g("LINESTRING(0 0,1 0,1 1,0 0)")).is_empty
+
+    def test_multilinestring_mod2_boundary(self):
+        result = boundary(g("MULTILINESTRING((0 0,1 0),(1 0,2 0))"))
+        assert result.wkt == "MULTIPOINT((0 0),(2 0))"
+
+    def test_polygon_boundary_is_its_rings(self):
+        result = boundary(g("POLYGON((0 0,4 0,4 4,0 4,0 0),(1 1,2 1,2 2,1 2,1 1))"))
+        assert result.geom_type == "MULTILINESTRING"
+        assert len(result.geoms) == 2
+
+    def test_empty_geometry_boundary(self):
+        assert boundary(g("POLYGON EMPTY")).is_empty
+
+
+class TestConvexHullEnvelopeCentroid:
+    def test_convex_hull_of_polygon(self):
+        result = convex_hull(g("MULTIPOINT((0 0),(4 0),(4 4),(0 4),(2 2))"))
+        assert result.geom_type == "POLYGON"
+        assert len(result.exterior) == 5
+
+    def test_convex_hull_of_collinear_points_is_a_line(self):
+        assert convex_hull(g("MULTIPOINT((0 0),(1 1),(2 2))")).geom_type == "LINESTRING"
+
+    def test_convex_hull_of_single_point(self):
+        assert convex_hull(g("POINT(3 3)")).geom_type == "POINT"
+
+    def test_convex_hull_of_empty(self):
+        assert convex_hull(g("GEOMETRYCOLLECTION EMPTY")).is_empty
+
+    def test_envelope_of_polygon(self):
+        assert envelope(g("POLYGON((1 1,3 1,2 4,1 1))")).wkt == "POLYGON((1 1,3 1,3 4,1 4,1 1))"
+
+    def test_envelope_of_point(self):
+        assert envelope(g("POINT(2 2)")).wkt == "POINT(2 2)"
+
+    def test_envelope_of_vertical_line_degenerates(self):
+        assert envelope(g("LINESTRING(1 0,1 5)")).geom_type == "LINESTRING"
+
+    def test_centroid_of_square(self):
+        assert centroid(g("MULTIPOINT((0 0),(2 0),(2 2),(0 2))")).wkt == "POINT(1 1)"
+
+    def test_centroid_of_empty(self):
+        assert centroid(g("POINT EMPTY")).is_empty
+
+
+class TestPolygonEditing:
+    def test_dump_rings(self):
+        result = dump_rings(g("POLYGON((0 0,4 0,4 4,0 4,0 0),(1 1,2 1,2 2,1 2,1 1))"))
+        assert result.geom_type == "GEOMETRYCOLLECTION"
+        assert len(result.geoms) == 2
+        assert all(element.geom_type == "POLYGON" for element in result.geoms)
+
+    def test_dump_rings_requires_polygon(self):
+        with pytest.raises(GeometryTypeError):
+            dump_rings(g("LINESTRING(0 0,1 1)"))
+
+    def test_force_polygon_cw(self):
+        ccw = g("POLYGON((0 0,4 0,4 4,0 4,0 0))")
+        assert not ring_is_clockwise(ccw.exterior)
+        forced = force_polygon_cw(ccw)
+        assert ring_is_clockwise(forced.exterior)
+
+    def test_force_polygon_ccw(self):
+        cw = g("POLYGON((0 0,0 4,4 4,4 0,0 0))")
+        assert ring_is_clockwise(cw.exterior)
+        assert not ring_is_clockwise(force_polygon_ccw(cw).exterior)
+
+    def test_force_cw_flips_holes_to_ccw(self):
+        polygon = g("POLYGON((0 0,6 0,6 6,0 6,0 0),(2 2,3 2,3 3,2 3,2 2))")
+        forced = force_polygon_cw(polygon)
+        assert ring_is_clockwise(forced.exterior)
+        assert not ring_is_clockwise(forced.holes[0])
+
+    def test_force_cw_requires_areal_geometry(self):
+        with pytest.raises(GeometryTypeError):
+            force_polygon_cw(g("POINT(0 0)"))
+
+    def test_polygonize_closed_ring(self):
+        result = polygonize(g("LINESTRING(0 0,2 0,2 2,0 2,0 0)"))
+        assert result.geom_type == "GEOMETRYCOLLECTION"
+        assert len(result.geoms) == 1
+        assert result.geoms[0].geom_type == "POLYGON"
+
+    def test_polygonize_open_line_yields_empty_collection(self):
+        assert len(polygonize(g("LINESTRING(0 0,1 1)")).geoms) == 0
+
+
+class TestLineEditing:
+    def test_set_point(self):
+        result = set_point(g("LINESTRING(0 0,1 1,2 2)"), 1, g("POINT(5 5)"))
+        assert result.wkt == "LINESTRING(0 0,5 5,2 2)"
+
+    def test_set_point_negative_index(self):
+        result = set_point(g("LINESTRING(0 0,1 1,2 2)"), -1, g("POINT(9 9)"))
+        assert result.wkt == "LINESTRING(0 0,1 1,9 9)"
+
+    def test_set_point_out_of_range(self):
+        with pytest.raises(GeometryTypeError):
+            set_point(g("LINESTRING(0 0,1 1)"), 7, g("POINT(5 5)"))
+
+    def test_set_point_requires_linestring(self):
+        with pytest.raises(GeometryTypeError):
+            set_point(g("POINT(0 0)"), 0, g("POINT(5 5)"))
+
+    def test_reverse_linestring(self):
+        assert reverse(g("LINESTRING(0 0,1 1,2 0)")).wkt == "LINESTRING(2 0,1 1,0 0)"
+
+    def test_reverse_multi(self):
+        result = reverse(g("MULTILINESTRING((0 0,1 1),(2 2,3 3))"))
+        assert result.wkt == "MULTILINESTRING((1 1,0 0),(3 3,2 2))"
+
+
+class TestCollections:
+    def test_collection_extract_points(self):
+        mixed = g("GEOMETRYCOLLECTION(POINT(0 0),LINESTRING(0 0,1 0),POLYGON((0 0,1 0,0 1,0 0)))")
+        assert collection_extract(mixed, 1).wkt == "MULTIPOINT((0 0))"
+        assert collection_extract(mixed, 2).geom_type == "MULTILINESTRING"
+        assert collection_extract(mixed, 3).geom_type == "MULTIPOLYGON"
+
+    def test_collection_extract_rejects_bad_dimension(self):
+        with pytest.raises(GeometryTypeError):
+            collection_extract(g("POINT(0 0)"), 4)
+
+    def test_collect_homogeneous(self):
+        assert collect([g("POINT(0 0)"), g("POINT(1 1)")]).geom_type == "MULTIPOINT"
+
+    def test_collect_mixed(self):
+        assert collect([g("POINT(0 0)"), g("LINESTRING(0 0,1 1)")]).geom_type == "GEOMETRYCOLLECTION"
+
+    def test_geometry_n(self):
+        multi = g("MULTIPOINT((1 0),(0 0))")
+        assert geometry_n(multi, 1).wkt == "POINT(1 0)"
+        assert geometry_n(multi, 2).wkt == "POINT(0 0)"
+        assert geometry_n(multi, 3) is None
+        assert geometry_n(g("POINT(5 5)"), 1).wkt == "POINT(5 5)"
+
+    def test_num_geometries(self):
+        assert num_geometries(g("MULTIPOINT((1 0),(0 0))")) == 2
+        assert num_geometries(g("POINT(1 1)")) == 1
+        assert num_geometries(g("MULTIPOLYGON EMPTY")) == 0
+
+    def test_point_accessors(self):
+        line = g("LINESTRING(0 0,1 1,2 2)")
+        assert num_points(line) == 3
+        assert point_n(line, 2).wkt == "POINT(1 1)"
+        assert point_n(line, 9) is None
+        assert num_points(g("POINT(0 0)")) is None
+        assert x_of(g("POINT(3 4)")) == 3
+        assert y_of(g("POINT(3 4)")) == 4
+        assert x_of(g("POINT EMPTY")) is None
+
+
+class TestAffineOperations:
+    def test_translate(self):
+        assert translate(g("POINT(1 1)"), 2, 3).wkt == "POINT(3 4)"
+
+    def test_scale(self):
+        assert scale(g("LINESTRING(1 1,2 2)"), 2, 3).wkt == "LINESTRING(2 3,4 6)"
+
+    def test_swap_xy(self):
+        assert swap_xy(g("LINESTRING(1 2,3 4)")).wkt == "LINESTRING(2 1,4 3)"
+
+    def test_rotate_quarter_turn(self):
+        assert rotate_quarter_turns(g("POINT(1 0)"), 1).wkt == "POINT(0 1)"
+        assert rotate_quarter_turns(g("POINT(1 0)"), 2).wkt == "POINT(-1 0)"
+
+    def test_rotate_with_rational_cosine(self):
+        # A 3-4-5 rotation keeps coordinates rational.
+        from fractions import Fraction
+
+        rotated = rotate(g("POINT(5 0)"), Fraction(3, 5), Fraction(4, 5))
+        assert rotated.wkt == "POINT(3 4)"
+
+    def test_affine_transform_general(self):
+        assert affine_transform(g("POINT(1 2)"), 2, 0, 0, 2, 10, 10).wkt == "POINT(12 14)"
+
+    def test_apply_matrix_matches_affine_transform(self):
+        matrix = ((2, 1, 3), (0, 1, -1), (0, 0, 1))
+        assert apply_matrix(g("POINT(1 1)"), matrix).wkt == "POINT(6 0)"
+
+    def test_apply_matrix_validates_shape(self):
+        with pytest.raises(ValueError):
+            apply_matrix(g("POINT(0 0)"), ((1, 0), (0, 1)))
+
+    def test_structure_preserved_by_transform(self):
+        polygon = g("POLYGON((0 0,4 0,4 4,0 4,0 0),(1 1,2 1,2 2,1 2,1 1))")
+        moved = translate(polygon, 1, 1)
+        assert moved.geom_type == "POLYGON"
+        assert len(moved.holes) == 1

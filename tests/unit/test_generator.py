@@ -1,0 +1,117 @@
+"""Unit tests for the random-shape strategy and the geometry-aware generator."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.derive import EDITING_FUNCTIONS, Deriver
+from repro.core.generator import DatabaseSpec, GeneratorConfig, GeometryAwareGenerator
+from repro.core.shapes import RandomShapeGenerator, ShapeConfig
+from repro.engine.database import connect
+from repro.geometry import load_wkt
+from repro.geometry.model import ALL_TYPE_NAMES
+
+
+class TestRandomShapeGenerator:
+    def test_every_type_can_be_generated(self, rng):
+        generator = RandomShapeGenerator(rng)
+        for type_name in ALL_TYPE_NAMES:
+            geometry = generator.random_geometry(type_name)
+            assert geometry.geom_type == type_name
+
+    def test_generated_wkt_is_always_parsable(self, rng):
+        generator = RandomShapeGenerator(rng)
+        for _ in range(200):
+            geometry = generator.random_geometry()
+            assert load_wkt(geometry.wkt).wkt == geometry.wkt
+
+    def test_coordinates_respect_configured_range(self, rng):
+        config = ShapeConfig(coordinate_range=(0, 5), empty_probability=0.0)
+        generator = RandomShapeGenerator(rng, config)
+        for _ in range(100):
+            geometry = generator.random_geometry()
+            for coordinate in geometry.coordinates():
+                assert 0 <= coordinate.x <= 5
+                assert 0 <= coordinate.y <= 5
+
+    def test_integer_coordinates_only(self, rng):
+        generator = RandomShapeGenerator(rng)
+        for _ in range(100):
+            for coordinate in generator.random_geometry().coordinates():
+                assert coordinate.x.denominator == 1
+                assert coordinate.y.denominator == 1
+
+    def test_empty_probability_zero_never_generates_empty_points(self, rng):
+        config = ShapeConfig(empty_probability=0.0, empty_element_probability=0.0)
+        generator = RandomShapeGenerator(rng, config)
+        for _ in range(100):
+            assert not generator.random_point().is_empty
+
+
+class TestDeriver:
+    def test_editing_function_table_covers_the_paper_categories(self):
+        categories = {function.category for function in EDITING_FUNCTIONS}
+        assert categories == {"line-based", "polygon-based", "multi-dimensional", "generic"}
+
+    def test_derive_produces_parsable_wkt(self, rng, postgis):
+        deriver = Deriver(postgis, rng)
+        existing = ["LINESTRING(0 0,2 2,4 0)", "POLYGON((0 0,4 0,4 4,0 4,0 0))"]
+        for _ in range(40):
+            derived = deriver.derive(existing)
+            assert load_wkt(derived) is not None
+
+    def test_derive_with_no_existing_geometries_returns_empty(self, rng, postgis):
+        deriver = Deriver(postgis, rng)
+        assert deriver.derive([]) == "GEOMETRYCOLLECTION EMPTY"
+
+    def test_deriver_respects_dialect_function_catalog(self, rng, mysql):
+        deriver = Deriver(mysql, rng)
+        names = {function.name for function in deriver.functions}
+        assert "st_dumprings" not in names
+        assert "st_boundary" in names
+
+    def test_failed_derivation_falls_back_to_empty(self, rng, postgis):
+        deriver = Deriver(postgis, rng)
+        # Force a specific polygon-based function onto a point: must not raise.
+        deriver.functions = [f for f in EDITING_FUNCTIONS if f.name == "st_dumprings"]
+        assert deriver.derive(["POINT(1 1)"]) == "GEOMETRYCOLLECTION EMPTY"
+
+
+class TestGeometryAwareGenerator:
+    def test_generates_requested_counts(self, rng, postgis):
+        generator = GeometryAwareGenerator(
+            postgis, GeneratorConfig(geometry_count=12, table_count=3), rng
+        )
+        spec = generator.generate()
+        assert spec.geometry_count() == 12
+        assert spec.table_names() == ["t1", "t2", "t3"]
+
+    def test_rsg_mode_never_calls_the_deriver(self, rng, postgis):
+        generator = GeometryAwareGenerator(
+            postgis,
+            GeneratorConfig(geometry_count=10, use_derivative_strategy=False),
+            rng,
+        )
+        generator.deriver.derive = lambda *args, **kwargs: pytest.fail(
+            "derivative strategy must be disabled"
+        )
+        spec = generator.generate()
+        assert spec.geometry_count() == 10
+
+    def test_spec_create_statements_materialise(self, rng, postgis):
+        generator = GeometryAwareGenerator(postgis, GeneratorConfig(geometry_count=6), rng)
+        spec = generator.generate()
+        target = connect("postgis")
+        for statement in spec.create_statements():
+            target.execute(statement)
+        assert sum(target.row_count(t) for t in spec.table_names()) == 6
+
+    def test_database_spec_helpers(self):
+        spec = DatabaseSpec(tables={"t1": ["POINT(0 0)"], "t2": ["POINT(1 1)", "POINT(2 2)"]})
+        assert spec.geometry_count() == 3
+        assert spec.all_wkts()[0] == "POINT(0 0)"
+        statements = spec.create_statements()
+        assert statements[0] == "CREATE TABLE t1 (g geometry)"
+        assert any("INSERT INTO t2" in s for s in statements)

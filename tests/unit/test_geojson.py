@@ -1,0 +1,175 @@
+"""Unit tests for GeoJSON conversion and the format differential oracle."""
+
+import json
+
+import pytest
+
+from repro.baselines.format_differential import (
+    PAPER_EMPTY_POLYGON_DOCUMENT,
+    FormatDifferentialOracle,
+    read_geojson_as,
+)
+from repro.engine.database import connect
+from repro.geometry import load_wkt
+from repro.geometry.geojson import (
+    GeoJSONParseError,
+    dump_geojson,
+    geometry_to_mapping,
+    load_geojson,
+)
+
+
+ROUNDTRIP_WKTS = [
+    "POINT(1 2)",
+    "POINT EMPTY",
+    "LINESTRING(0 0,1 1,2 0)",
+    "LINESTRING EMPTY",
+    "POLYGON((0 0,4 0,4 4,0 4,0 0))",
+    "POLYGON((0 0,10 0,10 10,0 10,0 0),(2 2,4 2,4 4,2 4,2 2))",
+    "POLYGON EMPTY",
+    "MULTIPOINT((1 1),(2 2))",
+    "MULTILINESTRING((0 0,1 1),(2 2,3 3))",
+    "MULTIPOLYGON(((0 0,1 0,1 1,0 1,0 0)),((5 5,6 5,6 6,5 6,5 5)))",
+    "GEOMETRYCOLLECTION(POINT(1 1),LINESTRING(0 0,2 2))",
+    "GEOMETRYCOLLECTION EMPTY",
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("wkt", ROUNDTRIP_WKTS)
+    def test_wkt_geojson_wkt_roundtrip(self, wkt):
+        geometry = load_wkt(wkt)
+        document = dump_geojson(geometry)
+        assert load_geojson(document).wkt == geometry.wkt
+
+    def test_mapping_structure_for_point(self):
+        mapping = geometry_to_mapping(load_wkt("POINT(1 2)"))
+        assert mapping == {"type": "Point", "coordinates": [1, 2]}
+
+    def test_mapping_structure_for_polygon_with_hole(self):
+        mapping = geometry_to_mapping(
+            load_wkt("POLYGON((0 0,10 0,10 10,0 10,0 0),(2 2,4 2,4 4,2 4,2 2))")
+        )
+        assert mapping["type"] == "Polygon"
+        assert len(mapping["coordinates"]) == 2
+        assert mapping["coordinates"][0][0] == [0, 0]
+
+    def test_empty_polygon_document_matches_paper(self):
+        document = dump_geojson(load_wkt("POLYGON EMPTY"))
+        assert json.loads(document) == json.loads(PAPER_EMPTY_POLYGON_DOCUMENT)
+
+    def test_fractional_coordinates_round_trip(self):
+        geometry = load_wkt("POINT(0.5 2.25)")
+        assert load_geojson(dump_geojson(geometry)).wkt == "POINT(0.5 2.25)"
+
+    def test_output_is_valid_json(self):
+        document = dump_geojson(load_wkt("MULTIPOINT((1 1),(2 2))"))
+        parsed = json.loads(document)
+        assert parsed["type"] == "MultiPoint"
+        assert parsed["coordinates"] == [[1, 1], [2, 2]]
+
+
+class TestParsingErrors:
+    def test_invalid_json(self):
+        with pytest.raises(GeoJSONParseError):
+            load_geojson("{not json")
+
+    def test_missing_type(self):
+        with pytest.raises(GeoJSONParseError):
+            load_geojson('{"coordinates": [1, 2]}')
+
+    def test_missing_coordinates(self):
+        with pytest.raises(GeoJSONParseError):
+            load_geojson('{"type": "Point"}')
+
+    def test_unsupported_type(self):
+        with pytest.raises(GeoJSONParseError):
+            load_geojson('{"type": "CircularString", "coordinates": []}')
+
+    def test_bad_position(self):
+        with pytest.raises(GeoJSONParseError):
+            load_geojson('{"type": "Point", "coordinates": [1]}')
+
+
+class TestDialectConversionBehaviour:
+    def test_reference_reader_returns_empty_polygon(self):
+        geometry = read_geojson_as("postgis", PAPER_EMPTY_POLYGON_DOCUMENT)
+        assert geometry is not None
+        assert geometry.geom_type == "POLYGON"
+        assert geometry.is_empty
+
+    def test_duckdb_reader_reproduces_gdal_null(self):
+        assert read_geojson_as("duckdb_spatial", PAPER_EMPTY_POLYGON_DOCUMENT) is None
+
+    def test_duckdb_reader_is_correct_for_non_empty_polygons(self):
+        document = dump_geojson(load_wkt("POLYGON((0 0,1 0,1 1,0 1,0 0))"))
+        geometry = read_geojson_as("duckdb_spatial", document)
+        assert geometry is not None and not geometry.is_empty
+
+
+class TestFormatDifferentialOracle:
+    def test_rediscovers_the_paper_finding(self):
+        oracle = FormatDifferentialOracle("postgis", "duckdb_spatial")
+        outcome = oracle.run(["POLYGON EMPTY", "POINT(1 1)"])
+        assert outcome.documents_checked == 2
+        assert outcome.found_empty_polygon_bug()
+        assert len(outcome.findings) == 1
+        finding = outcome.findings[0]
+        assert finding.result_b is None
+        assert "POLYGON EMPTY" in finding.result_a
+
+    def test_no_findings_between_spec_compliant_readers(self):
+        oracle = FormatDifferentialOracle("postgis", "mysql")
+        outcome = oracle.run(["POLYGON EMPTY", "POINT(1 1)", "LINESTRING(0 0,1 1)"])
+        assert outcome.findings == []
+
+    def test_extra_documents_are_checked(self):
+        oracle = FormatDifferentialOracle("postgis", "duckdb_spatial")
+        outcome = oracle.run([], extra_documents=[PAPER_EMPTY_POLYGON_DOCUMENT])
+        assert outcome.documents_checked == 1
+        assert outcome.found_empty_polygon_bug()
+
+    def test_unparseable_workload_entries_are_ignored(self):
+        oracle = FormatDifferentialOracle()
+        outcome = oracle.run(["NOT A WKT"])
+        assert outcome.errors_ignored == 1
+        assert outcome.findings == []
+
+
+class TestSqlExposure:
+    def test_st_asgeojson(self):
+        db = connect("postgis")
+        document = db.query_value(
+            "SELECT ST_AsGeoJSON(ST_GeomFromText('POINT(1 2)'))"
+        )
+        assert json.loads(document) == {"type": "Point", "coordinates": [1, 2]}
+
+    def test_st_geomfromgeojson_roundtrip(self):
+        db = connect("postgis")
+        wkt = db.query_value(
+            "SELECT ST_AsText(ST_GeomFromGeoJSON('"
+            '{"type":"LineString","coordinates":[[0,0],[1,1]]}'
+            "'))"
+        )
+        assert wkt == "LINESTRING(0 0,1 1)"
+
+    def test_duckdb_sql_reader_reproduces_null(self):
+        db = connect("duckdb_spatial")
+        value = db.query_value(
+            "SELECT ST_GeomFromGeoJSON('" + PAPER_EMPTY_POLYGON_DOCUMENT + "')"
+        )
+        assert value is None
+
+    def test_postgis_sql_reader_returns_empty_polygon(self):
+        db = connect("postgis")
+        wkt = db.query_value(
+            "SELECT ST_AsText(ST_GeomFromGeoJSON('" + PAPER_EMPTY_POLYGON_DOCUMENT + "'))"
+        )
+        assert wkt == "POLYGON EMPTY"
+
+    def test_sqlserver_has_no_geojson_functions(self):
+        from repro.errors import UnknownFunctionError
+
+        db = connect("sqlserver")
+        with pytest.raises(UnknownFunctionError):
+            db.query_value("SELECT ST_AsGeoJSON(ST_GeomFromText('POINT(0 0)'))")

@@ -1,0 +1,206 @@
+"""Unit tests for the geometry model (repro.geometry.model)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import GeometryTypeError
+from repro.geometry.model import (
+    Coordinate,
+    Envelope,
+    GeometryCollection,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+    empty_of_type,
+    flatten,
+)
+
+
+class TestCoordinate:
+    def test_exact_decimal_conversion(self):
+        coordinate = Coordinate("0.2", "0.9")
+        assert coordinate.x == Fraction(1, 5)
+        assert coordinate.y == Fraction(9, 10)
+
+    def test_integer_conversion(self):
+        coordinate = Coordinate(3, -4)
+        assert coordinate.x == 3
+        assert coordinate.y == -4
+
+    def test_equality_and_hash(self):
+        assert Coordinate(1, 2) == Coordinate("1", "2")
+        assert hash(Coordinate(1, 2)) == hash(Coordinate(1, 2))
+        assert Coordinate(1, 2) != Coordinate(2, 1)
+
+    def test_immutable(self):
+        coordinate = Coordinate(0, 0)
+        with pytest.raises(AttributeError):
+            coordinate.x = 5
+
+    def test_translated(self):
+        assert Coordinate(1, 1).translated(2, -3) == Coordinate(3, -2)
+
+    def test_rejects_boolean(self):
+        with pytest.raises(GeometryTypeError):
+            Coordinate(True, 0)
+
+    def test_ordering(self):
+        assert Coordinate(0, 1) < Coordinate(1, 0)
+        assert Coordinate(1, 0) < Coordinate(1, 2)
+
+
+class TestPoint:
+    def test_empty_point(self):
+        point = Point.empty()
+        assert point.is_empty
+        assert point.dimension == 0
+        assert list(point.coordinates()) == []
+
+    def test_accessors(self):
+        point = Point((3, 5))
+        assert point.x == 3
+        assert point.y == 5
+
+    def test_empty_point_has_no_ordinates(self):
+        with pytest.raises(GeometryTypeError):
+            _ = Point.empty().x
+
+    def test_transform(self):
+        moved = Point((1, 2)).transform(lambda c: c.translated(1, 1))
+        assert moved == Point((2, 3))
+
+
+class TestLineString:
+    def test_rejects_single_point(self):
+        with pytest.raises(GeometryTypeError):
+            LineString([(0, 0)])
+
+    def test_segments(self):
+        line = LineString([(0, 0), (1, 0), (1, 1)])
+        assert list(line.segments()) == [
+            (Coordinate(0, 0), Coordinate(1, 0)),
+            (Coordinate(1, 0), Coordinate(1, 1)),
+        ]
+
+    def test_closed(self):
+        assert LineString([(0, 0), (1, 0), (0, 1), (0, 0)]).is_closed
+        assert not LineString([(0, 0), (1, 0)]).is_closed
+
+    def test_reversed(self):
+        line = LineString([(0, 0), (1, 0), (2, 2)])
+        assert line.reversed().points == list(reversed(line.points))
+
+
+class TestPolygon:
+    def test_auto_closes_rings(self):
+        polygon = Polygon([(0, 0), (2, 0), (2, 2), (0, 2)])
+        assert polygon.exterior[0] == polygon.exterior[-1]
+        assert len(polygon.exterior) == 5
+
+    def test_holes_are_closed_too(self):
+        polygon = Polygon(
+            [(0, 0), (4, 0), (4, 4), (0, 4)],
+            holes=[[(1, 1), (2, 1), (2, 2), (1, 2)]],
+        )
+        assert len(polygon.holes) == 1
+        assert polygon.holes[0][0] == polygon.holes[0][-1]
+
+    def test_ring_needs_three_points(self):
+        with pytest.raises(GeometryTypeError):
+            Polygon([(0, 0), (1, 1)])
+
+    def test_dimension(self):
+        assert Polygon([(0, 0), (1, 0), (0, 1)]).dimension == 2
+
+
+class TestMultiGeometries:
+    def test_multipoint_element_type_enforced(self):
+        with pytest.raises(GeometryTypeError):
+            MultiPoint([LineString([(0, 0), (1, 1)])])
+
+    def test_collection_accepts_mixed_elements(self):
+        collection = GeometryCollection([Point((0, 0)), LineString([(0, 0), (1, 0)])])
+        assert len(collection) == 2
+        assert collection.dimension == 1
+
+    def test_empty_detection_with_empty_elements(self):
+        multi = MultiPoint([Point.empty(), Point.empty()])
+        assert multi.is_empty
+        partially = MultiPoint([Point.empty(), Point((1, 1))])
+        assert not partially.is_empty
+
+    def test_flatten_traverses_nested_collections(self):
+        nested = GeometryCollection(
+            [GeometryCollection([Point((1, 1))]), MultiPoint([Point((2, 2))])]
+        )
+        flattened = list(flatten(nested))
+        assert [g.geom_type for g in flattened] == ["POINT", "POINT"]
+
+    def test_dimension_ignores_empty_elements(self):
+        collection = GeometryCollection([Polygon.empty(), Point((1, 1))])
+        assert collection.dimension == 0
+
+    def test_multipolygon_dimension(self):
+        assert MultiPolygon([Polygon([(0, 0), (1, 0), (0, 1)])]).dimension == 2
+
+    def test_multilinestring_iteration(self):
+        multi = MultiLineString([LineString([(0, 0), (1, 1)])])
+        assert [g.geom_type for g in multi] == ["LINESTRING"]
+
+
+class TestEnvelope:
+    def test_envelope_of_polygon(self):
+        envelope = Polygon([(0, 0), (4, 0), (4, 3), (0, 3)]).envelope()
+        assert envelope == Envelope(Fraction(0), Fraction(0), Fraction(4), Fraction(3))
+
+    def test_envelope_of_empty_geometry_is_none(self):
+        assert Point.empty().envelope() is None
+
+    def test_intersects_and_contains(self):
+        a = Envelope(Fraction(0), Fraction(0), Fraction(2), Fraction(2))
+        b = Envelope(Fraction(1), Fraction(1), Fraction(3), Fraction(3))
+        c = Envelope(Fraction(5), Fraction(5), Fraction(6), Fraction(6))
+        assert a.intersects(b)
+        assert not a.intersects(c)
+        assert a.contains(Envelope(Fraction(0), Fraction(0), Fraction(1), Fraction(1)))
+        assert not a.contains(b)
+
+    def test_expanded_area_margin(self):
+        a = Envelope(Fraction(0), Fraction(0), Fraction(1), Fraction(1))
+        b = Envelope(Fraction(2), Fraction(2), Fraction(3), Fraction(3))
+        combined = a.expanded(b)
+        assert combined.area() == 9
+        assert combined.margin() == 6
+
+
+class TestTypeHelpers:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "POINT",
+            "LINESTRING",
+            "POLYGON",
+            "MULTIPOINT",
+            "MULTILINESTRING",
+            "MULTIPOLYGON",
+            "GEOMETRYCOLLECTION",
+        ],
+    )
+    def test_empty_of_type(self, name):
+        geometry = empty_of_type(name)
+        assert geometry.is_empty
+        assert geometry.geom_type == name
+
+    def test_empty_of_unknown_type(self):
+        with pytest.raises(GeometryTypeError):
+            empty_of_type("CIRCULARSTRING")
+
+    def test_wkt_equality_semantics(self):
+        assert Point((1, 2)) == Point((1, 2))
+        assert Point((1, 2)) != Point((2, 1))

@@ -1,0 +1,93 @@
+"""Unit tests for the KNN extension of AEI (the paper's Section 7 sketch)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.affine import AffineTransformation, rigid_affine_transformation
+from repro.core.generator import DatabaseSpec
+from repro.core.knn import KNNOracle
+from repro.engine.database import connect
+
+
+SPEC = DatabaseSpec(
+    tables={
+        "t1": [
+            "POINT(0 0)",
+            "POINT(3 0)",
+            "POINT(10 0)",
+            "POINT(0 7)",
+            "POLYGON((20 20,22 20,22 22,20 22,20 20))",
+        ]
+    }
+)
+
+
+class TestKNNQueries:
+    def test_knn_sql_shape(self):
+        sql = KNNOracle.knn_sql("t1", "POINT(1 1)", 3)
+        assert "ORDER BY ST_Distance" in sql
+        assert sql.endswith("LIMIT 3")
+
+    def test_knn_query_returns_nearest_rows_in_order(self):
+        oracle = KNNOracle(lambda: connect("postgis"), random.Random(0))
+        database = oracle.materialise(SPEC)
+        rows = database.query_rows(KNNOracle.knn_sql("t1", "POINT(1 0)", 3))
+        assert [row[0] for row in rows] == [1, 2, 4]
+
+    def test_limit_caps_the_neighbour_count(self):
+        oracle = KNNOracle(lambda: connect("postgis"), random.Random(0))
+        database = oracle.materialise(SPEC)
+        rows = database.query_rows(KNNOracle.knn_sql("t1", "POINT(0 0)", 2))
+        assert len(rows) == 2
+
+
+class TestKNNOracle:
+    def test_clean_engine_is_invariant_under_rigid_transformations(self):
+        oracle = KNNOracle(lambda: connect("postgis"), random.Random(3))
+        outcome = oracle.check(SPEC, query_count=12, k=3)
+        assert outcome.queries_run == 12
+        assert outcome.discrepancies == []
+
+    def test_every_rigid_transformation_preserves_knn(self):
+        rng = random.Random(11)
+        for _ in range(5):
+            transformation = rigid_affine_transformation(rng)
+            oracle = KNNOracle(lambda: connect("postgis"), random.Random(5))
+            outcome = oracle.check(SPEC, query_count=6, k=2, transformation=transformation)
+            assert outcome.discrepancies == []
+
+    def test_shearing_is_not_a_valid_knn_transformation(self):
+        # The paper's caveat: shearing does not preserve relative distances,
+        # so even a correct engine produces "discrepancies" under a shear -
+        # which is why the KNN oracle restricts itself to rigid transforms.
+        shear = AffineTransformation.from_parts(1, 3, 0, 1, 0, 0)
+        oracle = KNNOracle(lambda: connect("postgis"), random.Random(9))
+        outcome = oracle.check(SPEC, query_count=25, k=3, transformation=shear)
+        assert outcome.discrepancies
+
+    def test_distance_recursion_bug_changes_knn_results(self):
+        # A geometry with an EMPTY element makes the buggy ST_Distance pick
+        # the wrong element, reordering the neighbour list.
+        spec = DatabaseSpec(
+            tables={
+                "t1": [
+                    "MULTIPOINT((9 0),(0 0))",
+                    "POINT(2 0)",
+                    "POINT(6 0)",
+                ]
+            }
+        )
+        buggy_factory = lambda: connect("postgis", bug_ids=["geos-distance-empty-recursion"])
+        clean_factory = lambda: connect("postgis")
+
+        def neighbours(factory, wkts):
+            oracle = KNNOracle(factory, random.Random(0))
+            database = oracle.materialise(DatabaseSpec(tables={"t1": wkts}))
+            return [row[0] for row in database.query_rows(KNNOracle.knn_sql("t1", "POINT(0 0)", 3))]
+
+        with_empty = ["MULTIPOINT((9 0),(0 0),EMPTY)", "POINT(2 0)", "POINT(6 0)"]
+        assert neighbours(clean_factory, with_empty) == [1, 2, 3]
+        assert neighbours(buggy_factory, with_empty) != [1, 2, 3]

@@ -1,0 +1,85 @@
+"""Unit tests for distance measures (ST_Distance family)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.geometry import load_wkt
+from repro.topology.measures import dfullywithin, distance, dwithin, max_distance
+
+
+def g(wkt: str):
+    return load_wkt(wkt)
+
+
+class TestDistance:
+    def test_point_to_point(self):
+        assert distance(g("POINT(0 0)"), g("POINT(3 4)")) == 5.0
+
+    def test_point_to_segment(self):
+        assert distance(g("POINT(1 1)"), g("LINESTRING(0 0,2 0)")) == 1.0
+
+    def test_point_inside_polygon_is_zero(self):
+        assert distance(g("POINT(1 1)"), g("POLYGON((0 0,4 0,4 4,0 4,0 0))")) == 0.0
+
+    def test_disjoint_polygons(self):
+        value = distance(
+            g("POLYGON((0 0,1 0,1 1,0 1,0 0))"), g("POLYGON((4 0,5 0,5 1,4 1,4 0))")
+        )
+        assert value == 3.0
+
+    def test_multipoint_minimum_ignores_empty_elements(self):
+        # Paper Listing 5: the correct answer is 2, not 3.
+        value = distance(g("MULTIPOINT((1 0),(0 0))"), g("MULTIPOINT((-2 0),EMPTY)"))
+        assert value == 2.0
+
+    def test_distance_to_fully_empty_geometry_is_null(self):
+        assert distance(g("POINT(0 0)"), g("MULTIPOINT(EMPTY)")) is None
+        assert distance(g("POINT EMPTY"), g("POINT(1 1)")) is None
+
+    def test_crossing_lines_have_zero_distance(self):
+        assert distance(g("LINESTRING(0 0,2 2)"), g("LINESTRING(0 2,2 0)")) == 0.0
+
+    def test_diagonal_distance_is_irrational(self):
+        value = distance(g("POINT(0 0)"), g("POINT(1 1)"))
+        assert value == pytest.approx(math.sqrt(2))
+
+
+class TestDWithin:
+    def test_within_threshold(self):
+        assert dwithin(g("POINT(0 0)"), g("POINT(3 4)"), 5)
+        assert dwithin(g("POINT(0 0)"), g("POINT(3 4)"), 6)
+
+    def test_outside_threshold(self):
+        assert not dwithin(g("POINT(0 0)"), g("POINT(3 4)"), 4)
+
+    def test_exact_threshold_comparison_is_not_subject_to_rounding(self):
+        # 5 is exactly the distance; <= must hold.
+        assert dwithin(g("POINT(0 0)"), g("POINT(3 4)"), 5)
+
+    def test_null_propagation(self):
+        assert dwithin(g("POINT EMPTY"), g("POINT(0 0)"), 10) is None
+
+
+class TestMaxDistanceAndDFullyWithin:
+    def test_max_distance_of_nested_shapes(self):
+        square = g("POLYGON((0 0,4 0,4 4,0 4,0 0))")
+        point = g("POINT(0 0)")
+        assert max_distance(point, square) == pytest.approx(math.sqrt(32))
+
+    def test_dfullywithin_true_for_intersecting_shapes_with_large_threshold(self):
+        # Paper Listing 9: the expected answer is true.
+        line = g("LINESTRING(0 0,0 1,1 0,0 0)")
+        polygon = g("POLYGON((0 0,0 1,1 0,0 0))")
+        assert dfullywithin(line, polygon, 100)
+
+    def test_dfullywithin_false_for_small_threshold(self):
+        assert not dfullywithin(g("POINT(0 0)"), g("POINT(10 0)"), 5)
+
+    def test_dfullywithin_handles_empty_as_null(self):
+        assert dfullywithin(g("POINT EMPTY"), g("POINT(0 0)"), 1) is None
+
+    def test_max_distance_none_for_empty(self):
+        assert max_distance(g("MULTIPOINT(EMPTY)"), g("POINT(0 0)")) is None

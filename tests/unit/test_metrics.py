@@ -1,0 +1,143 @@
+"""Unit tests for scalar measurement functions (ST_Area, ST_Length, ...)."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import GeometryTypeError
+from repro.functions import metrics
+from repro.geometry import load_wkt
+
+
+class TestArea:
+    def test_unit_square(self):
+        assert metrics.area(load_wkt("POLYGON((0 0,1 0,1 1,0 1,0 0))")) == 1
+
+    def test_orientation_does_not_matter(self):
+        ccw = load_wkt("POLYGON((0 0,2 0,2 2,0 2,0 0))")
+        cw = load_wkt("POLYGON((0 0,0 2,2 2,2 0,0 0))")
+        assert metrics.area(ccw) == metrics.area(cw) == 4
+
+    def test_hole_is_subtracted(self):
+        polygon = load_wkt(
+            "POLYGON((0 0,10 0,10 10,0 10,0 0),(2 2,4 2,4 4,2 4,2 2))"
+        )
+        assert metrics.area(polygon) == 100 - 4
+
+    def test_multipolygon_sums_parts(self):
+        multi = load_wkt(
+            "MULTIPOLYGON(((0 0,1 0,1 1,0 1,0 0)),((5 5,7 5,7 7,5 7,5 5)))"
+        )
+        assert metrics.area(multi) == 1 + 4
+
+    def test_collection_counts_only_polygonal_parts(self):
+        mixed = load_wkt(
+            "GEOMETRYCOLLECTION(POINT(0 0),LINESTRING(0 0,9 9),"
+            "POLYGON((0 0,3 0,3 3,0 3,0 0)))"
+        )
+        assert metrics.area(mixed) == 9
+
+    def test_points_and_lines_have_zero_area(self):
+        assert metrics.area(load_wkt("POINT(1 2)")) == 0
+        assert metrics.area(load_wkt("LINESTRING(0 0,5 5)")) == 0
+
+    def test_empty_geometries_have_zero_area(self):
+        assert metrics.area(load_wkt("POLYGON EMPTY")) == 0
+        assert metrics.area(load_wkt("GEOMETRYCOLLECTION EMPTY")) == 0
+
+    def test_fractional_coordinates_stay_exact(self):
+        triangle = load_wkt("POLYGON((0 0,1 0,0 1,0 0))")
+        assert metrics.area(triangle) == Fraction(1, 2)
+
+
+class TestLengthAndPerimeter:
+    def test_linestring_length(self):
+        assert metrics.length(load_wkt("LINESTRING(0 0,3 4)")) == pytest.approx(5.0)
+
+    def test_multilinestring_length_sums_elements(self):
+        multi = load_wkt("MULTILINESTRING((0 0,3 4),(0 0,0 2))")
+        assert metrics.length(multi) == pytest.approx(7.0)
+
+    def test_polygon_contributes_no_length(self):
+        assert metrics.length(load_wkt("POLYGON((0 0,1 0,1 1,0 1,0 0))")) == 0.0
+
+    def test_square_perimeter(self):
+        assert metrics.perimeter(load_wkt("POLYGON((0 0,2 0,2 2,0 2,0 0))")) == pytest.approx(8.0)
+
+    def test_perimeter_includes_holes(self):
+        polygon = load_wkt(
+            "POLYGON((0 0,10 0,10 10,0 10,0 0),(2 2,3 2,3 3,2 3,2 2))"
+        )
+        assert metrics.perimeter(polygon) == pytest.approx(40.0 + 4.0)
+
+    def test_line_contributes_no_perimeter(self):
+        assert metrics.perimeter(load_wkt("LINESTRING(0 0,2 0)")) == 0.0
+
+    def test_empty_inputs(self):
+        assert metrics.length(load_wkt("LINESTRING EMPTY")) == 0.0
+        assert metrics.perimeter(load_wkt("POLYGON EMPTY")) == 0.0
+
+    def test_collection_length_and_perimeter(self):
+        mixed = load_wkt(
+            "GEOMETRYCOLLECTION(LINESTRING(0 0,0 1),POLYGON((0 0,1 0,1 1,0 1,0 0)))"
+        )
+        assert metrics.length(mixed) == pytest.approx(1.0)
+        assert metrics.perimeter(mixed) == pytest.approx(4.0)
+
+
+class TestAzimuth:
+    def test_due_north_is_zero(self):
+        assert metrics.azimuth(load_wkt("POINT(0 0)"), load_wkt("POINT(0 5)")) == pytest.approx(0.0)
+
+    def test_due_east_is_half_pi(self):
+        value = metrics.azimuth(load_wkt("POINT(0 0)"), load_wkt("POINT(5 0)"))
+        assert value == pytest.approx(math.pi / 2)
+
+    def test_due_south_is_pi(self):
+        value = metrics.azimuth(load_wkt("POINT(0 0)"), load_wkt("POINT(0 -1)"))
+        assert value == pytest.approx(math.pi)
+
+    def test_due_west_is_three_half_pi(self):
+        value = metrics.azimuth(load_wkt("POINT(0 0)"), load_wkt("POINT(-1 0)"))
+        assert value == pytest.approx(3 * math.pi / 2)
+
+    def test_same_point_returns_none(self):
+        assert metrics.azimuth(load_wkt("POINT(1 1)"), load_wkt("POINT(1 1)")) is None
+
+    def test_empty_point_returns_none(self):
+        assert metrics.azimuth(load_wkt("POINT EMPTY"), load_wkt("POINT(1 1)")) is None
+
+    def test_non_point_raises(self):
+        with pytest.raises(GeometryTypeError):
+            metrics.azimuth(load_wkt("LINESTRING(0 0,1 1)"), load_wkt("POINT(1 1)"))
+
+
+class TestHelpers:
+    def test_num_coordinates(self):
+        assert metrics.num_coordinates(load_wkt("LINESTRING(0 0,1 1,2 2)")) == 3
+        assert metrics.num_coordinates(load_wkt("POLYGON((0 0,1 0,1 1,0 1,0 0))")) == 5
+
+    def test_bounding_box_dimensions(self):
+        dims = metrics.bounding_box_dimensions(load_wkt("LINESTRING(1 2,4 8)"))
+        assert dims == (3, 6)
+        assert metrics.bounding_box_dimensions(load_wkt("POINT EMPTY")) is None
+
+    def test_is_degenerate_polygon(self):
+        assert metrics.is_degenerate(load_wkt("POLYGON((0 0,1 1,2 2,0 0))"))
+        assert not metrics.is_degenerate(load_wkt("POLYGON((0 0,1 0,1 1,0 1,0 0))"))
+        assert not metrics.is_degenerate(load_wkt("POINT(0 0)"))
+
+    def test_squared_length_terms_scale_quadratically(self):
+        from repro.functions import affine_ops
+
+        line = load_wkt("LINESTRING(0 0,3 4,6 0)")
+        scaled = affine_ops.scale(line, 3, 3)
+        original_terms = metrics.squared_length_terms(line)
+        scaled_terms = metrics.squared_length_terms(scaled)
+        assert scaled_terms == [term * 9 for term in original_terms]
+
+    def test_point_count_by_type(self):
+        mixed = load_wkt("GEOMETRYCOLLECTION(POINT(0 0),LINESTRING(0 0,1 1))")
+        counts = metrics.point_count_by_type(mixed)
+        assert counts == {"POINT": 1, "LINESTRING": 2}

@@ -1,0 +1,310 @@
+"""Unit tests for the overlay subsystem (intersection, union, difference)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import GeometryTypeError
+from repro.functions import metrics
+from repro.geometry import load_wkt
+from repro.overlay import difference, intersection, overlay, sym_difference, union
+from repro.topology import predicates
+
+
+class TestPolygonPolygon:
+    def test_overlapping_squares_intersection_area(self):
+        a = load_wkt("POLYGON((0 0,4 0,4 4,0 4,0 0))")
+        b = load_wkt("POLYGON((2 2,6 2,6 6,2 6,2 2))")
+        result = intersection(a, b)
+        assert result.geom_type == "POLYGON"
+        assert metrics.area(result) == 4
+
+    def test_union_area_follows_inclusion_exclusion(self):
+        a = load_wkt("POLYGON((0 0,4 0,4 4,0 4,0 0))")
+        b = load_wkt("POLYGON((2 2,6 2,6 6,2 6,2 2))")
+        assert metrics.area(union(a, b)) == 16 + 16 - 4
+
+    def test_difference_removes_overlap(self):
+        a = load_wkt("POLYGON((0 0,4 0,4 4,0 4,0 0))")
+        b = load_wkt("POLYGON((2 2,6 2,6 6,2 6,2 2))")
+        assert metrics.area(difference(a, b)) == 12
+        assert metrics.area(difference(b, a)) == 12
+
+    def test_sym_difference_is_two_parts(self):
+        a = load_wkt("POLYGON((0 0,4 0,4 4,0 4,0 0))")
+        b = load_wkt("POLYGON((2 2,6 2,6 6,2 6,2 2))")
+        result = sym_difference(a, b)
+        assert result.geom_type == "MULTIPOLYGON"
+        assert metrics.area(result) == 24
+
+    def test_difference_creates_hole(self):
+        outer = load_wkt("POLYGON((0 0,10 0,10 10,0 10,0 0))")
+        inner = load_wkt("POLYGON((2 2,4 2,4 4,2 4,2 2))")
+        result = difference(outer, inner)
+        assert result.geom_type == "POLYGON"
+        assert len(result.holes) == 1
+        assert metrics.area(result) == 96
+        assert not predicates.intersects(result, load_wkt("POINT(3 3)"))
+        assert predicates.intersects(result, load_wkt("POINT(1 1)"))
+
+    def test_disjoint_polygons_intersection_is_empty(self):
+        a = load_wkt("POLYGON((0 0,1 0,1 1,0 1,0 0))")
+        b = load_wkt("POLYGON((5 5,6 5,6 6,5 6,5 5))")
+        assert intersection(a, b).is_empty
+
+    def test_disjoint_polygons_union_keeps_both(self):
+        a = load_wkt("POLYGON((0 0,1 0,1 1,0 1,0 0))")
+        b = load_wkt("POLYGON((5 5,6 5,6 6,5 6,5 5))")
+        result = union(a, b)
+        assert result.geom_type == "MULTIPOLYGON"
+        assert metrics.area(result) == 2
+
+    def test_identical_polygons(self):
+        a = load_wkt("POLYGON((0 0,4 0,4 4,0 4,0 0))")
+        assert metrics.area(intersection(a, a)) == 16
+        assert metrics.area(union(a, a)) == 16
+        assert difference(a, a).is_empty
+        assert sym_difference(a, a).is_empty
+
+    def test_contained_polygon_intersection_is_inner(self):
+        outer = load_wkt("POLYGON((0 0,10 0,10 10,0 10,0 0))")
+        inner = load_wkt("POLYGON((2 2,4 2,4 4,2 4,2 2))")
+        result = intersection(outer, inner)
+        assert metrics.area(result) == 4
+        assert predicates.equals(result, inner)
+
+    def test_adjacent_polygons_union_dissolves_shared_edge(self):
+        a = load_wkt("POLYGON((0 0,2 0,2 2,0 2,0 0))")
+        b = load_wkt("POLYGON((2 0,4 0,4 2,2 2,2 0))")
+        result = union(a, b)
+        assert result.geom_type == "POLYGON"
+        assert metrics.area(result) == 8
+
+    def test_adjacent_polygons_intersection_is_shared_edge(self):
+        a = load_wkt("POLYGON((0 0,2 0,2 2,0 2,0 0))")
+        b = load_wkt("POLYGON((2 0,4 0,4 2,2 2,2 0))")
+        result = intersection(a, b)
+        assert result.dimension == 1
+        assert metrics.length(result) == pytest.approx(2.0)
+
+    def test_corner_touching_polygons_intersection_is_point(self):
+        a = load_wkt("POLYGON((0 0,2 0,2 2,0 2,0 0))")
+        b = load_wkt("POLYGON((2 2,4 2,4 4,2 4,2 2))")
+        result = intersection(a, b)
+        assert result.wkt == "POINT(2 2)"
+
+    def test_multipolygon_input(self):
+        a = load_wkt("MULTIPOLYGON(((0 0,2 0,2 2,0 2,0 0)),((5 0,7 0,7 2,5 2,5 0)))")
+        b = load_wkt("POLYGON((1 0,6 0,6 2,1 2,1 0))")
+        result = intersection(a, b)
+        assert metrics.area(result) == 2 + 2
+
+    def test_polygon_with_hole_against_polygon_in_hole(self):
+        donut = load_wkt(
+            "POLYGON((0 0,10 0,10 10,0 10,0 0),(3 3,7 3,7 7,3 7,3 3))"
+        )
+        inside_hole = load_wkt("POLYGON((4 4,6 4,6 6,4 6,4 4))")
+        assert intersection(donut, inside_hole).is_empty
+        filled = union(donut, inside_hole)
+        assert metrics.area(filled) == metrics.area(donut) + 4
+
+
+class TestLineLine:
+    def test_crossing_lines_intersect_in_a_point(self):
+        a = load_wkt("LINESTRING(0 0,10 10)")
+        b = load_wkt("LINESTRING(0 10,10 0)")
+        assert intersection(a, b).wkt == "POINT(5 5)"
+
+    def test_collinear_overlap(self):
+        a = load_wkt("LINESTRING(0 0,10 0)")
+        b = load_wkt("LINESTRING(5 0,15 0)")
+        result = intersection(a, b)
+        assert result.geom_type == "LINESTRING"
+        assert metrics.length(result) == pytest.approx(5.0)
+
+    def test_union_of_collinear_lines_merges(self):
+        a = load_wkt("LINESTRING(0 0,10 0)")
+        b = load_wkt("LINESTRING(5 0,15 0)")
+        result = union(a, b)
+        assert metrics.length(result) == pytest.approx(15.0)
+
+    def test_difference_of_overlapping_lines(self):
+        a = load_wkt("LINESTRING(0 0,10 0)")
+        b = load_wkt("LINESTRING(5 0,15 0)")
+        result = difference(a, b)
+        assert metrics.length(result) == pytest.approx(5.0)
+        assert predicates.intersects(result, load_wkt("POINT(2 0)"))
+
+    def test_sym_difference_of_overlapping_lines(self):
+        a = load_wkt("LINESTRING(0 0,10 0)")
+        b = load_wkt("LINESTRING(5 0,15 0)")
+        result = sym_difference(a, b)
+        assert metrics.length(result) == pytest.approx(10.0)
+
+    def test_disjoint_lines(self):
+        a = load_wkt("LINESTRING(0 0,1 1)")
+        b = load_wkt("LINESTRING(5 5,6 6)")
+        assert intersection(a, b).is_empty
+        assert union(a, b).geom_type == "MULTILINESTRING"
+
+    def test_touching_lines_intersect_in_endpoint(self):
+        a = load_wkt("LINESTRING(0 0,5 5)")
+        b = load_wkt("LINESTRING(5 5,10 0)")
+        assert intersection(a, b).wkt == "POINT(5 5)"
+
+
+class TestLinePolygon:
+    def test_line_clipped_by_polygon(self):
+        polygon = load_wkt("POLYGON((0 0,10 0,10 10,0 10,0 0))")
+        line = load_wkt("LINESTRING(-5 5,15 5)")
+        result = intersection(line, polygon)
+        assert result.geom_type == "LINESTRING"
+        assert metrics.length(result) == pytest.approx(10.0)
+
+    def test_line_difference_keeps_outside_parts(self):
+        polygon = load_wkt("POLYGON((0 0,10 0,10 10,0 10,0 0))")
+        line = load_wkt("LINESTRING(-5 5,15 5)")
+        result = difference(line, polygon)
+        assert result.geom_type == "MULTILINESTRING"
+        assert metrics.length(result) == pytest.approx(10.0)
+
+    def test_polygon_minus_line_is_unchanged(self):
+        polygon = load_wkt("POLYGON((0 0,10 0,10 10,0 10,0 0))")
+        line = load_wkt("LINESTRING(-5 5,15 5)")
+        assert metrics.area(difference(polygon, line)) == 100
+
+    def test_union_of_polygon_and_crossing_line(self):
+        polygon = load_wkt("POLYGON((0 0,10 0,10 10,0 10,0 0))")
+        line = load_wkt("LINESTRING(-5 5,15 5)")
+        result = union(polygon, line)
+        assert result.geom_type == "GEOMETRYCOLLECTION"
+        assert metrics.area(result) == 100
+        assert metrics.length(result) == pytest.approx(10.0)
+
+    def test_line_on_polygon_boundary(self):
+        polygon = load_wkt("POLYGON((0 0,10 0,10 10,0 10,0 0))")
+        line = load_wkt("LINESTRING(0 0,10 0)")
+        clipped = intersection(line, polygon)
+        assert metrics.length(clipped) == pytest.approx(10.0)
+
+    def test_line_inside_polygon_intersection_is_whole_line(self):
+        polygon = load_wkt("POLYGON((0 0,10 0,10 10,0 10,0 0))")
+        line = load_wkt("LINESTRING(1 1,9 9)")
+        assert predicates.equals(intersection(line, polygon), line)
+
+
+class TestPointOperands:
+    def test_point_in_polygon_intersection(self):
+        polygon = load_wkt("POLYGON((0 0,10 0,10 10,0 10,0 0))")
+        assert intersection(polygon, load_wkt("POINT(5 5)")).wkt == "POINT(5 5)"
+
+    def test_point_outside_polygon_intersection_is_empty(self):
+        polygon = load_wkt("POLYGON((0 0,10 0,10 10,0 10,0 0))")
+        assert intersection(polygon, load_wkt("POINT(50 50)")).is_empty
+
+    def test_point_difference(self):
+        polygon = load_wkt("POLYGON((0 0,10 0,10 10,0 10,0 0))")
+        assert difference(load_wkt("POINT(5 5)"), polygon).is_empty
+        assert difference(load_wkt("POINT(50 50)"), polygon).wkt == "POINT(50 50)"
+
+    def test_multipoint_intersection_with_polygon(self):
+        polygon = load_wkt("POLYGON((0 0,10 0,10 10,0 10,0 0))")
+        points = load_wkt("MULTIPOINT((1 1),(5 5),(50 50))")
+        result = intersection(points, polygon)
+        assert result.geom_type == "MULTIPOINT"
+        assert len(result.geoms) == 2
+
+    def test_union_of_point_and_line(self):
+        result = union(load_wkt("POINT(5 5)"), load_wkt("LINESTRING(0 0,1 1)"))
+        assert result.geom_type == "GEOMETRYCOLLECTION"
+
+    def test_union_absorbs_point_on_line(self):
+        result = union(load_wkt("POINT(5 5)"), load_wkt("LINESTRING(0 0,10 10)"))
+        assert result.geom_type == "LINESTRING"
+
+    def test_point_point_operations(self):
+        a = load_wkt("POINT(1 1)")
+        b = load_wkt("POINT(2 2)")
+        assert intersection(a, b).is_empty
+        assert intersection(a, a).wkt == "POINT(1 1)"
+        assert union(a, b).geom_type == "MULTIPOINT"
+        assert difference(a, b).wkt == "POINT(1 1)"
+        assert sym_difference(a, a).is_empty
+
+
+class TestEmptyAndErrors:
+    def test_empty_inputs(self):
+        polygon = load_wkt("POLYGON((0 0,1 0,1 1,0 1,0 0))")
+        empty = load_wkt("GEOMETRYCOLLECTION EMPTY")
+        assert intersection(polygon, empty).is_empty
+        assert union(polygon, empty).wkt == polygon.wkt
+        assert union(empty, polygon).wkt == polygon.wkt
+        assert difference(polygon, empty).wkt == polygon.wkt
+        assert difference(empty, polygon).is_empty
+        assert sym_difference(polygon, empty).wkt == polygon.wkt
+        assert intersection(empty, empty).is_empty
+
+    def test_unknown_operation_raises(self):
+        a = load_wkt("POINT(0 0)")
+        with pytest.raises(GeometryTypeError):
+            overlay(a, a, "buffer")
+
+    def test_mixed_collection_union(self):
+        mixed = load_wkt("GEOMETRYCOLLECTION(POINT(20 20),LINESTRING(30 30,40 40))")
+        square = load_wkt("POLYGON((0 0,2 0,2 2,0 2,0 0))")
+        result = union(mixed, square)
+        assert result.geom_type == "GEOMETRYCOLLECTION"
+        assert metrics.area(result) == 4
+
+
+class TestSqlExposure:
+    @pytest.fixture()
+    def db(self):
+        from repro.engine.database import connect
+
+        return connect("postgis")
+
+    def test_st_intersection(self, db):
+        value = db.query_value(
+            "SELECT ST_Area(ST_Intersection("
+            "ST_GeomFromText('POLYGON((0 0,4 0,4 4,0 4,0 0))'), "
+            "ST_GeomFromText('POLYGON((2 2,6 2,6 6,2 6,2 2))')))"
+        )
+        assert value == pytest.approx(4.0)
+
+    def test_st_union_through_join_predicate(self, db):
+        db.execute("CREATE TABLE t1 (g geometry)")
+        db.execute("INSERT INTO t1 (g) VALUES ('POLYGON((0 0,2 0,2 2,0 2,0 0))')")
+        db.execute("INSERT INTO t1 (g) VALUES ('POLYGON((2 0,4 0,4 2,2 2,2 0))')")
+        count = db.query_value(
+            "SELECT COUNT(*) FROM t1 AS a1 JOIN t1 AS a2 "
+            "ON ST_Intersects(ST_Union(a1.g, a2.g), ST_GeomFromText('POINT(1 1)'))"
+        )
+        # Every pair whose union covers POINT(1 1): (p1,p1), (p1,p2), (p2,p1).
+        assert count == 3
+
+    def test_st_difference_and_symdifference(self, db):
+        value = db.query_value(
+            "SELECT ST_Area(ST_Difference("
+            "ST_GeomFromText('POLYGON((0 0,10 0,10 10,0 10,0 0))'), "
+            "ST_GeomFromText('POLYGON((2 2,4 2,4 4,2 4,2 2))')))"
+        )
+        assert value == pytest.approx(96.0)
+        value = db.query_value(
+            "SELECT ST_Area(ST_SymDifference("
+            "ST_GeomFromText('POLYGON((0 0,4 0,4 4,0 4,0 0))'), "
+            "ST_GeomFromText('POLYGON((2 2,6 2,6 6,2 6,2 2))')))"
+        )
+        assert value == pytest.approx(24.0)
+
+    def test_all_dialects_support_overlay(self):
+        from repro.engine.database import connect
+
+        for dialect in ("postgis", "duckdb_spatial", "mysql", "sqlserver"):
+            db = connect(dialect)
+            value = db.query_value(
+                "SELECT ST_Area(ST_Union("
+                "ST_GeomFromText('POLYGON((0 0,1 0,1 1,0 1,0 0))'), "
+                "ST_GeomFromText('POLYGON((1 0,2 0,2 1,1 1,1 0))')))"
+            )
+            assert value == pytest.approx(2.0)

@@ -1,0 +1,154 @@
+"""Unit tests for the named topological predicates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geometry import load_wkt
+from repro.topology import (
+    contains,
+    covered_by,
+    covers,
+    crosses,
+    disjoint,
+    equals,
+    intersects,
+    overlaps,
+    relate_pattern,
+    touches,
+    within,
+)
+
+
+def g(wkt: str):
+    return load_wkt(wkt)
+
+
+SQUARE = "POLYGON((0 0,4 0,4 4,0 4,0 0))"
+INNER_SQUARE = "POLYGON((1 1,3 1,3 3,1 3,1 1))"
+SHIFTED_SQUARE = "POLYGON((2 2,6 2,6 6,2 6,2 2))"
+FAR_SQUARE = "POLYGON((10 10,12 10,12 12,10 12,10 10))"
+
+
+class TestIntersectsDisjoint:
+    def test_intersecting_polygons(self):
+        assert intersects(g(SQUARE), g(SHIFTED_SQUARE))
+        assert not disjoint(g(SQUARE), g(SHIFTED_SQUARE))
+
+    def test_disjoint_polygons(self):
+        assert disjoint(g(SQUARE), g(FAR_SQUARE))
+        assert not intersects(g(SQUARE), g(FAR_SQUARE))
+
+    def test_touching_counts_as_intersecting(self):
+        assert intersects(g("POINT(4 2)"), g(SQUARE))
+
+    def test_empty_is_disjoint_from_everything(self):
+        assert disjoint(g("POINT EMPTY"), g(SQUARE))
+
+
+class TestEquals:
+    def test_same_polygon_different_start_vertex(self):
+        rotated = "POLYGON((4 0,4 4,0 4,0 0,4 0))"
+        assert equals(g(SQUARE), g(rotated))
+
+    def test_line_and_its_reverse_are_equal(self):
+        assert equals(g("LINESTRING(0 0,2 2)"), g("LINESTRING(2 2,0 0)"))
+
+    def test_different_geometries_are_not_equal(self):
+        assert not equals(g(SQUARE), g(INNER_SQUARE))
+
+    def test_two_empties_are_equal(self):
+        assert equals(g("POINT EMPTY"), g("LINESTRING EMPTY"))
+
+    def test_multipoint_order_does_not_matter(self):
+        assert equals(g("MULTIPOINT((0 0),(1 1))"), g("MULTIPOINT((1 1),(0 0))"))
+
+
+class TestContainsWithinCovers:
+    def test_polygon_contains_inner_polygon(self):
+        assert contains(g(SQUARE), g(INNER_SQUARE))
+        assert within(g(INNER_SQUARE), g(SQUARE))
+
+    def test_boundary_point_is_covered_but_not_contained(self):
+        boundary_point = "POINT(0 2)"
+        assert covers(g(SQUARE), g(boundary_point))
+        assert not contains(g(SQUARE), g(boundary_point))
+        assert covered_by(g(boundary_point), g(SQUARE))
+        assert not within(g(boundary_point), g(SQUARE))
+
+    def test_line_covers_point_on_it(self):
+        # Paper Listing 1 / Figure 1(a).
+        assert covers(g("LINESTRING(0 1,2 0)"), g("POINT(0.2 0.9)"))
+
+    def test_line_covers_point_affine_image(self):
+        # Paper Listing 2 / Figure 1(b).
+        assert covers(g("LINESTRING(1 1,0 0)"), g("POINT(0.9 0.9)"))
+
+    def test_covers_is_false_for_outside_point(self):
+        assert not covers(g(SQUARE), g("POINT(9 9)"))
+
+    def test_covers_with_empty_argument_is_false(self):
+        assert not covers(g(SQUARE), g("POINT EMPTY"))
+        assert not covered_by(g("POINT EMPTY"), g(SQUARE))
+
+    def test_geometry_covers_itself(self):
+        assert covers(g(SQUARE), g(SQUARE))
+        assert covered_by(g(SQUARE), g(SQUARE))
+
+
+class TestTouchesCrossesOverlaps:
+    def test_edge_adjacent_polygons_touch(self):
+        left = "POLYGON((0 0,1 0,1 1,0 1,0 0))"
+        right = "POLYGON((1 0,2 0,2 1,1 1,1 0))"
+        assert touches(g(left), g(right))
+        assert not overlaps(g(left), g(right))
+
+    def test_overlapping_polygons_do_not_touch(self):
+        assert not touches(g(SQUARE), g(SHIFTED_SQUARE))
+        assert overlaps(g(SQUARE), g(SHIFTED_SQUARE))
+
+    def test_nested_polygons_do_not_overlap(self):
+        assert not overlaps(g(SQUARE), g(INNER_SQUARE))
+
+    def test_line_crosses_polygon(self):
+        assert crosses(g("LINESTRING(-1 2,5 2)"), g(SQUARE))
+
+    def test_line_inside_polygon_does_not_cross(self):
+        assert not crosses(g("LINESTRING(1 1,2 2)"), g(SQUARE))
+
+    def test_lines_crossing_at_a_point(self):
+        assert crosses(g("LINESTRING(0 0,2 2)"), g("LINESTRING(0 2,2 0)"))
+
+    def test_collinear_overlapping_lines_overlap(self):
+        assert overlaps(g("LINESTRING(0 0,2 0)"), g("LINESTRING(1 0,3 0)"))
+        assert not crosses(g("LINESTRING(0 0,2 0)"), g("LINESTRING(1 0,3 0)"))
+
+    def test_point_does_not_cross_anything_of_same_dimension(self):
+        assert not crosses(g("POINT(1 1)"), g("POINT(1 1)"))
+
+    def test_crosses_collection_containing_the_geometry_is_false(self):
+        # The correct verdict for the paper's Listing 3 shape: the
+        # intersection equals the first geometry, so it does not cross.
+        line = "MULTILINESTRING((990 280,100 20))"
+        collection = (
+            "GEOMETRYCOLLECTION(MULTILINESTRING((990 280, 100 20)),"
+            "POLYGON((360 60,850 620,850 420,360 60)))"
+        )
+        assert not crosses(g(line), g(collection))
+
+    def test_overlaps_is_false_when_intersection_equals_one_input(self):
+        # The correct verdict for the paper's Listing 4 shape.
+        triangle = "POLYGON((614 445,30 26,80 30,614 445))"
+        collection = (
+            "GEOMETRYCOLLECTION(POLYGON((614 445,30 26,80 30,614 445)),"
+            "POLYGON((190 1010,40 90,90 40,190 1010)))"
+        )
+        assert not overlaps(g(collection), g(triangle))
+
+
+class TestRelatePattern:
+    def test_custom_pattern(self):
+        assert relate_pattern(g(INNER_SQUARE), g(SQUARE), "T*F**F***")
+
+    def test_pattern_mismatch(self):
+        assert not relate_pattern(g(SQUARE), g(FAR_SQUARE), "T********")

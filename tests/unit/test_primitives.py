@@ -1,0 +1,181 @@
+"""Unit tests for the exact geometric primitives."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.geometry.model import Coordinate
+from repro.geometry.primitives import (
+    CLOCKWISE,
+    COLLINEAR,
+    COUNTERCLOCKWISE,
+    centroid_of_points,
+    convex_hull,
+    cross,
+    orientation,
+    point_in_ring,
+    point_on_segment,
+    ring_is_clockwise,
+    ring_signed_area,
+    segment_intersection,
+    segment_point_squared_distance,
+    segments_intersect,
+    segments_squared_distance,
+    squared_distance,
+)
+
+
+def C(x, y) -> Coordinate:  # noqa: N802 - terse test helper
+    return Coordinate(x, y)
+
+
+class TestOrientation:
+    def test_counterclockwise(self):
+        assert orientation(C(0, 0), C(1, 0), C(1, 1)) == COUNTERCLOCKWISE
+
+    def test_clockwise(self):
+        assert orientation(C(0, 0), C(1, 1), C(1, 0)) == CLOCKWISE
+
+    def test_collinear(self):
+        assert orientation(C(0, 0), C(1, 1), C(2, 2)) == COLLINEAR
+
+    def test_cross_sign_matches_orientation(self):
+        assert cross(C(0, 0), C(1, 0), C(0, 1)) > 0
+        assert cross(C(0, 0), C(0, 1), C(1, 0)) < 0
+
+    def test_exact_fraction_orientation(self):
+        # The Listing 1 configuration: exact decimals keep the point on the line.
+        assert orientation(C("0", "1"), C("2", "0"), C("0.2", "0.9")) == COLLINEAR
+
+
+class TestPointOnSegment:
+    def test_interior_point(self):
+        assert point_on_segment(C(1, 1), C(0, 0), C(2, 2))
+
+    def test_endpoint(self):
+        assert point_on_segment(C(0, 0), C(0, 0), C(2, 2))
+
+    def test_off_segment_but_collinear(self):
+        assert not point_on_segment(C(3, 3), C(0, 0), C(2, 2))
+
+    def test_off_line(self):
+        assert not point_on_segment(C(1, 2), C(0, 0), C(2, 2))
+
+    def test_degenerate_segment(self):
+        assert point_on_segment(C(1, 1), C(1, 1), C(1, 1))
+        assert not point_on_segment(C(0, 1), C(1, 1), C(1, 1))
+
+
+class TestSegmentIntersection:
+    def test_proper_crossing(self):
+        assert segment_intersection(C(0, 0), C(2, 2), C(0, 2), C(2, 0)) == [C(1, 1)]
+
+    def test_touching_at_endpoint(self):
+        assert segment_intersection(C(0, 0), C(1, 0), C(1, 0), C(2, 5)) == [C(1, 0)]
+
+    def test_t_touch(self):
+        assert segment_intersection(C(0, 0), C(0, 2), C(0, 1), C(5, 1)) == [C(0, 1)]
+
+    def test_no_intersection(self):
+        assert segment_intersection(C(0, 0), C(1, 0), C(0, 1), C(1, 1)) == []
+
+    def test_collinear_overlap(self):
+        result = segment_intersection(C(0, 0), C(4, 0), C(2, 0), C(6, 0))
+        assert result == [C(2, 0), C(4, 0)]
+
+    def test_collinear_touch_single_point(self):
+        assert segment_intersection(C(0, 0), C(2, 0), C(2, 0), C(4, 0)) == [C(2, 0)]
+
+    def test_collinear_disjoint(self):
+        assert segment_intersection(C(0, 0), C(1, 0), C(2, 0), C(3, 0)) == []
+
+    def test_degenerate_segments(self):
+        assert segment_intersection(C(1, 1), C(1, 1), C(1, 1), C(1, 1)) == [C(1, 1)]
+        assert segment_intersection(C(1, 1), C(1, 1), C(0, 0), C(2, 2)) == [C(1, 1)]
+        assert segment_intersection(C(5, 5), C(5, 5), C(0, 0), C(2, 2)) == []
+
+    def test_rational_intersection_point(self):
+        result = segment_intersection(C(0, 0), C(3, 1), C(0, 1), C(3, 0))
+        assert len(result) == 1
+        assert result[0].x == Fraction(3, 2)
+        assert result[0].y == Fraction(1, 2)
+
+    def test_segments_intersect_boolean(self):
+        assert segments_intersect(C(0, 0), C(2, 2), C(0, 2), C(2, 0))
+        assert not segments_intersect(C(0, 0), C(1, 0), C(0, 1), C(1, 1))
+
+
+class TestDistances:
+    def test_squared_distance(self):
+        assert squared_distance(C(0, 0), C(3, 4)) == 25
+
+    def test_point_to_segment_projection_inside(self):
+        assert segment_point_squared_distance(C(1, 1), C(0, 0), C(2, 0)) == 1
+
+    def test_point_to_segment_projection_outside(self):
+        assert segment_point_squared_distance(C(5, 0), C(0, 0), C(2, 0)) == 9
+
+    def test_segment_to_segment_zero_when_crossing(self):
+        assert segments_squared_distance(C(0, 0), C(2, 2), C(0, 2), C(2, 0)) == 0
+
+    def test_segment_to_segment_parallel(self):
+        assert segments_squared_distance(C(0, 0), C(2, 0), C(0, 3), C(2, 3)) == 9
+
+
+class TestRings:
+    SQUARE = [C(0, 0), C(4, 0), C(4, 4), C(0, 4), C(0, 0)]
+
+    def test_signed_area_counterclockwise(self):
+        assert ring_signed_area(self.SQUARE) == 16
+
+    def test_signed_area_clockwise_is_negative(self):
+        assert ring_signed_area(list(reversed(self.SQUARE))) == -16
+
+    def test_ring_is_clockwise(self):
+        assert not ring_is_clockwise(self.SQUARE)
+        assert ring_is_clockwise(list(reversed(self.SQUARE)))
+
+    def test_point_in_ring_interior(self):
+        assert point_in_ring(C(1, 1), self.SQUARE) == "interior"
+
+    def test_point_in_ring_boundary(self):
+        assert point_in_ring(C(0, 2), self.SQUARE) == "boundary"
+        assert point_in_ring(C(4, 4), self.SQUARE) == "boundary"
+
+    def test_point_in_ring_exterior(self):
+        assert point_in_ring(C(5, 5), self.SQUARE) == "exterior"
+        assert point_in_ring(C(-1, 2), self.SQUARE) == "exterior"
+
+    def test_point_in_concave_ring(self):
+        concave = [C(0, 0), C(4, 0), C(4, 4), C(2, 2), C(0, 4), C(0, 0)]
+        assert point_in_ring(C(2, 3), concave) == "exterior"
+        assert point_in_ring(C(1, 1), concave) == "interior"
+
+
+class TestConvexHull:
+    def test_square_plus_interior_point(self):
+        hull = convex_hull([C(0, 0), C(4, 0), C(4, 4), C(0, 4), C(2, 2)])
+        assert len(hull) == 4
+        assert C(2, 2) not in hull
+
+    def test_collinear_points_collapse_to_extremes(self):
+        hull = convex_hull([C(0, 0), C(1, 1), C(2, 2)])
+        assert hull == [C(0, 0), C(2, 2)]
+
+    def test_single_point(self):
+        assert convex_hull([C(3, 3), C(3, 3)]) == [C(3, 3)]
+
+    def test_hull_is_counterclockwise(self):
+        hull = convex_hull([C(0, 0), C(2, 0), C(2, 2), C(0, 2)])
+        assert ring_signed_area(hull + [hull[0]]) > 0
+
+
+class TestCentroid:
+    def test_centroid_of_points(self):
+        centre = centroid_of_points([C(0, 0), C(2, 0), C(2, 2), C(0, 2)])
+        assert centre == C(1, 1)
+
+    def test_centroid_of_empty_sequence(self):
+        assert centroid_of_points([]) is None

@@ -1,0 +1,173 @@
+"""Unit tests for the query template, the AEI oracle, dedup, and reduction."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.affine import AffineTransformation
+from repro.core.dedup import Deduplicator, ground_truth_identity, signature_identity
+from repro.core.generator import DatabaseSpec
+from repro.core.oracle import AEIOracle, Discrepancy
+from repro.core.queries import QueryTemplate, TopologicalQuery
+from repro.core.reduce import TestCaseReducer
+from repro.engine.database import connect
+from repro.engine.dialects import get_dialect
+
+
+class TestQueryTemplate:
+    def test_sql_shape_matches_the_paper_template(self):
+        query = TopologicalQuery("t1", "t2", "st_covers")
+        assert query.sql() == "SELECT COUNT(*) FROM t1 JOIN t2 ON st_covers(t1.g, t2.g)"
+
+    def test_distance_predicates_take_a_threshold(self):
+        query = TopologicalQuery("t1", "t2", "st_dwithin", distance=5)
+        assert query.uses_distance
+        assert "st_dwithin(t1.g, t2.g, 5)" in query.sql()
+
+    def test_random_query_uses_dialect_predicates(self, rng):
+        template = QueryTemplate(get_dialect("mysql"), rng)
+        for _ in range(30):
+            query = template.random_query(["t1", "t2"])
+            assert query.predicate in template.all_predicates()
+            assert query.table_a in ("t1", "t2")
+
+    def test_distance_predicates_can_be_excluded(self, rng):
+        template = QueryTemplate(get_dialect("postgis"), rng)
+        for _ in range(50):
+            query = template.random_query(["t1"], include_distance_predicates=False)
+            assert not query.uses_distance
+
+    def test_random_query_requires_tables(self, rng):
+        template = QueryTemplate(get_dialect("postgis"), rng)
+        with pytest.raises(ValueError):
+            template.random_query([])
+
+
+def _spec_listing1() -> DatabaseSpec:
+    return DatabaseSpec(
+        tables={"t1": ["LINESTRING(0 1,2 0)"], "t2": ["POINT(0.2 0.9)"]}
+    )
+
+
+class TestAEIOracle:
+    def test_clean_engine_produces_no_discrepancies(self, rng):
+        oracle = AEIOracle(lambda: connect("postgis"), rng)
+        outcome = oracle.check(_spec_listing1(), query_count=10)
+        assert outcome.discrepancies == []
+        assert outcome.queries_run == 10
+
+    def test_followup_spec_is_affine_equivalent(self, rng):
+        oracle = AEIOracle(lambda: connect("postgis"), rng)
+        transformation = AffineTransformation.from_parts(1, 0, 0, 1, 3, 5)
+        followup = oracle.build_followup_spec(_spec_listing1(), transformation)
+        assert followup.tables["t1"] == ["LINESTRING(3 6,5 5)"]
+        assert followup.tables["t2"] == ["POINT(3.2 5.9)"]
+
+    def test_buggy_covers_is_detected_with_identity_like_translation(self, rng):
+        oracle = AEIOracle(
+            lambda: connect("postgis", bug_ids=["postgis-covers-precision-loss"]), rng
+        )
+        # Translating by (-0, -1)... use a transformation moving a vertex to
+        # the origin, mirroring the Listing 1 / Listing 2 pair.
+        transformation = AffineTransformation.from_parts(1, 0, 0, 1, 0, -1)
+        outcome = oracle.check(
+            _spec_listing1(), query_count=30, transformation=transformation
+        )
+        predicates = {d.query.predicate for d in outcome.discrepancies}
+        assert "st_covers" in predicates or "st_coveredby" in predicates
+        assert all(
+            "postgis-covers-precision-loss" in d.triggered_bug_ids
+            for d in outcome.discrepancies
+        )
+
+    def test_crashes_are_reported_not_raised(self, rng):
+        oracle = AEIOracle(
+            lambda: connect("postgis", bug_ids=["geos-crash-touches-empty-collection"]), rng
+        )
+        spec = DatabaseSpec(
+            tables={
+                "t1": ["GEOMETRYCOLLECTION(POINT(0 0),LINESTRING EMPTY)"],
+                "t2": ["GEOMETRYCOLLECTION(POINT(0 0))"],
+            }
+        )
+        outcome = oracle.check(spec, query_count=40)
+        assert outcome.crashes
+        assert all(c.bug_id == "geos-crash-touches-empty-collection" for c in outcome.crashes)
+
+
+class TestDeduplication:
+    def _discrepancy(self, bug_ids=("bug-a",), predicate="st_covers") -> Discrepancy:
+        return Discrepancy(
+            query=TopologicalQuery("t1", "t2", predicate),
+            count_original=1,
+            count_followup=0,
+            original_statements=[
+                "CREATE TABLE t1 (g geometry)",
+                "INSERT INTO t1 (g) VALUES ('POINT(0 0)')",
+            ],
+            followup_statements=[],
+            transformation=AffineTransformation.identity(),
+            triggered_bug_ids=tuple(bug_ids),
+        )
+
+    def test_ground_truth_identity(self):
+        assert ground_truth_identity(self._discrepancy(("b", "a", "a"))) == ("a", "b")
+
+    def test_signature_identity_uses_predicate_and_types(self):
+        signature = signature_identity(self._discrepancy())
+        assert signature.startswith("st_covers|")
+        assert "POINT" in signature
+
+    def test_deduplicator_counts_each_bug_once(self):
+        deduplicator = Deduplicator()
+        first = deduplicator.observe_discrepancy(self._discrepancy(("bug-a",)), 1.0)
+        second = deduplicator.observe_discrepancy(self._discrepancy(("bug-a",)), 2.0)
+        third = deduplicator.observe_discrepancy(self._discrepancy(("bug-b",)), 3.0)
+        assert first == ["bug-a"]
+        assert second == []
+        assert third == ["bug-b"]
+        assert deduplicator.result.unique_count() == 2
+        assert deduplicator.unique_bugs_over_time() == [(1.0, 1), (3.0, 2)]
+
+    def test_crash_observation(self):
+        from repro.core.oracle import CrashReport
+
+        deduplicator = Deduplicator()
+        crash = CrashReport(statement="SELECT 1", message="boom", bug_id="crash-1")
+        assert deduplicator.observe_crash(crash, 5.0) == ["crash-1"]
+        assert deduplicator.observe_crash(crash, 6.0) == []
+        anonymous = CrashReport(statement="SELECT 1", message="boom", bug_id=None)
+        assert deduplicator.observe_crash(anonymous, 7.0) == []
+
+
+class TestReducer:
+    def test_reducer_shrinks_irrelevant_rows(self, rng):
+        oracle = AEIOracle(
+            lambda: connect("postgis", bug_ids=["postgis-covers-precision-loss"]), rng
+        )
+        spec = DatabaseSpec(
+            tables={
+                "t1": ["LINESTRING(0 1,2 0)", "POINT(7 7)", "POLYGON((5 5,6 5,6 6,5 6,5 5))"],
+                "t2": ["POINT(0.2 0.9)", "POINT(9 9)"],
+            }
+        )
+        transformation = AffineTransformation.from_parts(1, 0, 0, 1, 0, -1)
+        query = TopologicalQuery("t1", "t2", "st_covers")
+        reducer = TestCaseReducer(oracle)
+        reduced = reducer.reduce(spec, query, transformation)
+        assert reduced.count_original != reduced.count_followup
+        assert reduced.spec.geometry_count() <= 2
+        assert reduced.removed_geometries >= 3
+
+    def test_reducer_returns_original_when_not_failing(self, rng):
+        oracle = AEIOracle(lambda: connect("postgis"), rng)
+        spec = _spec_listing1()
+        reduced = TestCaseReducer(oracle).reduce(
+            spec,
+            TopologicalQuery("t1", "t2", "st_covers"),
+            AffineTransformation.identity(),
+        )
+        assert reduced.removed_geometries == 0
+        assert reduced.spec.geometry_count() == spec.geometry_count()

@@ -1,0 +1,269 @@
+"""Unit tests for the function registry, dialect catalogs, and fault plans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EngineCrash, SemanticGeometryError, UnknownFunctionError
+from repro.engine import faults
+from repro.engine.database import connect
+from repro.engine.dialects import (
+    available_dialects,
+    default_fault_profile,
+    get_dialect,
+)
+from repro.engine.faults import BUG_CATALOG, FaultPlan, bug_by_id, bugs_for_component
+from repro.engine.prepared import PreparedGeometryCache
+from repro.engine.registry import (
+    FunctionRegistry,
+    has_empty_element,
+    has_nested_collection,
+    max_absolute_coordinate,
+)
+from repro.geometry import load_wkt
+
+
+class TestDialects:
+    def test_available_dialects(self):
+        assert available_dialects() == ["duckdb_spatial", "mysql", "postgis", "sqlserver"]
+
+    def test_unknown_dialect(self):
+        with pytest.raises(KeyError):
+            get_dialect("oracle_spatial")
+
+    def test_postgis_has_covers_mysql_does_not(self):
+        assert get_dialect("postgis").supports_function("ST_Covers")
+        assert not get_dialect("mysql").supports_function("ST_Covers")
+
+    def test_only_postgis_supports_same_as_operator(self):
+        assert get_dialect("postgis").supports_operator("~=")
+        assert not get_dialect("duckdb_spatial").supports_operator("~=")
+
+    def test_topological_predicates_contain_the_ogc_core(self):
+        for name in available_dialects():
+            predicates = get_dialect(name).topological_predicates()
+            assert "st_intersects" in predicates
+            assert "st_within" in predicates
+
+    def test_editing_functions_differ_between_dialects(self):
+        postgis_functions = set(get_dialect("postgis").editing_functions())
+        mysql_functions = set(get_dialect("mysql").editing_functions())
+        assert "st_dumprings" in postgis_functions
+        assert "st_dumprings" not in mysql_functions
+
+    def test_default_fault_profiles_follow_component_mapping(self):
+        postgis_profile = default_fault_profile("postgis")
+        duckdb_profile = default_fault_profile("duckdb_spatial")
+        mysql_profile = default_fault_profile("mysql")
+        # GEOS bugs are shared between the two GEOS-backed systems.
+        assert "geos-mixed-boundary-last-one-wins" in postgis_profile
+        assert "geos-mixed-boundary-last-one-wins" in duckdb_profile
+        assert "geos-mixed-boundary-last-one-wins" not in mysql_profile
+        assert "mysql-crosses-large-coordinates" in mysql_profile
+        assert "postgis-covers-precision-loss" in postgis_profile
+        assert "postgis-covers-precision-loss" not in duckdb_profile
+
+
+class TestBugCatalog:
+    def test_report_counts_match_table2(self):
+        """The injected catalog mirrors the paper's Table 2 exactly."""
+        sdbms_components = ("GEOS", "PostGIS", "DuckDB Spatial", "MySQL", "SQL Server")
+        reports = [bug for bug in BUG_CATALOG if bug.component in sdbms_components]
+        assert len(reports) == 35
+        by_component = {name: bugs_for_component(name) for name in sdbms_components}
+        assert len(by_component["GEOS"]) == 12
+        assert len(by_component["PostGIS"]) == 11
+        assert len(by_component["DuckDB Spatial"]) == 6
+        assert len(by_component["MySQL"]) == 4
+        assert len(by_component["SQL Server"]) == 2
+        unique = [bug for bug in reports if bug.is_unique()]
+        assert len(unique) == 34
+        fixed = [bug for bug in reports if bug.status == faults.FIXED]
+        confirmed = [bug for bug in reports if bug.status == faults.CONFIRMED]
+        assert len(fixed) == 18
+        assert len(confirmed) == 12
+
+    def test_logic_crash_split_matches_table3(self):
+        table3_components = ("GEOS", "PostGIS", "MySQL", "DuckDB Spatial")
+        rows = {}
+        for component in table3_components:
+            bugs = [
+                bug
+                for bug in bugs_for_component(component)
+                if bug.status in (faults.FIXED, faults.CONFIRMED)
+            ]
+            rows[component] = (
+                sum(1 for b in bugs if b.kind == faults.LOGIC and b.status == faults.FIXED),
+                sum(1 for b in bugs if b.kind == faults.LOGIC and b.status == faults.CONFIRMED),
+                sum(1 for b in bugs if b.kind == faults.CRASH and b.status == faults.FIXED),
+                sum(1 for b in bugs if b.kind == faults.CRASH and b.status == faults.CONFIRMED),
+            )
+        assert rows["GEOS"] == (1, 8, 3, 0)
+        assert rows["PostGIS"] == (6, 1, 2, 0)
+        assert rows["MySQL"] == (1, 3, 0, 0)
+        assert rows["DuckDB Spatial"] == (0, 0, 5, 0)
+
+    def test_bug_by_id(self):
+        bug = bug_by_id("postgis-covers-precision-loss")
+        assert bug.kind == faults.LOGIC
+        with pytest.raises(KeyError):
+            bug_by_id("not-a-bug")
+
+    def test_fault_plan_membership_and_triggers(self):
+        plan = FaultPlan.from_ids(["postgis-covers-precision-loss"])
+        assert "postgis-covers-precision-loss" in plan
+        assert len(plan) == 1
+        assert plan.has_mechanism(faults.MECH_COVERS_PRECISION_LOSS, "st_covers")
+        assert not plan.has_mechanism(faults.MECH_COVERS_PRECISION_LOSS, "st_within")
+        fired = plan.record_trigger(faults.MECH_COVERS_PRECISION_LOSS, "st_covers")
+        assert fired == ["postgis-covers-precision-loss"]
+        assert plan.triggered == ["postgis-covers-precision-loss"]
+
+    def test_every_bug_is_detectable_by_at_least_one_oracle(self):
+        for bug in BUG_CATALOG:
+            assert bug.detectable_by, bug.bug_id
+
+
+class TestRegistryHelpers:
+    def test_has_empty_element(self):
+        assert has_empty_element(load_wkt("MULTIPOINT((-2 0),EMPTY)"))
+        assert not has_empty_element(load_wkt("MULTIPOINT((1 1))"))
+        assert not has_empty_element(load_wkt("POINT EMPTY"))
+
+    def test_has_nested_collection(self):
+        assert has_nested_collection(
+            load_wkt("GEOMETRYCOLLECTION(MULTIPOINT((0 0)),POINT(1 1))")
+        )
+        assert not has_nested_collection(load_wkt("GEOMETRYCOLLECTION(POINT(1 1))"))
+
+    def test_max_absolute_coordinate(self):
+        assert max_absolute_coordinate(load_wkt("LINESTRING(-7 2,3 5)")) == 7
+        assert max_absolute_coordinate(load_wkt("POINT EMPTY")) == 0
+
+
+class TestRegistryFunctions:
+    def setup_method(self):
+        self.registry = FunctionRegistry(get_dialect("postgis"))
+
+    def test_geomfromtext_and_astext(self):
+        geometry = self.registry.call("ST_GeomFromText", ["POINT(1 2)"])
+        assert geometry.wkt == "POINT(1 2)"
+        assert self.registry.call("ST_AsText", [geometry]) == "POINT(1 2)"
+
+    def test_null_propagation(self):
+        assert self.registry.call("ST_Covers", [None, "POINT(0 0)"]) is None
+        assert self.registry.call("ST_Distance", ["POINT(0 0)", None]) is None
+
+    def test_unknown_function(self):
+        with pytest.raises(UnknownFunctionError):
+            self.registry.call("ST_Buffer", ["POINT(0 0)", 1])
+
+    def test_dimension_and_type(self):
+        assert self.registry.call("ST_Dimension", ["GEOMETRYCOLLECTION(POINT(0 0),LINESTRING(0 0,1 1))"]) == 1
+        assert self.registry.call("ST_GeometryType", ["POINT(0 0)"]) == "POINT"
+
+    def test_relate_returns_de9im_string(self):
+        code = self.registry.call("ST_Relate", ["POINT(1 1)", "POLYGON((0 0,4 0,4 4,0 4,0 0))"])
+        assert code == "0FFFFF212"
+
+    def test_relate_with_pattern(self):
+        assert self.registry.call(
+            "ST_Relate",
+            ["POINT(1 1)", "POLYGON((0 0,4 0,4 4,0 4,0 0))", "T*F**F***"],
+        ) is True
+
+    def test_strict_dialect_rejects_invalid_geometries(self):
+        duckdb_registry = FunctionRegistry(get_dialect("duckdb_spatial"))
+        with pytest.raises(SemanticGeometryError):
+            duckdb_registry.call(
+                "ST_Intersects",
+                ["POLYGON((0 0,1 1,0 1,1 0,0 0))", "POINT(0 0)"],
+            )
+
+    def test_sqlserver_rejects_empty_elements(self):
+        sqlserver_registry = FunctionRegistry(get_dialect("sqlserver"))
+        with pytest.raises(SemanticGeometryError):
+            sqlserver_registry.call(
+                "ST_Intersects", ["MULTIPOINT((0 0),EMPTY)", "POINT(0 0)"]
+            )
+
+    def test_count_is_not_a_registry_function(self):
+        with pytest.raises(Exception):
+            self.registry.call("count", [1])
+
+
+class TestInjectedBugBehaviour:
+    def test_covers_precision_bug_only_fires_for_line_point(self):
+        registry = FunctionRegistry(
+            get_dialect("postgis"), FaultPlan.from_ids(["postgis-covers-precision-loss"])
+        )
+        # line/point away from the origin: buggy result False.
+        assert registry.call("ST_Covers", ["LINESTRING(0 1,2 0)", "POINT(0.2 0.9)"]) is False
+        # polygon/polygon input is unaffected by the fast path.
+        assert registry.call(
+            "ST_Covers",
+            ["POLYGON((0 0,4 0,4 4,0 4,0 0))", "POLYGON((1 1,2 1,2 2,1 2,1 1))"],
+        ) is True
+
+    def test_empty_element_mechanism_flips_specific_functions_only(self):
+        registry = FunctionRegistry(
+            get_dialect("postgis"), FaultPlan.from_ids(["geos-empty-element-intersects"])
+        )
+        multi = "MULTIPOINT((1 1),EMPTY)"
+        square = "POLYGON((0 0,4 0,4 4,0 4,0 0))"
+        assert registry.call("ST_Intersects", [multi, square]) is False  # buggy
+        assert registry.call("ST_Within", [multi, square]) is True  # unaffected
+
+    def test_crash_bug_raises_engine_crash(self):
+        registry = FunctionRegistry(
+            get_dialect("postgis"), FaultPlan.from_ids(["postgis-crash-dumprings-empty"])
+        )
+        with pytest.raises(EngineCrash):
+            registry.call("ST_DumpRings", ["POLYGON EMPTY"])
+
+    def test_crash_records_trigger(self):
+        plan = FaultPlan.from_ids(["postgis-crash-dumprings-empty"])
+        registry = FunctionRegistry(get_dialect("postgis"), plan)
+        with pytest.raises(EngineCrash):
+            registry.call("ST_DumpRings", ["POLYGON EMPTY"])
+        assert plan.triggered == ["postgis-crash-dumprings-empty"]
+
+    def test_prepared_cache_bug_requires_repeated_collection_probe(self):
+        cache = PreparedGeometryCache(buggy_collection_repeat=True)
+        prepared = load_wkt("MULTIPOLYGON(((0 0,5 0,0 5,0 0)))")
+        probe = load_wkt("GEOMETRYCOLLECTION(MULTIPOINT((0 0),(3 1)))")
+        first = cache.evaluate("st_contains", prepared, probe, lambda: True)
+        second = cache.evaluate("st_contains", prepared, probe, lambda: True)
+        assert first is True
+        assert second is False
+        assert cache.bug_fired
+
+    def test_prepared_cache_correct_mode_is_consistent(self):
+        cache = PreparedGeometryCache(buggy_collection_repeat=False)
+        prepared = load_wkt("MULTIPOLYGON(((0 0,5 0,0 5,0 0)))")
+        probe = load_wkt("GEOMETRYCOLLECTION(MULTIPOINT((0 0),(3 1)))")
+        assert cache.evaluate("st_contains", prepared, probe, lambda: True) is True
+        assert cache.evaluate("st_contains", prepared, probe, lambda: True) is True
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_dfullywithin_bug(self):
+        buggy = connect("postgis", bug_ids=["postgis-dfullywithin-wrong-definition"])
+        clean = connect("postgis")
+        query = (
+            "SELECT ST_DFullyWithin('LINESTRING(0 0,0 1,1 0,0 0)'::geometry,"
+            "'POLYGON((0 0,0 1,1 0,0 0))'::geometry,100)"
+        )
+        assert clean.query_value(query) is True
+        assert buggy.query_value(query) is False
+
+    def test_within_large_coordinates_bug(self):
+        buggy = connect("mysql", bug_ids=["mysql-within-large-coordinates"])
+        clean = connect("mysql")
+        # A point on the boundary: within is false, the buggy path answers
+        # covered_by (true) once coordinates are large.
+        query = (
+            "SELECT ST_Within('POINT(0 2000)'::geometry,"
+            "'POLYGON((0 0,2000 0,2000 2000,0 2000,0 0))'::geometry)"
+        )
+        assert clean.query_value(query) is False
+        assert buggy.query_value(query) is True

@@ -1,0 +1,218 @@
+"""Unit tests for the DE-9IM relate engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geometry import load_wkt
+from repro.topology.labels import (
+    BOUNDARY,
+    EXTERIOR,
+    INTERIOR,
+    LAST_ONE_WINS_STRATEGY,
+    TopologyDescriptor,
+    combine_classes,
+)
+from repro.topology.relate import IntersectionMatrix, RelateOptions, relate
+
+
+def matrix_of(wkt_a: str, wkt_b: str) -> str:
+    return str(relate(load_wkt(wkt_a), load_wkt(wkt_b)))
+
+
+class TestIntersectionMatrix:
+    def test_from_string_round_trip(self):
+        assert str(IntersectionMatrix.from_string("FF2101102")) == "FF2101102"
+
+    def test_from_string_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            IntersectionMatrix.from_string("FF21")
+        with pytest.raises(ValueError):
+            IntersectionMatrix.from_string("XXXXXXXXX")
+
+    def test_set_keeps_maximum(self):
+        matrix = IntersectionMatrix()
+        matrix.set("I", "I", 0)
+        matrix.set("I", "I", 2)
+        matrix.set("I", "I", 1)
+        assert matrix.get("I", "I") == 2
+
+    def test_pattern_matching(self):
+        matrix = IntersectionMatrix.from_string("212101212")
+        assert matrix.matches("T*T***T**")
+        assert matrix.matches("212101212")
+        assert not matrix.matches("FF*FF****")
+        with pytest.raises(ValueError):
+            matrix.matches("T*")
+
+    def test_transposed(self):
+        matrix = IntersectionMatrix.from_string("012F1F2F1")
+        assert str(matrix.transposed()) == "0F211F2F1"
+
+    def test_equality_with_string(self):
+        assert IntersectionMatrix.from_string("FF2101102") == "ff2101102"
+
+
+class TestRelateBasicPairs:
+    """Ground truth matches the values PostGIS/GEOS produce for these pairs."""
+
+    def test_disjoint_point_polygon(self):
+        assert matrix_of("POINT(5 5)", "POLYGON((0 0,1 0,1 1,0 1,0 0))") == "FF0FFF212"
+
+    def test_point_in_polygon_interior(self):
+        assert matrix_of("POINT(1 1)", "POLYGON((0 0,4 0,4 4,0 4,0 0))") == "0FFFFF212"
+
+    def test_point_on_polygon_boundary(self):
+        assert matrix_of("POINT(0 2)", "POLYGON((0 0,4 0,4 4,0 4,0 0))") == "F0FFFF212"
+
+    def test_point_on_line_interior(self):
+        assert matrix_of("POINT(1 1)", "LINESTRING(0 0,2 2)") == "0FFFFF102"
+
+    def test_point_on_line_endpoint(self):
+        assert matrix_of("POINT(0 0)", "LINESTRING(0 0,2 2)") == "F0FFFF102"
+
+    def test_crossing_lines(self):
+        assert matrix_of("LINESTRING(0 0,2 2)", "LINESTRING(0 2,2 0)") == "0F1FF0102"
+
+    def test_overlapping_collinear_lines(self):
+        assert matrix_of("LINESTRING(0 0,2 0)", "LINESTRING(1 0,3 0)") == "1010F0102"
+
+    def test_touching_lines_at_endpoint(self):
+        assert matrix_of("LINESTRING(0 0,1 1)", "LINESTRING(1 1,2 0)") == "FF1F00102"
+
+    def test_equal_polygons(self):
+        square = "POLYGON((0 0,2 0,2 2,0 2,0 0))"
+        assert matrix_of(square, square) == "2FFF1FFF2"
+
+    def test_overlapping_polygons(self):
+        assert (
+            matrix_of(
+                "POLYGON((0 0,2 0,2 2,0 2,0 0))", "POLYGON((1 1,3 1,3 3,1 3,1 1))"
+            )
+            == "212101212"
+        )
+
+    def test_polygon_contains_polygon(self):
+        assert (
+            matrix_of(
+                "POLYGON((0 0,4 0,4 4,0 4,0 0))", "POLYGON((1 1,3 1,3 3,1 3,1 1))"
+            )
+            == "212FF1FF2"
+        )
+
+    def test_touching_polygons_share_edge(self):
+        assert (
+            matrix_of(
+                "POLYGON((0 0,1 0,1 1,0 1,0 0))", "POLYGON((1 0,2 0,2 1,1 1,1 0))"
+            )
+            == "FF2F11212"
+        )
+
+    def test_line_inside_polygon(self):
+        assert (
+            matrix_of("LINESTRING(1 1,2 2)", "POLYGON((0 0,4 0,4 4,0 4,0 0))")
+            == "1FF0FF212"
+        )
+
+    def test_line_on_polygon_boundary(self):
+        assert (
+            matrix_of("POLYGON((0 0,4 0,4 4,0 4,0 0))", "LINESTRING(0 0,4 0)")
+            == "FF2101FF2"
+        )
+
+    def test_line_crossing_polygon(self):
+        assert (
+            matrix_of("LINESTRING(-1 2,5 2)", "POLYGON((0 0,4 0,4 4,0 4,0 0))")
+            == "101FF0212"
+        )
+
+    def test_polygon_with_hole_and_point_in_hole(self):
+        donut = "POLYGON((0 0,6 0,6 6,0 6,0 0),(2 2,4 2,4 4,2 4,2 2))"
+        assert matrix_of("POINT(3 3)", donut) == "FF0FFF212"
+
+
+class TestRelateEmptyGeometries:
+    def test_both_empty(self):
+        assert matrix_of("POINT EMPTY", "LINESTRING EMPTY") == "FFFFFFFF2"
+
+    def test_empty_versus_polygon(self):
+        assert matrix_of("POINT EMPTY", "POLYGON((0 0,1 0,1 1,0 1,0 0))") == "FFFFFF212"
+
+    def test_polygon_versus_empty(self):
+        assert matrix_of("POLYGON((0 0,1 0,1 1,0 1,0 0))", "GEOMETRYCOLLECTION EMPTY") == "FF2FF1FF2"
+
+    def test_multi_with_only_empty_elements(self):
+        assert matrix_of("MULTIPOINT(EMPTY)", "POINT(1 1)") == "FFFFFF0F2"
+
+
+class TestRelateCollections:
+    def test_point_within_collection_interior(self):
+        # Listing 6: the point is interior to the collection under the
+        # (correct) union semantics.
+        assert (
+            matrix_of(
+                "POINT(0 0)", "GEOMETRYCOLLECTION(POINT(0 0),LINESTRING(0 0,1 0))"
+            )
+            == "0FFFFF102"
+        )
+
+    def test_last_one_wins_strategy_changes_the_matrix(self):
+        point = load_wkt("POINT(0 0)")
+        collection = load_wkt("GEOMETRYCOLLECTION(POINT(0 0),LINESTRING(0 0,1 0))")
+        correct = relate(point, collection)
+        buggy = relate(
+            point, collection, RelateOptions(collection_strategy=LAST_ONE_WINS_STRATEGY)
+        )
+        assert str(correct) != str(buggy)
+        assert correct.get("I", "I") == 0
+        assert buggy.get("I", "I") == -1
+
+    def test_collection_against_multipolygon(self):
+        # One point sits in the triangle's interior, the other on its
+        # boundary; the point collection itself has no boundary.
+        assert (
+            matrix_of(
+                "GEOMETRYCOLLECTION(MULTIPOINT((0 0),(3 1)))",
+                "MULTIPOLYGON(((0 0,5 0,0 5,0 0)))",
+            )
+            == "00FFFF212"
+        )
+
+
+class TestDescriptor:
+    def test_mod2_boundary_of_multilinestring(self):
+        descriptor = TopologyDescriptor(
+            load_wkt("MULTILINESTRING((0 0,1 0),(1 0,2 0))")
+        )
+        # The shared endpoint (1 0) appears twice -> interior (mod-2 rule).
+        from repro.geometry.model import Coordinate
+
+        assert descriptor.locate(Coordinate(1, 0)) == INTERIOR
+        assert descriptor.locate(Coordinate(0, 0)) == BOUNDARY
+        assert descriptor.locate(Coordinate(2, 0)) == BOUNDARY
+
+    def test_closed_line_has_empty_boundary(self):
+        descriptor = TopologyDescriptor(load_wkt("LINESTRING(0 0,1 0,1 1,0 0)"))
+        from repro.geometry.model import Coordinate
+
+        assert descriptor.locate(Coordinate(0, 0)) == INTERIOR
+
+    def test_combine_classes_strategies(self):
+        assert combine_classes([EXTERIOR, INTERIOR, BOUNDARY], "union") == INTERIOR
+        assert combine_classes([EXTERIOR, INTERIOR, BOUNDARY], "boundary_priority") == BOUNDARY
+        assert combine_classes([EXTERIOR, INTERIOR, BOUNDARY], "last_one_wins") == BOUNDARY
+        assert combine_classes([EXTERIOR, EXTERIOR], "union") == EXTERIOR
+
+    def test_combine_classes_rejects_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            combine_classes([INTERIOR], "majority")
+
+    def test_descriptor_rejects_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            TopologyDescriptor(load_wkt("POINT(0 0)"), "majority")
+
+    def test_dimension_of_mixed_collection(self):
+        descriptor = TopologyDescriptor(
+            load_wkt("GEOMETRYCOLLECTION(POINT(0 0),POLYGON((0 0,1 0,0 1,0 0)))")
+        )
+        assert descriptor.dimension == 2

@@ -1,0 +1,182 @@
+"""Unit tests for ring and line accessors plus their SQL-level exposure."""
+
+import pytest
+
+from repro.engine.database import connect
+from repro.functions import accessors
+from repro.geometry import load_wkt
+
+
+class TestRingAccessors:
+    def test_exterior_ring_of_polygon(self):
+        polygon = load_wkt("POLYGON((0 0,1 0,1 1,0 1,0 0))")
+        ring = accessors.exterior_ring(polygon)
+        assert ring.geom_type == "LINESTRING"
+        assert ring.is_closed
+
+    def test_exterior_ring_of_non_polygon_is_null(self):
+        assert accessors.exterior_ring(load_wkt("POINT(0 0)")) is None
+
+    def test_exterior_ring_of_empty_polygon(self):
+        ring = accessors.exterior_ring(load_wkt("POLYGON EMPTY"))
+        assert ring is not None and ring.is_empty
+
+    def test_num_interior_rings(self):
+        polygon = load_wkt(
+            "POLYGON((0 0,10 0,10 10,0 10,0 0),(1 1,2 1,2 2,1 2,1 1),(4 4,5 4,5 5,4 5,4 4))"
+        )
+        assert accessors.num_interior_rings(polygon) == 2
+        assert accessors.num_interior_rings(load_wkt("POLYGON((0 0,1 0,1 1,0 1,0 0))")) == 0
+        assert accessors.num_interior_rings(load_wkt("LINESTRING(0 0,1 1)")) is None
+
+    def test_interior_ring_n(self):
+        polygon = load_wkt(
+            "POLYGON((0 0,10 0,10 10,0 10,0 0),(1 1,2 1,2 2,1 2,1 1))"
+        )
+        hole = accessors.interior_ring_n(polygon, 1)
+        assert hole.geom_type == "LINESTRING"
+        assert hole.is_closed
+        assert accessors.interior_ring_n(polygon, 2) is None
+        assert accessors.interior_ring_n(load_wkt("POINT(0 0)"), 1) is None
+
+
+class TestLineAccessors:
+    def test_start_and_end_point(self):
+        line = load_wkt("LINESTRING(1 2,3 4,5 6)")
+        assert accessors.start_point(line).wkt == "POINT(1 2)"
+        assert accessors.end_point(line).wkt == "POINT(5 6)"
+
+    def test_start_point_of_empty_or_non_line_is_null(self):
+        assert accessors.start_point(load_wkt("LINESTRING EMPTY")) is None
+        assert accessors.start_point(load_wkt("POINT(0 0)")) is None
+
+    def test_is_closed(self):
+        assert accessors.is_closed(load_wkt("LINESTRING(0 0,1 0,1 1,0 0)")) is True
+        assert accessors.is_closed(load_wkt("LINESTRING(0 0,1 0)")) is False
+        assert accessors.is_closed(load_wkt("POINT(0 0)")) is None
+
+    def test_is_closed_multilinestring(self):
+        closed = load_wkt("MULTILINESTRING((0 0,1 0,1 1,0 0),(5 5,6 5,6 6,5 5))")
+        open_ = load_wkt("MULTILINESTRING((0 0,1 0,1 1,0 0),(5 5,6 6))")
+        assert accessors.is_closed(closed) is True
+        assert accessors.is_closed(open_) is False
+
+    def test_is_ring_requires_closed_and_simple(self):
+        assert accessors.is_ring(load_wkt("LINESTRING(0 0,1 0,1 1,0 0)")) is True
+        assert accessors.is_ring(load_wkt("LINESTRING(0 0,1 0,1 1)")) is False
+        # Closed but self-intersecting bow-tie.
+        assert accessors.is_ring(load_wkt("LINESTRING(0 0,2 2,0 2,2 0,0 0)")) is False
+        assert accessors.is_ring(load_wkt("POLYGON((0 0,1 0,1 1,0 1,0 0))")) is None
+
+
+class TestSqlExposure:
+    """The new functions are callable through the SQL engine."""
+
+    @pytest.fixture()
+    def db(self):
+        return connect("postgis")
+
+    def _value(self, db, sql):
+        return db.query_value(sql)
+
+    def test_st_area(self, db):
+        assert self._value(
+            db, "SELECT ST_Area(ST_GeomFromText('POLYGON((0 0,2 0,2 2,0 2,0 0))'))"
+        ) == pytest.approx(4.0)
+
+    def test_st_length(self, db):
+        assert self._value(
+            db, "SELECT ST_Length(ST_GeomFromText('LINESTRING(0 0,3 4)'))"
+        ) == pytest.approx(5.0)
+
+    def test_st_perimeter(self, db):
+        assert self._value(
+            db, "SELECT ST_Perimeter(ST_GeomFromText('POLYGON((0 0,1 0,1 1,0 1,0 0))'))"
+        ) == pytest.approx(4.0)
+
+    def test_st_npoints(self, db):
+        assert self._value(
+            db, "SELECT ST_NPoints(ST_GeomFromText('LINESTRING(0 0,1 1,2 2)'))"
+        ) == 3
+
+    def test_st_exteriorring_roundtrip(self, db):
+        wkt = self._value(
+            db,
+            "SELECT ST_AsText(ST_ExteriorRing(ST_GeomFromText("
+            "'POLYGON((0 0,1 0,1 1,0 1,0 0))')))",
+        )
+        assert wkt == "LINESTRING(0 0,1 0,1 1,0 1,0 0)"
+
+    def test_st_startpoint_endpoint(self, db):
+        assert self._value(
+            db, "SELECT ST_AsText(ST_StartPoint(ST_GeomFromText('LINESTRING(1 2,3 4)')))"
+        ) == "POINT(1 2)"
+        assert self._value(
+            db, "SELECT ST_AsText(ST_EndPoint(ST_GeomFromText('LINESTRING(1 2,3 4)')))"
+        ) == "POINT(3 4)"
+
+    def test_st_isclosed_and_isring(self, db):
+        assert self._value(
+            db, "SELECT ST_IsClosed(ST_GeomFromText('LINESTRING(0 0,1 0,1 1,0 0)'))"
+        ) is True
+        assert self._value(
+            db, "SELECT ST_IsRing(ST_GeomFromText('LINESTRING(0 0,2 2,0 2,2 0,0 0)'))"
+        ) is False
+
+    def test_st_linemerge(self, db):
+        wkt = self._value(
+            db,
+            "SELECT ST_AsText(ST_LineMerge(ST_GeomFromText("
+            "'MULTILINESTRING((0 0,1 1),(1 1,2 2))')))",
+        )
+        assert wkt == "LINESTRING(0 0,1 1,2 2)"
+
+    def test_st_simplify(self, db):
+        wkt = self._value(
+            db,
+            "SELECT ST_AsText(ST_Simplify(ST_GeomFromText('LINESTRING(0 0,5 1,10 0)'), 2))",
+        )
+        assert wkt == "LINESTRING(0 0,10 0)"
+
+    def test_st_closestpoint_and_shortestline(self, db):
+        assert self._value(
+            db,
+            "SELECT ST_AsText(ST_ClosestPoint(ST_GeomFromText('LINESTRING(0 0,10 0)'), "
+            "ST_GeomFromText('POINT(3 4)')))",
+        ) == "POINT(3 0)"
+        assert self._value(
+            db,
+            "SELECT ST_AsText(ST_ShortestLine(ST_GeomFromText('LINESTRING(0 0,10 0)'), "
+            "ST_GeomFromText('POINT(3 4)')))",
+        ) == "LINESTRING(3 0,3 4)"
+
+    def test_st_azimuth_null_for_same_point(self, db):
+        assert self._value(
+            db,
+            "SELECT ST_Azimuth(ST_GeomFromText('POINT(1 1)'), ST_GeomFromText('POINT(1 1)'))",
+        ) is None
+
+    def test_st_maxdistance(self, db):
+        assert self._value(
+            db,
+            "SELECT ST_MaxDistance(ST_GeomFromText('POINT(0 0)'), "
+            "ST_GeomFromText('LINESTRING(3 0,3 4)'))",
+        ) == pytest.approx(5.0)
+
+    def test_mysql_does_not_expose_postgis_only_functions(self):
+        from repro.errors import UnknownFunctionError
+
+        db = connect("mysql")
+        with pytest.raises(UnknownFunctionError):
+            db.query_value(
+                "SELECT ST_AsText(ST_ClosestPoint(ST_GeomFromText('POINT(0 0)'), "
+                "ST_GeomFromText('POINT(1 1)')))"
+            )
+
+    def test_snap_through_sql(self, db):
+        wkt = self._value(
+            db,
+            "SELECT ST_AsText(ST_Snap(ST_GeomFromText('LINESTRING(0 0,10 1)'), "
+            "ST_GeomFromText('POINT(10 0)'), 2))",
+        )
+        assert wkt == "LINESTRING(0 0,10 0)"

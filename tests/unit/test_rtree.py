@@ -1,0 +1,81 @@
+"""Unit tests for the R-tree spatial index."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.engine.index.rtree import RTree
+from repro.geometry.model import Envelope
+
+
+def box(min_x, min_y, max_x, max_y) -> Envelope:
+    return Envelope(Fraction(min_x), Fraction(min_y), Fraction(max_x), Fraction(max_y))
+
+
+def brute_force(entries, query) -> set[int]:
+    return {row_id for envelope, row_id in entries if envelope.intersects(query)}
+
+
+class TestInsertAndSearch:
+    def test_empty_tree(self):
+        tree = RTree()
+        assert tree.search(box(0, 0, 10, 10)) == []
+        assert tree.size == 0
+
+    def test_single_entry(self):
+        tree = RTree()
+        tree.insert(box(0, 0, 1, 1), 7)
+        assert tree.search(box(0, 0, 2, 2)) == [7]
+        assert tree.search(box(5, 5, 6, 6)) == []
+
+    def test_search_matches_brute_force_after_many_inserts(self):
+        rng = random.Random(7)
+        entries = []
+        tree = RTree(max_entries=6, min_entries=3)
+        for row_id in range(120):
+            x, y = rng.randint(0, 100), rng.randint(0, 100)
+            envelope = box(x, y, x + rng.randint(0, 10), y + rng.randint(0, 10))
+            entries.append((envelope, row_id))
+            tree.insert(envelope, row_id)
+        assert tree.size == 120
+        for _ in range(25):
+            x, y = rng.randint(0, 100), rng.randint(0, 100)
+            query = box(x, y, x + 15, y + 15)
+            assert set(tree.search(query)) == brute_force(entries, query)
+
+    def test_all_row_ids(self):
+        tree = RTree()
+        for row_id in range(20):
+            tree.insert(box(row_id, row_id, row_id + 1, row_id + 1), row_id)
+        assert sorted(tree.all_row_ids()) == list(range(20))
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=3, min_entries=2)
+
+
+class TestBulkLoad:
+    def test_bulk_load_matches_brute_force(self):
+        rng = random.Random(13)
+        entries = []
+        for row_id in range(200):
+            x, y = rng.randint(0, 200), rng.randint(0, 200)
+            entries.append((box(x, y, x + rng.randint(0, 8), y + rng.randint(0, 8)), row_id))
+        tree = RTree.bulk_load(entries)
+        assert tree.size == 200
+        for _ in range(25):
+            x, y = rng.randint(0, 200), rng.randint(0, 200)
+            query = box(x, y, x + 20, y + 20)
+            assert set(tree.search(query)) == brute_force(entries, query)
+
+    def test_bulk_load_empty(self):
+        tree = RTree.bulk_load([])
+        assert tree.size == 0
+        assert tree.search(box(0, 0, 1, 1)) == []
+
+    def test_bulk_load_single(self):
+        tree = RTree.bulk_load([(box(0, 0, 1, 1), 42)])
+        assert tree.search(box(0, 0, 1, 1)) == [42]

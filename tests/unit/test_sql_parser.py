@@ -1,0 +1,172 @@
+"""Unit tests for the SQL lexer and parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SQLParseError
+from repro.engine import ast
+from repro.engine.lexer import tokenize
+from repro.engine.parser import parse_script, parse_statement
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize("SELECT COUNT(*) FROM t1")
+        kinds = [token.kind for token in tokens]
+        assert kinds[:3] == ["keyword", "keyword", "punctuation"]
+        assert tokens[-1].kind == "end"
+
+    def test_string_literal_with_escaped_quote(self):
+        tokens = tokenize("SELECT 'it''s'")
+        assert tokens[1].value == "it's"
+
+    def test_session_variable(self):
+        tokens = tokenize("SET @g1 = 'POINT(0 0)'")
+        assert tokens[1].kind == "variable"
+        assert tokens[1].value == "g1"
+
+    def test_comments_are_skipped(self):
+        tokens = tokenize("SELECT 1 -- the answer\n")
+        assert [t.value for t in tokens if t.kind != "end"] == ["SELECT", "1"]
+
+    def test_operators(self):
+        tokens = tokenize("a ~= b :: geometry <> c")
+        operators = [t.value for t in tokens if t.kind == "operator"]
+        assert operators == ["~=", "::", "<>"]
+
+    def test_unknown_character(self):
+        with pytest.raises(SQLParseError):
+            tokenize("SELECT #")
+
+
+class TestStatementParsing:
+    def test_create_table(self):
+        statement = parse_statement("CREATE TABLE t1 (g geometry)")
+        assert isinstance(statement, ast.CreateTable)
+        assert statement.name == "t1"
+        assert statement.columns[0].type_name == "geometry"
+
+    def test_create_table_as_select(self):
+        statement = parse_statement(
+            "CREATE TABLE t AS SELECT 1 AS id, 'POINT EMPTY'::geometry AS geom"
+        )
+        assert isinstance(statement, ast.CreateTable)
+        assert statement.as_select is not None
+        assert len(statement.as_select.items) == 2
+
+    def test_create_index(self):
+        statement = parse_statement("CREATE INDEX idx ON t USING GIST (geom)")
+        assert isinstance(statement, ast.CreateIndex)
+        assert statement.method == "gist"
+        assert statement.column == "geom"
+
+    def test_insert_multiple_rows(self):
+        statement = parse_statement(
+            "INSERT INTO t (id, geom) VALUES (1,'POINT(0 0)'), (2,'POINT(1 1)')"
+        )
+        assert isinstance(statement, ast.Insert)
+        assert len(statement.rows) == 2
+        assert statement.columns == ["id", "geom"]
+
+    def test_set_engine_setting(self):
+        statement = parse_statement("SET enable_seqscan = false")
+        assert isinstance(statement, ast.SetStatement)
+        assert not statement.is_session_variable
+
+    def test_set_session_variable(self):
+        statement = parse_statement("SET @g1 = 'MULTILINESTRING((990 280,100 20))'")
+        assert isinstance(statement, ast.SetStatement)
+        assert statement.is_session_variable
+        assert statement.name == "g1"
+
+    def test_drop_table(self):
+        statement = parse_statement("DROP TABLE IF EXISTS t9")
+        assert isinstance(statement, ast.DropTable)
+        assert statement.if_exists
+
+    def test_script_with_multiple_statements(self):
+        statements = parse_script(
+            "CREATE TABLE t1 (g geometry); CREATE TABLE t2 (g geometry);"
+        )
+        assert len(statements) == 2
+
+    def test_unsupported_statement(self):
+        with pytest.raises(SQLParseError):
+            parse_statement("UPDATE t SET g = NULL")
+
+    def test_parse_statement_rejects_scripts(self):
+        with pytest.raises(SQLParseError):
+            parse_statement("SELECT 1; SELECT 2")
+
+
+class TestSelectParsing:
+    def test_join_on_function(self):
+        statement = parse_statement(
+            "SELECT COUNT(*) FROM t1 JOIN t2 ON ST_Covers(t1.g,t2.g)"
+        )
+        assert isinstance(statement, ast.Select)
+        assert statement.items[0].expression.is_star
+        assert len(statement.joins) == 1
+        condition = statement.joins[0].condition
+        assert isinstance(condition, ast.FunctionCall)
+        assert condition.name == "st_covers"
+
+    def test_comma_cross_join_with_aliases(self):
+        statement = parse_statement(
+            "SELECT a1.id, a2.id FROM t As a1, t As a2 WHERE ST_Contains(a1.geom, a2.geom)"
+        )
+        assert len(statement.from_items) == 2
+        assert statement.from_items[0].alias == "a1"
+        assert isinstance(statement.where, ast.FunctionCall)
+
+    def test_subquery_in_from(self):
+        statement = parse_statement(
+            "SELECT ST_Within(g1,g2) FROM (SELECT 'POINT(0 0)'::geometry As g1, "
+            "'POINT(1 1)'::geometry As g2)"
+        )
+        assert isinstance(statement.from_items[0], ast.SubqueryRef)
+        inner = statement.from_items[0].select
+        assert inner.items[0].alias == "g1"
+
+    def test_cast_expression(self):
+        statement = parse_statement("SELECT 'POINT(0 0)'::geometry")
+        expression = statement.items[0].expression
+        assert isinstance(expression, ast.Cast)
+        assert expression.type_name == "geometry"
+
+    def test_where_with_boolean_operators(self):
+        statement = parse_statement(
+            "SELECT COUNT(*) FROM t WHERE NOT ST_IsEmpty(g) AND ST_IsValid(g) OR g IS NULL"
+        )
+        assert isinstance(statement.where, ast.BinaryOp)
+        assert statement.where.operator == "or"
+
+    def test_is_null_and_is_not_null(self):
+        statement = parse_statement("SELECT COUNT(*) FROM t WHERE g IS NOT NULL")
+        assert isinstance(statement.where, ast.IsNull)
+        assert statement.where.negated
+
+    def test_same_as_operator(self):
+        statement = parse_statement(
+            "SELECT COUNT(*) FROM t WHERE geom ~= 'POINT EMPTY'::geometry"
+        )
+        assert isinstance(statement.where, ast.BinaryOp)
+        assert statement.where.operator == "~="
+
+    def test_function_with_numeric_argument(self):
+        statement = parse_statement("SELECT ST_DWithin(a.g, b.g, 10) FROM a, b")
+        call = statement.items[0].expression
+        assert isinstance(call, ast.FunctionCall)
+        assert isinstance(call.arguments[2], ast.Literal)
+        assert call.arguments[2].value == 10
+
+    def test_negative_number_literal(self):
+        statement = parse_statement("SELECT -5")
+        expression = statement.items[0].expression
+        assert isinstance(expression, ast.UnaryOp)
+
+    def test_order_by_and_limit(self):
+        statement = parse_statement("SELECT id FROM t ORDER BY id LIMIT 3")
+        assert statement.limit == 3
+        assert len(statement.order_by) == 1

@@ -1,0 +1,69 @@
+"""Unit tests for the OGC semantic validity checks."""
+
+from __future__ import annotations
+
+from repro.geometry import load_wkt
+from repro.geometry.validity import explain_invalidity, is_valid
+
+
+class TestPointsAndLines:
+    def test_points_are_always_valid(self):
+        assert is_valid(load_wkt("POINT(1 1)"))
+        assert is_valid(load_wkt("POINT EMPTY"))
+
+    def test_regular_linestring_is_valid(self):
+        assert is_valid(load_wkt("LINESTRING(0 0,1 1,2 0)"))
+
+    def test_degenerate_linestring_is_invalid(self):
+        assert not is_valid(load_wkt("LINESTRING(1 1,1 1)"))
+        assert "distinct" in explain_invalidity(load_wkt("LINESTRING(1 1,1 1)"))
+
+    def test_empty_linestring_is_valid(self):
+        assert is_valid(load_wkt("LINESTRING EMPTY"))
+
+
+class TestPolygons:
+    def test_simple_polygon_is_valid(self):
+        assert is_valid(load_wkt("POLYGON((0 0,4 0,4 4,0 4,0 0))"))
+
+    def test_bowtie_polygon_is_invalid(self):
+        # The paper's example of a syntactically valid but semantically
+        # invalid shape (Section 4.1).
+        bowtie = load_wkt("POLYGON((0 0,1 1,0 1,1 0,0 0))")
+        assert not is_valid(bowtie)
+        assert "self-intersecting" in explain_invalidity(bowtie)
+
+    def test_zero_area_ring_is_invalid(self):
+        degenerate = load_wkt("POLYGON((0 0,2 2,4 4,0 0))")
+        assert not is_valid(degenerate)
+
+    def test_polygon_with_proper_hole_is_valid(self):
+        assert is_valid(load_wkt("POLYGON((0 0,6 0,6 6,0 6,0 0),(2 2,3 2,3 3,2 3,2 2))"))
+
+    def test_hole_outside_shell_is_invalid(self):
+        outside = load_wkt("POLYGON((0 0,2 0,2 2,0 2,0 0),(5 5,6 5,6 6,5 6,5 5))")
+        assert not is_valid(outside)
+        assert "outside" in explain_invalidity(outside)
+
+    def test_empty_polygon_is_valid(self):
+        assert is_valid(load_wkt("POLYGON EMPTY"))
+
+
+class TestMultiGeometries:
+    def test_valid_multipolygon(self):
+        assert is_valid(load_wkt("MULTIPOLYGON(((0 0,1 0,0 1,0 0)),((5 5,6 5,5 6,5 5)))"))
+
+    def test_overlapping_multipolygon_is_invalid(self):
+        overlapping = load_wkt("MULTIPOLYGON(((0 0,4 0,4 4,0 4,0 0)),((1 1,5 1,5 5,1 5,1 1)))")
+        assert not is_valid(overlapping)
+
+    def test_invalid_element_is_reported_with_its_index(self):
+        collection = load_wkt(
+            "GEOMETRYCOLLECTION(POINT(0 0),POLYGON((0 0,1 1,0 1,1 0,0 0)))"
+        )
+        reason = explain_invalidity(collection)
+        assert reason is not None
+        assert reason.startswith("element 1")
+
+    def test_multipoint_always_valid(self):
+        assert is_valid(load_wkt("MULTIPOINT((0 0),(0 0),EMPTY)"))

@@ -1,0 +1,105 @@
+"""Unit tests for the Well-Known Binary reader/writer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geometry import load_wkt
+from repro.geometry.wkb import (
+    BIG_ENDIAN,
+    LITTLE_ENDIAN,
+    WKBParseError,
+    dump_hex_wkb,
+    dump_wkb,
+    load_hex_wkb,
+    load_wkb,
+)
+
+
+ROUND_TRIP_CASES = [
+    "POINT(1 2)",
+    "POINT EMPTY",
+    "LINESTRING(0 1,2 0)",
+    "POLYGON((0 0,4 0,4 4,0 4,0 0),(1 1,2 1,2 2,1 2,1 1))",
+    "POLYGON EMPTY",
+    "MULTIPOINT((1 0),(0 0))",
+    "MULTILINESTRING((0 2,1 0,3 1,5 0))",
+    "MULTIPOLYGON(((0 0,5 0,0 5,0 0)))",
+    "GEOMETRYCOLLECTION(POINT(0 0),LINESTRING(0 0,1 0))",
+    "GEOMETRYCOLLECTION EMPTY",
+    "MULTIPOINT((-2 0),EMPTY)",
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("wkt", ROUND_TRIP_CASES)
+    def test_little_endian_round_trip(self, wkt):
+        geometry = load_wkt(wkt)
+        assert load_wkb(dump_wkb(geometry, LITTLE_ENDIAN)).wkt == geometry.wkt
+
+    @pytest.mark.parametrize("wkt", ROUND_TRIP_CASES)
+    def test_big_endian_round_trip(self, wkt):
+        geometry = load_wkt(wkt)
+        assert load_wkb(dump_wkb(geometry, BIG_ENDIAN)).wkt == geometry.wkt
+
+    def test_hex_round_trip(self):
+        geometry = load_wkt("POLYGON((0 0,2 0,2 2,0 2,0 0))")
+        assert load_hex_wkb(dump_hex_wkb(geometry)).wkt == geometry.wkt
+
+    def test_known_point_encoding(self):
+        # 01 (little endian) 01000000 (point) x=1.0 y=2.0
+        expected = "0101000000000000000000F03F0000000000000040"
+        assert dump_hex_wkb(load_wkt("POINT(1 2)")) == expected
+        assert load_hex_wkb(expected).wkt == "POINT(1 2)"
+
+    def test_fractional_coordinates_survive(self):
+        geometry = load_wkt("POINT(0.5 -2.25)")
+        assert load_wkb(dump_wkb(geometry)).wkt == "POINT(0.5 -2.25)"
+
+
+class TestErrors:
+    def test_truncated_input(self):
+        payload = dump_wkb(load_wkt("LINESTRING(0 0,1 1)"))
+        with pytest.raises(WKBParseError):
+            load_wkb(payload[:-4])
+
+    def test_trailing_bytes(self):
+        payload = dump_wkb(load_wkt("POINT(1 1)")) + b"\x00"
+        with pytest.raises(WKBParseError):
+            load_wkb(payload)
+
+    def test_bad_byte_order_marker(self):
+        with pytest.raises(WKBParseError):
+            load_wkb(b"\x07" + b"\x00" * 20)
+
+    def test_unknown_type_code(self):
+        with pytest.raises(WKBParseError):
+            load_wkb(b"\x01" + (99).to_bytes(4, "little") + b"\x00" * 16)
+
+    def test_invalid_hex(self):
+        with pytest.raises(WKBParseError):
+            load_hex_wkb("zz")
+
+    def test_non_bytes_input(self):
+        with pytest.raises(WKBParseError):
+            load_wkb("0101")
+
+    def test_invalid_byte_order_argument(self):
+        with pytest.raises(ValueError):
+            dump_wkb(load_wkt("POINT(0 0)"), byte_order=7)
+
+
+class TestSQLIntegration:
+    def test_asbinary_and_geomfromwkb_round_trip_through_sql(self, postgis):
+        hex_wkb = postgis.query_value(
+            "SELECT ST_AsBinary('POLYGON((0 0,3 0,3 3,0 3,0 0))'::geometry)"
+        )
+        assert isinstance(hex_wkb, str) and hex_wkb
+        restored = postgis.query_value(f"SELECT ST_AsText(ST_GeomFromWKB('{hex_wkb}'))")
+        assert restored == "POLYGON((0 0,3 0,3 3,0 3,0 0))"
+
+    def test_every_dialect_exposes_wkb_functions(self):
+        from repro.engine.dialects import available_dialects, get_dialect
+
+        for name in available_dialects():
+            assert get_dialect(name).supports_function("st_asbinary")

@@ -1,0 +1,135 @@
+"""Unit tests for WKT parsing and serialisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WKTParseError
+from repro.geometry import dump_wkt, load_wkt
+from repro.geometry.model import (
+    GeometryCollection,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+
+
+class TestParsing:
+    def test_point(self):
+        point = load_wkt("POINT(0.2 0.9)")
+        assert isinstance(point, Point)
+        assert point.wkt == "POINT(0.2 0.9)"
+
+    def test_point_empty(self):
+        assert load_wkt("POINT EMPTY").is_empty
+
+    def test_linestring(self):
+        line = load_wkt("LINESTRING(0 1,2 0)")
+        assert isinstance(line, LineString)
+        assert len(line.points) == 2
+
+    def test_polygon_with_hole(self):
+        polygon = load_wkt("POLYGON((0 0,4 0,4 4,0 4,0 0),(1 1,2 1,2 2,1 2,1 1))")
+        assert isinstance(polygon, Polygon)
+        assert len(polygon.holes) == 1
+
+    def test_multipoint_with_and_without_parentheses(self):
+        with_parens = load_wkt("MULTIPOINT((1 0),(0 0))")
+        without_parens = load_wkt("MULTIPOINT(1 0,0 0)")
+        assert isinstance(with_parens, MultiPoint)
+        assert with_parens.wkt == without_parens.wkt
+
+    def test_multipoint_with_empty_element(self):
+        multi = load_wkt("MULTIPOINT((-2 0),EMPTY)")
+        assert isinstance(multi, MultiPoint)
+        assert len(multi.geoms) == 2
+        assert multi.geoms[1].is_empty
+
+    def test_multilinestring_with_empty_element(self):
+        multi = load_wkt("MULTILINESTRING((0 2,1 0,3 1,3 1,5 0),EMPTY)")
+        assert isinstance(multi, MultiLineString)
+        assert multi.geoms[1].is_empty
+
+    def test_multipolygon(self):
+        multi = load_wkt("MULTIPOLYGON(((0 0,5 0,0 5,0 0)))")
+        assert isinstance(multi, MultiPolygon)
+        assert len(multi.geoms) == 1
+
+    def test_nested_collection(self):
+        collection = load_wkt(
+            "GEOMETRYCOLLECTION(MULTIPOINT((0 0),(3 1)),POINT(1 1))"
+        )
+        assert isinstance(collection, GeometryCollection)
+        assert collection.geoms[0].geom_type == "MULTIPOINT"
+
+    def test_collection_empty(self):
+        assert load_wkt("GEOMETRYCOLLECTION EMPTY").is_empty
+
+    def test_negative_and_scientific_numbers(self):
+        point = load_wkt("POINT(-2.5 1e2)")
+        assert float(point.x) == -2.5
+        assert float(point.y) == 100.0
+
+    def test_case_insensitive_type_names(self):
+        assert load_wkt("point(1 2)").geom_type == "POINT"
+
+    def test_whitespace_tolerance(self):
+        assert load_wkt("  LINESTRING ( 0 0 , 1 1 ) ").wkt == "LINESTRING(0 0,1 1)"
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "POINT(1)",
+            "POINT(1 2",
+            "LINESTRING 0 0, 1 1",
+            "TRIANGLE((0 0,1 0,0 1,0 0))",
+            "POINT(1 2) garbage",
+            "POLYGON((0 0,1 1))extra",
+            "",
+        ],
+    )
+    def test_malformed_wkt_raises(self, text):
+        with pytest.raises(WKTParseError):
+            load_wkt(text)
+
+    def test_non_string_input(self):
+        with pytest.raises(WKTParseError):
+            load_wkt(12345)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "wkt",
+        [
+            "POINT(1 2)",
+            "POINT EMPTY",
+            "LINESTRING(0 1,2 0)",
+            "LINESTRING EMPTY",
+            "POLYGON((0 0,1 1,0 1,1 0,0 0))",
+            "POLYGON EMPTY",
+            "MULTIPOINT((1 0),(0 0))",
+            "MULTIPOINT EMPTY",
+            "MULTILINESTRING((990 280,100 20))",
+            "MULTILINESTRING((0 2,1 0,3 1,3 1,5 0),EMPTY)",
+            "MULTIPOLYGON(((0 0,5 0,0 5,0 0)))",
+            "MULTIPOLYGON EMPTY",
+            "GEOMETRYCOLLECTION(POINT(0 0),LINESTRING(0 0,1 0))",
+            "GEOMETRYCOLLECTION(MULTIPOINT((0 0),(3 1)))",
+            "GEOMETRYCOLLECTION EMPTY",
+        ],
+    )
+    def test_parse_dump_is_identity(self, wkt):
+        assert dump_wkt(load_wkt(wkt)) == wkt
+
+    def test_fractional_coordinates_preserved(self):
+        assert dump_wkt(load_wkt("POINT(0.2 0.9)")) == "POINT(0.2 0.9)"
+
+    def test_integral_floats_render_without_decimal_point(self):
+        from repro.geometry.model import Coordinate, Point
+
+        assert Point(Coordinate(2.0, 3.0)).wkt == "POINT(2 3)"
