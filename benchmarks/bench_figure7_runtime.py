@@ -23,7 +23,7 @@ import pytest
 from repro.analysis.timing import TimeSplit, measure_campaign_time_split
 from repro.engine.dialects import get_dialect
 
-from benchmarks.conftest import write_report
+from benchmarks.conftest import clear_process_caches, write_report
 
 GEOMETRY_COUNTS = (1, 5, 10, 15)
 DIALECTS = ("postgis", "mysql", "duckdb_spatial")
@@ -43,9 +43,29 @@ def _sweep(dialect: str) -> list[TimeSplit]:
     ]
 
 
+def _parallel_comparison(dialect: str) -> tuple[TimeSplit, TimeSplit]:
+    """Serial vs. sharded wall-clock on a multi-round version of the sweep's
+    largest configuration (one round cannot be sharded, so the comparison
+    uses a four-round campaign).  The process-level caches are cleared
+    before each run so the forked workers do not inherit a warm parent (see
+    ``clear_process_caches``)."""
+    clear_process_caches()
+    serial = measure_campaign_time_split(
+        dialect, geometry_count=GEOMETRY_COUNTS[-1], queries=QUERIES,
+        repeats=1, seed=17, rounds=4, workers=1,
+    )
+    clear_process_caches()
+    parallel = measure_campaign_time_split(
+        dialect, geometry_count=GEOMETRY_COUNTS[-1], queries=QUERIES,
+        repeats=1, seed=17, rounds=4, workers=2,
+    )
+    return serial, parallel
+
+
 @pytest.mark.parametrize("dialect", DIALECTS)
 def test_figure7_runtime_split(benchmark, dialect):
     splits = benchmark.pedantic(_sweep, args=(dialect,), rounds=1, iterations=1)
+    serial, parallel = _parallel_comparison(dialect)
 
     lines = [f"Figure 7 ({dialect}): average time per run, {QUERIES} queries"]
     lines.append(f"{'N':>4} {'Spatter total (ms)':>20} {'SDBMS (ms)':>12} {'SDBMS share':>12}")
@@ -54,7 +74,15 @@ def test_figure7_runtime_split(benchmark, dialect):
             f"{split.geometry_count:>4} {split.spatter_seconds * 1000:>20.1f} "
             f"{split.sdbms_seconds * 1000:>12.1f} {split.sdbms_share * 100:>11.1f}%"
         )
+    lines.append(
+        f"orchestrator (N={GEOMETRY_COUNTS[-1]}, 4 rounds): serial "
+        f"{serial.spatter_seconds * 1000:.1f} ms vs 2 workers "
+        f"{parallel.spatter_seconds * 1000:.1f} ms wall-clock"
+    )
     write_report(f"figure7_runtime_{dialect}", lines)
+
+    # The parallel path runs the same workload (same seed, same rounds).
+    assert parallel.queries_run == serial.queries_run
 
     if get_dialect(dialect).strict_validation:
         # Strict validation rejects most random shapes before predicate

@@ -1,0 +1,77 @@
+"""Parallel orchestrator scaling: serial vs. sharded wall-clock.
+
+The paper's campaign throughput (rounds completed per unit wall-clock)
+directly determines unique-bugs-found within a budget (Figure 8a).  This
+benchmark runs the *same* campaign — same dialect, seed and total round
+budget — once with the serial ``TestingCampaign`` and once per worker count
+with the sharded ``ParallelCampaign``, then
+
+* records the wall-clock of every configuration side by side, and
+* asserts the orchestrator's correctness contract: the merged unique-bug
+  set of every parallel run equals the serial run's set (deterministic
+  sharding makes the round streams identical, only their interleaving
+  differs).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+
+from repro.core.campaign import CampaignConfig, TestingCampaign
+from repro.core.parallel import ParallelCampaign
+
+from benchmarks.conftest import clear_process_caches, write_report
+
+ROUNDS = 8
+WORKER_COUNTS = (2, 4)
+BASE_CONFIG = CampaignConfig(
+    dialect="postgis",
+    seed=2024,
+    geometry_count=8,
+    queries_per_round=12,
+)
+
+
+def _run_all() -> dict:
+    clear_process_caches()
+    serial = TestingCampaign(BASE_CONFIG).run(rounds=ROUNDS)
+    parallel = {}
+    for workers in WORKER_COUNTS:
+        clear_process_caches()
+        parallel[workers] = ParallelCampaign(replace(BASE_CONFIG, workers=workers)).run(
+            rounds=ROUNDS
+        )
+    return {"serial": serial, "parallel": parallel}
+
+
+def test_parallel_scaling_wall_clock(benchmark):
+    outcomes = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    serial = outcomes["serial"]
+
+    lines = [
+        f"Parallel orchestrator scaling: {ROUNDS} rounds, seed {BASE_CONFIG.seed}, "
+        f"{BASE_CONFIG.dialect} ({os.cpu_count()} CPU core(s) available; speedup "
+        f"is bounded by the core count)"
+    ]
+    lines.append(f"{'config':>12} {'wall-clock (s)':>15} {'speedup':>8} {'unique bugs':>12}")
+    lines.append(
+        f"{'serial':>12} {serial.total_seconds:>15.3f} {'1.00x':>8} {serial.unique_bug_count:>12}"
+    )
+    for workers, result in outcomes["parallel"].items():
+        speedup = serial.total_seconds / result.total_seconds if result.total_seconds else 0.0
+        lines.append(
+            f"{f'{workers} workers':>12} {result.total_seconds:>15.3f} "
+            f"{f'{speedup:.2f}x':>8} {result.unique_bug_count:>12}"
+        )
+    write_report("parallel_scaling", lines)
+
+    # Correctness contract: sharding must not change what the campaign finds.
+    for workers, result in outcomes["parallel"].items():
+        assert set(result.unique_bug_ids) == set(serial.unique_bug_ids), workers
+        assert result.rounds == serial.rounds
+        assert result.queries_run == serial.queries_run
+        assert len(result.discrepancies) == len(serial.discrepancies)
+        # The merged Figure 8(a) series is monotone on the shared clock.
+        counts = [count for _, count in result.unique_bug_timeline]
+        assert counts == list(range(1, len(counts) + 1))

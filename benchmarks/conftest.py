@@ -28,9 +28,22 @@ def write_report(name: str, lines: list[str]) -> str:
     return path
 
 
-@pytest.fixture(autouse=True)
-def _fresh_relate_cache():
+def clear_process_caches() -> None:
+    """Drop every process-level memo (relate + canonical caches).
+
+    Benchmarks that compare serial against forked-worker runs must call
+    this between configurations: forked workers inherit the parent's
+    caches, so a warm parent would let the parallel run skip the engine
+    work entirely and inflate the speedup far beyond the worker count.
+    """
+    from repro.core.canonical import clear_canonical_cache
     from repro.topology.relate import clear_relate_cache
 
     clear_relate_cache()
+    clear_canonical_cache()
+
+
+@pytest.fixture(autouse=True)
+def _fresh_relate_cache():
+    clear_process_caches()
     yield

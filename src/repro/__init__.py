@@ -10,8 +10,9 @@ The package is organised in layers:
   in for PostGIS / MySQL / DuckDB Spatial / SQL Server, with dialect
   emulation and the injected-bug catalog;
 * :mod:`repro.core` -- Spatter itself: geometry-aware generation, affine
-  equivalent input construction, canonicalization, the AEI oracle, and the
-  campaign runner;
+  equivalent input construction, canonicalization, the AEI oracle, the
+  campaign runner, and the parallel sharded orchestrator
+  (:mod:`repro.core.parallel`);
 * :mod:`repro.baselines` -- the comparison oracles of Table 4 (differential,
   TLP, index toggling) and the random-shape-only generator;
 * :mod:`repro.analysis` -- coverage and timing measurement for the
@@ -34,9 +35,11 @@ from repro.core import (
     CampaignResult,
     GeneratorConfig,
     GeometryAwareGenerator,
+    ParallelCampaign,
     TestingCampaign,
     canonicalize,
     random_affine_transformation,
+    run_campaign,
 )
 from repro.core.campaign import CampaignConfig
 from repro.geometry import dump_wkt, load_wkt
@@ -61,6 +64,8 @@ __all__ = [
     "GeneratorConfig",
     "AEIOracle",
     "TestingCampaign",
+    "ParallelCampaign",
+    "run_campaign",
     "CampaignConfig",
     "CampaignResult",
 ]

@@ -10,18 +10,26 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.campaign import CampaignConfig, TestingCampaign
+from repro.core.campaign import CampaignConfig
+from repro.core.parallel import run_campaign
 
 
 @dataclass
 class TimeSplit:
     """One Figure 7 data point."""
 
+    #: Emulated system under test.
     dialect: str
+    #: Geometries per generated database (the paper's *N*).
     geometry_count: int
+    #: Average total Spatter wall-clock seconds per run.
     spatter_seconds: float
+    #: Average seconds spent executing statements inside the SDBMS.
     sdbms_seconds: float
+    #: Average template queries executed per run.
     queries_run: int
+    #: Worker processes the campaign ran with (1 = serial driver).
+    workers: int = 1
 
     @property
     def sdbms_share(self) -> float:
@@ -38,27 +46,31 @@ def measure_campaign_time_split(
     repeats: int = 3,
     seed: int = 0,
     emulate_release_under_test: bool = True,
+    rounds: int = 1,
+    workers: int = 1,
 ) -> TimeSplit:
     """Average the Spatter/SDBMS time split over ``repeats`` runs.
 
-    Mirrors the paper's methodology: each run generates one database of
-    ``geometry_count`` geometries and evaluates ``queries`` random template
-    queries; the experiment is repeated to absorb performance noise.
+    Mirrors the paper's methodology: each run generates ``rounds`` databases
+    of ``geometry_count`` geometries and evaluates ``queries`` random
+    template queries per round; the experiment is repeated to absorb
+    performance noise.  ``workers > 1`` routes the run through the parallel
+    orchestrator (:mod:`repro.core.parallel`) so serial and sharded
+    wall-clocks can be compared on the same workload.
     """
     total_spatter = 0.0
     total_sdbms = 0.0
     total_queries = 0
     for repeat in range(repeats):
-        campaign = TestingCampaign(
-            CampaignConfig(
-                dialect=dialect,
-                geometry_count=geometry_count,
-                queries_per_round=queries,
-                seed=seed + repeat,
-                emulate_release_under_test=emulate_release_under_test,
-            )
+        config = CampaignConfig(
+            dialect=dialect,
+            geometry_count=geometry_count,
+            queries_per_round=queries,
+            seed=seed + repeat,
+            emulate_release_under_test=emulate_release_under_test,
+            workers=workers,
         )
-        result = campaign.run(rounds=1)
+        result = run_campaign(config, rounds=rounds)
         total_spatter += result.total_seconds
         total_sdbms += result.sdbms_seconds
         total_queries += result.queries_run
@@ -68,4 +80,5 @@ def measure_campaign_time_split(
         spatter_seconds=total_spatter / repeats,
         sdbms_seconds=total_sdbms / repeats,
         queries_run=total_queries // repeats,
+        workers=workers,
     )

@@ -10,7 +10,8 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core.campaign import CampaignConfig, TestingCampaign
+from repro.core.campaign import CampaignConfig
+from repro.core.parallel import run_campaign
 from repro.engine.dialects import available_dialects, default_fault_profile
 from repro.engine.faults import bug_by_id
 
@@ -37,6 +38,21 @@ def build_argument_parser() -> argparse.ArgumentParser:
     parser.add_argument("--tables", type=int, default=2, help="tables per generated database (m)")
     parser.add_argument("--queries", type=int, default=20, help="template queries per round")
     parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes; >1 shards the campaign across a process pool",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help=(
+            "deterministic round streams to split the campaign into "
+            "(default: one per worker); seed+shards fixes the merged result"
+        ),
+    )
     parser.add_argument(
         "--clean",
         action="store_true",
@@ -71,6 +87,13 @@ def main(argv: list[str] | None = None) -> int:
         _print_bug_catalog(arguments.dialect)
         return 0
 
+    if arguments.rounds < 0:
+        parser.error("--rounds must be non-negative")
+    if arguments.workers < 1:
+        parser.error("--workers must be at least 1")
+    if arguments.shards is not None and arguments.shards < 1:
+        parser.error("--shards must be at least 1")
+
     config = CampaignConfig(
         dialect=arguments.dialect,
         emulate_release_under_test=not arguments.clean,
@@ -79,12 +102,13 @@ def main(argv: list[str] | None = None) -> int:
         queries_per_round=arguments.queries,
         use_derivative_strategy=not arguments.random_shape_only,
         seed=arguments.seed,
+        workers=arguments.workers,
+        shards=arguments.shards,
     )
-    campaign = TestingCampaign(config)
     if arguments.duration is not None:
-        result = campaign.run(duration_seconds=arguments.duration)
+        result = run_campaign(config, duration_seconds=arguments.duration)
     else:
-        result = campaign.run(rounds=arguments.rounds)
+        result = run_campaign(config, rounds=arguments.rounds)
 
     print(result.summary())
     if result.discrepancies:

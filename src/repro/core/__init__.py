@@ -22,7 +22,8 @@ from repro.core.affine import AffineTransformation, random_affine_transformation
 from repro.core.canonical import canonicalize
 from repro.core.generator import GeneratorConfig, GeometryAwareGenerator
 from repro.core.oracle import AEIOracle, Discrepancy
-from repro.core.campaign import CampaignResult, TestingCampaign
+from repro.core.campaign import CampaignConfig, CampaignResult, TestingCampaign
+from repro.core.parallel import ParallelCampaign, run_campaign
 
 __all__ = [
     "AffineTransformation",
@@ -33,5 +34,8 @@ __all__ = [
     "AEIOracle",
     "Discrepancy",
     "TestingCampaign",
+    "CampaignConfig",
     "CampaignResult",
+    "ParallelCampaign",
+    "run_campaign",
 ]

@@ -6,74 +6,239 @@ queries over both, and (4) records, reduces and deduplicates every
 discrepancy and crash.  It also keeps the timing split (time inside the
 SDBMS vs. total Spatter time) that Figure 7 reports and exposes
 unique-bugs-over-time data for Figure 8(a).
+
+Rounds are independently seeded: round *i* of a campaign with seed *S* draws
+every random decision from ``random.Random(f"{S}|{i}")``.  That makes the
+round stream *partitionable* — a shard ``k`` of ``n`` replays exactly the
+global rounds ``k, k+n, k+2n, ...`` — which is what lets the parallel
+orchestrator (:mod:`repro.core.parallel`) split one campaign across a
+process pool and merge the shard results back into the same unique-bug set
+a serial run of the same seed and total round count would have produced.
 """
 
 from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
-from repro.core.dedup import Deduplicator
+from repro.core.dedup import DeduplicationResult, Deduplicator
 from repro.core.generator import GeneratorConfig, GeometryAwareGenerator
 from repro.core.oracle import AEIOracle, CrashReport, Discrepancy
 from repro.engine.database import SpatialDatabase, connect
 from repro.engine.dialects import default_fault_profile
-from repro.engine.faults import FaultPlan
+
+
+def round_rng(seed: int, round_index: int) -> random.Random:
+    """The RNG for one campaign round.
+
+    Seeding with the ``"seed|round"`` string (hashed through
+    :meth:`random.Random.seed`'s deterministic byte path) makes every round
+    reproducible in isolation, independent of process, shard assignment, or
+    how much entropy earlier rounds consumed.
+    """
+    return random.Random(f"{seed}|{round_index}")
 
 
 @dataclass
 class CampaignConfig:
     """Everything a campaign needs to know."""
 
+    #: Emulated system under test (one of ``repro.engine.dialects``).
     dialect: str = "postgis"
-    bug_ids: tuple[str, ...] | None = None  # None = the dialect's default profile
+    #: Explicit injected-bug profile; ``None`` selects the dialect's default
+    #: release emulation.
+    bug_ids: tuple[str, ...] | None = None
+    #: When ``True`` the engine runs with the dialect's reported bugs
+    #: injected (the "release under test"); ``False`` tests the fixed engine.
     emulate_release_under_test: bool = True
+    #: Geometries per generated database (the paper's *N*).
     geometry_count: int = 10
+    #: Tables the geometries are spread over (the paper's *m*).
     table_count: int = 2
+    #: Template queries instantiated per generation round.
     queries_per_round: int = 20
+    #: ``True`` enables the derivative strategy (Algorithm 1); ``False`` is
+    #: the random-shape-only RSG baseline.
     use_derivative_strategy: bool = True
+    #: Master seed; combined with the global round index via
+    #: :func:`round_rng`, so ``seed`` + total rounds fully determine a run.
     seed: int = 0
+    #: Worker processes the parallel orchestrator may use.  ``1`` keeps the
+    #: campaign single-process (the classic serial driver).
+    workers: int = 1
+    #: Number of deterministic round streams the campaign is split into.
+    #: ``None`` means "one shard per worker".  The shard count — not the
+    #: worker count — is what the result depends on, and any shard count
+    #: yields the same merged unique-bug set as a serial run of the same
+    #: seed and total rounds.
+    shards: int | None = None
+
+    @property
+    def shard_count(self) -> int:
+        """The effective number of shards (``shards`` or one per worker)."""
+        if self.shards is not None:
+            return max(1, self.shards)
+        return max(1, self.workers)
 
 
 @dataclass
 class CampaignResult:
-    """Everything a campaign produced."""
+    """Everything a campaign (or one shard of one) produced."""
 
+    #: The configuration the campaign ran with.
     config: CampaignConfig
+    #: Generation/validation rounds completed.
     rounds: int = 0
+    #: Template queries executed by the oracle.
     queries_run: int = 0
+    #: Semantic errors (invalid geometries, unsupported arguments) that were
+    #: ignored rather than reported.
     errors_ignored: int = 0
+    #: Every logic-bug candidate (AEI count mismatch) observed, pre-dedup.
     discrepancies: list[Discrepancy] = field(default_factory=list)
+    #: Every crash-bug candidate observed, pre-dedup.
     crashes: list[CrashReport] = field(default_factory=list)
+    #: Deduplicated ground-truth bug ids, in order of first detection.
     unique_bug_ids: list[str] = field(default_factory=list)
+    #: ``(elapsed seconds, cumulative unique bugs)`` pairs for Figure 8(a),
+    #: on the campaign's shared wall clock.
     unique_bug_timeline: list[tuple[float, int]] = field(default_factory=list)
+    #: First-detection instant of each unique bug id, in seconds on the
+    #: campaign's shared wall clock (what ``merge`` rebases and unions).
+    first_detection_seconds: dict[str, float] = field(default_factory=dict)
+    #: Total wall-clock Spatter time.  For a merged parallel result this is
+    #: the wall-clock of the whole parallel run, not the sum of the shards.
     total_seconds: float = 0.0
+    #: Time spent executing statements inside the SDBMS (summed over shards
+    #: for merged results, i.e. aggregate engine time, not wall clock).
     sdbms_seconds: float = 0.0
+    #: Which shard produced this result (0 for serial runs).
+    shard_index: int = 0
+    #: How many shards the producing campaign was split into.
+    shard_count: int = 1
+    #: Seconds between the orchestrator's campaign start and this shard's
+    #: start; ``merge`` folds the offset into the timeline rebase.
+    start_offset_seconds: float = 0.0
 
     @property
     def unique_bug_count(self) -> int:
+        """Number of deduplicated ground-truth bugs found."""
         return len(self.unique_bug_ids)
 
     def summary(self) -> str:
+        """A one-line human-readable digest of the run."""
+        sharding = ""
+        if self.shard_count > 1:
+            sharding = f" [{self.shard_count} shards]"
         return (
             f"{self.config.dialect}: {self.rounds} rounds, {self.queries_run} queries, "
             f"{len(self.discrepancies)} discrepancies, {len(self.crashes)} crashes, "
             f"{self.unique_bug_count} unique bugs, "
             f"{self.sdbms_seconds:.3f}s in SDBMS / {self.total_seconds:.3f}s total"
+            f"{sharding}"
         )
+
+    # ---------------------------------------------------------------- merging
+    def rebased(self) -> "CampaignResult":
+        """This result with ``start_offset_seconds`` folded into the clock.
+
+        Shards measure elapsed time from their own start; rebasing shifts
+        the first-detection instants and the timeline onto the orchestrator's
+        shared wall clock so that merged timelines are comparable.
+        """
+        if self.start_offset_seconds == 0.0:
+            return self
+        offset = self.start_offset_seconds
+        detections = {
+            bug_id: seconds + offset for bug_id, seconds in self.first_detection_seconds.items()
+        }
+        return replace(
+            self,
+            first_detection_seconds=detections,
+            unique_bug_timeline=[(seconds + offset, count) for seconds, count in self.unique_bug_timeline],
+            total_seconds=self.total_seconds + offset,
+            start_offset_seconds=0.0,
+        )
+
+    def merge(self, other: "CampaignResult") -> "CampaignResult":
+        """Combine two shard results into one campaign-level result.
+
+        Counts are summed, raw findings concatenated, and the unique-bug
+        sets unioned through :meth:`DeduplicationResult.combine` (earliest
+        rebased detection wins), so the merged unique-bugs-over-time series
+        lives on one shared wall clock.  ``total_seconds`` becomes the later
+        of the two rebased end times (wall clock), while ``sdbms_seconds``
+        stays a sum (aggregate engine time across processes).
+        """
+        left, right = self.rebased(), other.rebased()
+        combined = DeduplicationResult(
+            unique_bug_ids=list(left.unique_bug_ids),
+            first_detection_seconds=dict(left.first_detection_seconds),
+        ).combine(
+            DeduplicationResult(
+                unique_bug_ids=list(right.unique_bug_ids),
+                first_detection_seconds=dict(right.first_detection_seconds),
+            )
+        )
+        timeline = sorted(combined.first_detection_seconds.values())
+        return CampaignResult(
+            config=left.config,
+            rounds=left.rounds + right.rounds,
+            queries_run=left.queries_run + right.queries_run,
+            errors_ignored=left.errors_ignored + right.errors_ignored,
+            discrepancies=left.discrepancies + right.discrepancies,
+            crashes=left.crashes + right.crashes,
+            unique_bug_ids=list(combined.unique_bug_ids),
+            unique_bug_timeline=[(seconds, index + 1) for index, seconds in enumerate(timeline)],
+            first_detection_seconds=dict(combined.first_detection_seconds),
+            total_seconds=max(left.total_seconds, right.total_seconds),
+            sdbms_seconds=left.sdbms_seconds + right.sdbms_seconds,
+            shard_index=0,
+            shard_count=max(left.shard_count, right.shard_count),
+            start_offset_seconds=0.0,
+        )
+
+    @classmethod
+    def combine(cls, results: "list[CampaignResult]") -> "CampaignResult":
+        """Merge any number of shard results (see :meth:`merge`)."""
+        if not results:
+            raise ValueError("cannot combine zero campaign results")
+        merged = results[0].rebased()
+        for result in results[1:]:
+            merged = merged.merge(result)
+        return merged
 
 
 class TestingCampaign:
-    """Runs Spatter against one emulated system."""
+    """Runs Spatter against one emulated system.
+
+    ``shard_index``/``shard_count`` select which slice of the global round
+    stream this instance replays: shard *k* of *n* runs global rounds
+    ``k, k+n, k+2n, ...``.  The default ``(0, 1)`` is the classic serial
+    campaign that runs every round.
+    """
 
     #: not a pytest test class, despite the name
     __test__ = False
 
-    def __init__(self, config: CampaignConfig | None = None):
+    def __init__(
+        self,
+        config: CampaignConfig | None = None,
+        shard_index: int = 0,
+        shard_count: int = 1,
+    ):
+        if shard_count < 1:
+            raise ValueError("shard_count must be at least 1")
+        if not 0 <= shard_index < shard_count:
+            raise ValueError("shard_index must be in [0, shard_count)")
         self.config = config or CampaignConfig()
-        self.rng = random.Random(self.config.seed)
+        self.shard_index = shard_index
+        self.shard_count = shard_count
         self.deduplicator = Deduplicator()
+        #: rounds completed over the instance's lifetime; makes repeated
+        #: ``run()`` calls continue the round stream instead of replaying it.
+        self.rounds_completed = 0
 
     # ------------------------------------------------------------- plumbing
     def _bug_ids(self) -> tuple[str, ...]:
@@ -93,10 +258,20 @@ class TestingCampaign:
         rounds: int | None = None,
         duration_seconds: float | None = None,
     ) -> CampaignResult:
-        """Run for a number of rounds or for a wall-clock budget."""
+        """Run for a number of rounds or for a wall-clock budget.
+
+        ``rounds`` counts the rounds *this* call executes; a shard asked
+        for ``rounds=r`` replays the ``r`` next global round indices of its
+        slice of the stream.  Calling ``run`` again on the same instance
+        continues the stream where the previous call stopped.
+        """
         if rounds is None and duration_seconds is None:
             rounds = 5
-        result = CampaignResult(config=self.config)
+        result = CampaignResult(
+            config=self.config,
+            shard_index=self.shard_index,
+            shard_count=self.shard_count,
+        )
         started = time.perf_counter()
 
         while True:
@@ -110,10 +285,17 @@ class TestingCampaign:
         result.total_seconds = time.perf_counter() - started
         result.unique_bug_ids = list(self.deduplicator.result.unique_bug_ids)
         result.unique_bug_timeline = self.deduplicator.unique_bugs_over_time()
+        result.first_detection_seconds = dict(self.deduplicator.result.first_detection_seconds)
         return result
 
     def _run_round(self, result: CampaignResult, started: float) -> None:
+        # Global index of the round in the campaign-wide stream; every
+        # random decision of the round derives from it, so a shard replays
+        # exactly what the serial campaign would have run at that index.
+        global_round = self.shard_index + self.rounds_completed * self.shard_count
+        rng = round_rng(self.config.seed, global_round)
         result.rounds += 1
+        self.rounds_completed += 1
         generation_connection = self.new_connection()
         generator = GeometryAwareGenerator(
             generation_connection,
@@ -122,7 +304,7 @@ class TestingCampaign:
                 table_count=self.config.table_count,
                 use_derivative_strategy=self.config.use_derivative_strategy,
             ),
-            rng=self.rng,
+            rng=rng,
         )
         sdbms_connections: list[SpatialDatabase] = [generation_connection]
 
@@ -131,7 +313,7 @@ class TestingCampaign:
             sdbms_connections.append(connection)
             return connection
 
-        oracle = AEIOracle(tracked_factory, rng=self.rng)
+        oracle = AEIOracle(tracked_factory, rng=rng)
         try:
             spec = generator.generate()
         except Exception as crash:  # EngineCrash during derivation

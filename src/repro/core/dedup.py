@@ -45,12 +45,39 @@ def signature_identity(discrepancy: Discrepancy) -> str:
 class DeduplicationResult:
     """Unique bugs found so far, with first-detection bookkeeping."""
 
+    #: Ground-truth injected-bug ids, in order of first detection.
     unique_bug_ids: list[str] = field(default_factory=list)
+    #: Syntactic signatures (predicate + geometry-type multiset), the
+    #: no-ground-truth fallback a real tester would deduplicate with.
     unique_signatures: list[str] = field(default_factory=list)
+    #: Elapsed seconds at which each bug id was first detected.
     first_detection_seconds: dict[str, float] = field(default_factory=dict)
 
     def unique_count(self, use_ground_truth: bool = True) -> int:
         return len(self.unique_bug_ids) if use_ground_truth else len(self.unique_signatures)
+
+    def combine(self, other: "DeduplicationResult") -> "DeduplicationResult":
+        """Union two results: earliest detection wins, orders re-derived.
+
+        Bug ids are re-ordered by their merged first-detection instant (ties
+        broken by id for determinism); signatures keep left-then-right first
+        appearance order, matching how a single deduplicator that had seen
+        both observation streams would have recorded them.
+        """
+        detections = dict(self.first_detection_seconds)
+        for bug_id, seconds in other.first_detection_seconds.items():
+            if bug_id not in detections or seconds < detections[bug_id]:
+                detections[bug_id] = seconds
+        ordered = sorted(detections.items(), key=lambda item: (item[1], item[0]))
+        signatures = list(self.unique_signatures)
+        for signature in other.unique_signatures:
+            if signature not in signatures:
+                signatures.append(signature)
+        return DeduplicationResult(
+            unique_bug_ids=[bug_id for bug_id, _ in ordered],
+            unique_signatures=signatures,
+            first_detection_seconds=detections,
+        )
 
 
 class Deduplicator:
@@ -81,6 +108,17 @@ class Deduplicator:
         self.result.unique_bug_ids.append(crash.bug_id)
         self.result.first_detection_seconds[crash.bug_id] = elapsed_seconds
         return [crash.bug_id]
+
+    def merge(self, other: "Deduplicator") -> "Deduplicator":
+        """Fold another deduplicator's findings into this one (in place).
+
+        Used by the parallel orchestrator to union per-shard unique-bug
+        sets; first-detection instants must already be on a shared clock
+        (see :meth:`repro.core.campaign.CampaignResult.rebased`).  Returns
+        ``self`` for chaining.
+        """
+        self.result = self.result.combine(other.result)
+        return self
 
     def unique_bugs_over_time(self) -> list[tuple[float, int]]:
         """(elapsed seconds, cumulative unique bugs) pairs for Figure 8(a)."""

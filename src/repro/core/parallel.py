@@ -1,0 +1,205 @@
+"""Parallel sharded campaign orchestration.
+
+The paper's campaigns are throughput-bound: unique-bugs-found over a fixed
+wall-clock budget (Figure 8a) grows with how many generation/validation
+rounds the tester completes.  The serial :class:`~repro.core.campaign.
+TestingCampaign` leaves every core but one idle; this module shards one
+campaign across a ``multiprocessing`` worker pool and merges the shard
+results back into a single :class:`~repro.core.campaign.CampaignResult`.
+
+Design:
+
+* **Deterministic sharding.**  Rounds are independently seeded (see
+  :func:`repro.core.campaign.round_rng`), so the campaign's round stream can
+  be partitioned round-robin: shard *k* of *n* replays global rounds
+  ``k, k+n, k+2n, ...``.  ``seed=S, shards=n`` therefore fully determines
+  the merged unique-bug set, whatever the worker count, and for a fixed
+  total round budget the merged set equals a serial run of the same seed.
+* **Mergeable results.**  Each worker returns its shard's
+  ``CampaignResult``; :meth:`CampaignResult.combine` unions the deduplicated
+  bug sets (earliest detection wins) and re-bases every shard's
+  unique-bugs-over-time series onto the orchestrator's shared wall clock.
+* **Graceful degradation.**  With ``workers=1`` — or when the platform
+  refuses to give us a process pool (restricted sandboxes without working
+  semaphores) — the shards run in-process, preserving the exact merged
+  semantics at serial speed.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+from repro.core.campaign import CampaignConfig, CampaignResult, TestingCampaign
+
+
+def shard_rounds(total_rounds: int, shard_index: int, shard_count: int) -> int:
+    """How many of ``total_rounds`` global rounds land on one shard.
+
+    Round-robin assignment: shard *k* owns every global round index that is
+    congruent to *k* modulo ``shard_count``.
+    """
+    if total_rounds < 0:
+        raise ValueError("total_rounds must be non-negative")
+    return len(range(shard_index, total_rounds, shard_count))
+
+
+def _run_shard(payload: tuple) -> CampaignResult:
+    """Worker entry point: run one shard and stamp its clock offset.
+
+    Module-level (not a closure) so it pickles under every multiprocessing
+    start method.  ``epoch`` is the orchestrator's campaign start on the
+    shared ``time.time`` clock; the difference to the shard's own start
+    becomes ``start_offset_seconds``, which the merge folds into the
+    unique-bugs-over-time rebase.
+    """
+    config, shard_index, shard_count, rounds, duration_seconds, epoch = payload
+    offset = max(0.0, time.time() - epoch)
+    campaign = TestingCampaign(config, shard_index=shard_index, shard_count=shard_count)
+    result = campaign.run(rounds=rounds, duration_seconds=duration_seconds)
+    result.start_offset_seconds = offset
+    return result
+
+
+class ParallelCampaign:
+    """Shards one testing campaign across a process pool and merges results.
+
+    The public surface mirrors :class:`TestingCampaign` — construct with a
+    :class:`CampaignConfig` (whose ``workers``/``shards`` fields size the
+    pool and the round partition) and call :meth:`run` with either a round
+    budget or a wall-clock budget.
+    """
+
+    #: not a pytest test class, despite the name
+    __test__ = False
+
+    def __init__(self, config: CampaignConfig | None = None):
+        self.config = config or CampaignConfig()
+        if self.config.workers < 1:
+            raise ValueError("workers must be at least 1")
+
+    # ------------------------------------------------------------- plumbing
+    @property
+    def shard_count(self) -> int:
+        """Number of deterministic round streams (see ``CampaignConfig``)."""
+        return self.config.shard_count
+
+    def _payloads(
+        self,
+        rounds: int | None,
+        duration_seconds: float | None,
+        epoch: float,
+        concurrency: int,
+    ) -> list[tuple]:
+        shard_count = self.shard_count
+        shard_duration = duration_seconds
+        if duration_seconds is not None and shard_count > concurrency:
+            # More shards than concurrently-running workers: shards queue,
+            # so giving each the full budget would overshoot the requested
+            # wall-clock by ceil(shards/concurrency)x.  Scale the per-shard
+            # budget so the whole run still finishes in roughly
+            # ``duration_seconds``.
+            shard_duration = duration_seconds * max(1, concurrency) / shard_count
+        payloads = []
+        for shard_index in range(shard_count):
+            shard_round_budget = (
+                None if rounds is None else shard_rounds(rounds, shard_index, shard_count)
+            )
+            if shard_round_budget == 0:
+                continue  # fewer rounds than shards: trailing shards are idle
+            payloads.append(
+                (self.config, shard_index, shard_count, shard_round_budget, shard_duration, epoch)
+            )
+        return payloads
+
+    @staticmethod
+    def _pool_context():
+        """Pick a start method: ``fork`` when available (cheap, no re-import
+        of the worker module), the platform default otherwise."""
+        methods = multiprocessing.get_all_start_methods()
+        if "fork" in methods:
+            return multiprocessing.get_context("fork")
+        return multiprocessing.get_context()
+
+    def _run_pool(
+        self,
+        payloads: list[tuple],
+        rounds: int | None,
+        duration_seconds: float | None,
+        epoch: float,
+    ) -> list[CampaignResult]:
+        workers = min(self.config.workers, len(payloads))
+        try:
+            context = self._pool_context()
+            pool = context.Pool(processes=workers)
+        except (OSError, PermissionError, ImportError):
+            # No working process pool on this platform (e.g. sandboxes
+            # without POSIX semaphores): fall back to in-process shards,
+            # which produce the identical merged result, just serially.
+            # Only pool *creation* is guarded — an error raised by campaign
+            # code inside a worker must propagate, not silently trigger a
+            # full serial re-run.  The shards now run one at a time, so
+            # duration budgets are re-split for a concurrency of one.
+            return [
+                _run_shard(payload)
+                for payload in self._payloads(rounds, duration_seconds, epoch, concurrency=1)
+            ]
+        with pool:
+            return pool.map(_run_shard, payloads)
+
+    # ------------------------------------------------------------------ run
+    def run(
+        self,
+        rounds: int | None = None,
+        duration_seconds: float | None = None,
+    ) -> CampaignResult:
+        """Run the sharded campaign and return the merged result.
+
+        ``rounds`` is the *total* round budget across all shards (matching
+        what a serial ``TestingCampaign.run(rounds=...)`` would execute);
+        ``duration_seconds`` is the wall-clock budget of the whole run:
+        with one shard per worker (the default) every shard gets the full
+        budget — multiplying round throughput by the worker count — while
+        surplus shards split it proportionally so the run still finishes
+        on time.
+        """
+        if rounds is None and duration_seconds is None:
+            rounds = 5
+        started = time.perf_counter()
+        epoch = time.time()
+        pooled = self.config.workers > 1
+        payloads = self._payloads(
+            rounds, duration_seconds, epoch, concurrency=self.config.workers if pooled else 1
+        )
+        if not payloads:
+            return CampaignResult(config=self.config, shard_count=self.shard_count)
+
+        if pooled and len(payloads) > 1:
+            shard_results = self._run_pool(payloads, rounds, duration_seconds, epoch)
+        else:
+            shard_results = [_run_shard(payload) for payload in payloads]
+
+        merged = CampaignResult.combine(shard_results)
+        # The merged wall clock is what the orchestrator observed, not the
+        # per-shard maximum (pool start-up and result transfer count too).
+        merged.total_seconds = time.perf_counter() - started
+        merged.config = self.config
+        merged.shard_count = self.shard_count
+        return merged
+
+
+def run_campaign(
+    config: CampaignConfig,
+    rounds: int | None = None,
+    duration_seconds: float | None = None,
+) -> CampaignResult:
+    """Run a campaign with the driver the config asks for.
+
+    The single entry point the CLI and the benchmarks use: configs with
+    ``workers > 1`` or an explicit shard split get the parallel
+    orchestrator, everything else the classic serial driver (whose result
+    carries identical semantics).
+    """
+    if config.workers > 1 or (config.shards or 1) > 1:
+        return ParallelCampaign(config).run(rounds=rounds, duration_seconds=duration_seconds)
+    return TestingCampaign(config).run(rounds=rounds, duration_seconds=duration_seconds)

@@ -1,0 +1,179 @@
+"""The parallel orchestrator's correctness contract.
+
+Sharding a campaign must change only the wall-clock, never the findings:
+for a fixed seed and total round budget the merged unique-bug set equals a
+serial run's, whatever the shard and worker counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cli import main
+from repro.core.campaign import CampaignConfig, CampaignResult, TestingCampaign
+from repro.core.parallel import ParallelCampaign, run_campaign, shard_rounds
+
+CONFIG = CampaignConfig(dialect="postgis", seed=42, geometry_count=6, queries_per_round=10)
+ROUNDS = 4
+
+
+@pytest.fixture(scope="module")
+def serial_result() -> CampaignResult:
+    return TestingCampaign(CONFIG).run(rounds=ROUNDS)
+
+
+class TestShardRounds:
+    def test_partition_covers_every_round_exactly_once(self):
+        for total in (0, 1, 4, 7, 10):
+            for shard_count in (1, 2, 3, 5):
+                assert (
+                    sum(shard_rounds(total, index, shard_count) for index in range(shard_count))
+                    == total
+                )
+
+    def test_rejects_negative_round_budget(self):
+        with pytest.raises(ValueError):
+            shard_rounds(-1, 0, 2)
+
+
+class TestMergedEqualsSerial:
+    def test_two_workers_match_serial_unique_bug_set(self, serial_result):
+        parallel = ParallelCampaign(replace(CONFIG, workers=2)).run(rounds=ROUNDS)
+        assert set(parallel.unique_bug_ids) == set(serial_result.unique_bug_ids)
+        assert parallel.rounds == serial_result.rounds
+        assert parallel.queries_run == serial_result.queries_run
+        assert len(parallel.discrepancies) == len(serial_result.discrepancies)
+        assert len(parallel.crashes) == len(serial_result.crashes)
+
+    def test_in_process_sharding_matches_serial(self, serial_result):
+        # workers=1 with an explicit shard split runs the shards in-process
+        # but must merge to the identical finding set.
+        parallel = ParallelCampaign(replace(CONFIG, shards=3)).run(rounds=ROUNDS)
+        assert set(parallel.unique_bug_ids) == set(serial_result.unique_bug_ids)
+        assert parallel.queries_run == serial_result.queries_run
+
+    def test_more_shards_than_rounds_leaves_trailing_shards_idle(self, serial_result):
+        parallel = ParallelCampaign(replace(CONFIG, shards=ROUNDS + 3)).run(rounds=ROUNDS)
+        assert parallel.rounds == ROUNDS
+        assert set(parallel.unique_bug_ids) == set(serial_result.unique_bug_ids)
+
+    def test_merged_timeline_is_monotone_on_shared_clock(self):
+        parallel = ParallelCampaign(replace(CONFIG, workers=2)).run(rounds=ROUNDS)
+        counts = [count for _, count in parallel.unique_bug_timeline]
+        seconds = [second for second, _ in parallel.unique_bug_timeline]
+        assert counts == list(range(1, len(counts) + 1))
+        assert seconds == sorted(seconds)
+
+
+class TestDeterminism:
+    def test_same_seed_and_shards_reproduce_the_findings(self):
+        config = replace(CONFIG, workers=2, shards=2)
+        first = ParallelCampaign(config).run(rounds=ROUNDS)
+        second = ParallelCampaign(config).run(rounds=ROUNDS)
+        assert sorted(first.unique_bug_ids) == sorted(second.unique_bug_ids)
+        assert sorted(d.describe() for d in first.discrepancies) == sorted(
+            d.describe() for d in second.discrepancies
+        )
+
+    def test_serial_rounds_are_individually_reseeded(self):
+        # Round i draws from Random(f"{seed}|{i}"), so re-running the same
+        # campaign reproduces the exact discrepancy stream.
+        first = TestingCampaign(CONFIG).run(rounds=2)
+        second = TestingCampaign(CONFIG).run(rounds=2)
+        assert [d.describe() for d in first.discrepancies] == [
+            d.describe() for d in second.discrepancies
+        ]
+
+    def test_repeated_run_continues_the_round_stream(self):
+        # A second run() on the same instance must explore the *next*
+        # global rounds, not replay the first call's.
+        incremental = TestingCampaign(CONFIG)
+        first = incremental.run(rounds=2)
+        second = incremental.run(rounds=2)
+        reference = TestingCampaign(CONFIG).run(rounds=4)
+        assert [d.describe() for d in first.discrepancies + second.discrepancies] == [
+            d.describe() for d in reference.discrepancies
+        ]
+
+    def test_shard_replays_its_slice_of_the_global_stream(self):
+        # Shard 1 of 2 runs global rounds 1 and 3; its findings must be a
+        # subset of the serial run's raw discrepancy stream.
+        serial = TestingCampaign(CONFIG).run(rounds=ROUNDS)
+        shard = TestingCampaign(CONFIG, shard_index=1, shard_count=2).run(rounds=ROUNDS // 2)
+        serial_described = [d.describe() for d in serial.discrepancies]
+        for discrepancy in shard.discrepancies:
+            assert discrepancy.describe() in serial_described
+
+
+class TestCampaignResultMerge:
+    def _result(self, **kwargs) -> CampaignResult:
+        return CampaignResult(config=CONFIG, **kwargs)
+
+    def test_rebase_shifts_detections_and_timeline(self):
+        shard = self._result(
+            first_detection_seconds={"a": 1.0},
+            unique_bug_timeline=[(1.0, 1)],
+            total_seconds=2.0,
+            start_offset_seconds=0.5,
+        )
+        rebased = shard.rebased()
+        assert rebased.first_detection_seconds == {"a": 1.5}
+        assert rebased.unique_bug_timeline == [(1.5, 1)]
+        assert rebased.total_seconds == 2.5
+        assert rebased.start_offset_seconds == 0.0
+        # the original shard result is untouched
+        assert shard.first_detection_seconds == {"a": 1.0}
+
+    def test_merge_sums_counts_and_unions_bugs(self):
+        left = self._result(
+            rounds=2, queries_run=10, first_detection_seconds={"a": 1.0}, sdbms_seconds=1.0
+        )
+        right = self._result(
+            rounds=3, queries_run=15, first_detection_seconds={"b": 0.5}, sdbms_seconds=2.0
+        )
+        merged = left.merge(right)
+        assert merged.rounds == 5
+        assert merged.queries_run == 25
+        assert merged.unique_bug_ids == ["b", "a"]
+        assert merged.unique_bug_timeline == [(0.5, 1), (1.0, 2)]
+        assert merged.sdbms_seconds == 3.0
+
+    def test_merge_wall_clock_is_the_later_end_not_the_sum(self):
+        left = self._result(total_seconds=3.0)
+        right = self._result(total_seconds=2.0, start_offset_seconds=2.0)
+        assert left.merge(right).total_seconds == 4.0
+
+    def test_combine_requires_at_least_one_result(self):
+        with pytest.raises(ValueError):
+            CampaignResult.combine([])
+
+
+class TestRunCampaignDispatch:
+    def test_serial_config_uses_the_serial_driver(self):
+        result = run_campaign(replace(CONFIG, geometry_count=4, queries_per_round=4), rounds=1)
+        assert result.shard_count == 1
+
+    def test_parallel_config_reports_its_shard_count(self):
+        result = run_campaign(
+            replace(CONFIG, geometry_count=4, queries_per_round=4, workers=2), rounds=2
+        )
+        assert result.shard_count == 2
+
+
+class TestCommandLine:
+    def test_cli_workers_flag_runs_a_merged_campaign(self, capsys):
+        exit_code = main(
+            [
+                "--dialect", "postgis", "--rounds", "2", "--geometries", "4",
+                "--queries", "5", "--seed", "11", "--workers", "2",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert "2 shards" in output
+        assert exit_code in (0, 1)
+
+    def test_cli_rejects_zero_workers(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--workers", "0"])

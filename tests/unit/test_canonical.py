@@ -82,8 +82,70 @@ class TestSemanticsPreserved:
             "MULTILINESTRING((0 2,1 0,3 1,3 1,5 0),EMPTY)",
             "POLYGON((0 0,4 0,4 4,0 4,0 0),(1 1,2 1,2 2,1 2,1 1))",
             "GEOMETRYCOLLECTION(POINT(1 1),LINESTRING(0 0,1 1))",
+            "GEOMETRYCOLLECTION(LINESTRING(0 0,0 1),LINESTRING(0 0,0 -1))",
+            "MULTILINESTRING((0 0,0 1),(0 0,0 1))",
         ]
         for wkt in cases:
             once = canonicalize(load_wkt(wkt))
             twice = canonicalize(once)
             assert once.wkt == twice.wkt, wkt
+
+
+class TestTopologyPreservingGuard:
+    """Element-level rewrites must not change any interior/boundary class.
+
+    A GEOMETRYCOLLECTION gives every element its own boundary and combines
+    classes with interior priority, while MULTILINESTRING pools endpoint
+    parities (mod-2) and MULTIPOLYGON gives ring boundaries priority over
+    sibling interiors.  The GC->MULTI merge (and the removal of a
+    duplicated open line) is applied only when no sampled arrangement point
+    changes class; otherwise canonicalization keeps the structure and only
+    canonicalises each element's value.
+    """
+
+    def test_shared_endpoint_collection_is_not_merged(self):
+        # (0 0) is a boundary point of both elements; a MULTILINESTRING
+        # would make it interior (even endpoint parity).
+        result = canon("GEOMETRYCOLLECTION(LINESTRING(0 0,0 1),LINESTRING(0 0,0 -1))")
+        assert result.startswith("GEOMETRYCOLLECTION")
+
+    def test_duplicated_open_line_is_not_deduplicated(self):
+        # Dropping one copy would flip both endpoints from interior (count
+        # two) to boundary (count one).
+        assert canon("MULTILINESTRING((0 0,0 1),(0 0,0 1))") == "MULTILINESTRING((0 0,0 1),(0 0,0 1))"
+
+    def test_disjoint_lines_still_merge(self):
+        assert (
+            canon("GEOMETRYCOLLECTION(LINESTRING(0 0,1 0),LINESTRING(5 5,6 5))")
+            == "MULTILINESTRING((0 0,1 0),(5 5,6 5))"
+        )
+
+    def test_overlapping_polygons_are_not_merged(self):
+        # (1 0) is on the first polygon's ring but interior to the second:
+        # the collection classifies it interior (union semantics), a
+        # MULTIPOLYGON would classify it boundary (ring priority).
+        result = canon(
+            "GEOMETRYCOLLECTION(POLYGON((0 0,0 1,1 0,0 0)),POLYGON((0 0,0 -1,3 1,0 0)))"
+        )
+        assert result.startswith("GEOMETRYCOLLECTION")
+
+    def test_disjoint_polygons_still_merge(self):
+        result = canon(
+            "GEOMETRYCOLLECTION(POLYGON((0 0,1 0,0 1,0 0)),POLYGON((5 5,6 5,5 6,5 5)))"
+        )
+        assert result.startswith("MULTIPOLYGON")
+
+    def test_relationships_are_preserved(self):
+        from repro.topology.relate import relate
+
+        cases = [
+            ("GEOMETRYCOLLECTION(LINESTRING(0 0,0 1),LINESTRING(0 0,0 -1))", "POINT(0 0)"),
+            ("MULTILINESTRING((0 0,0 1),(0 0,0 1))", "POINT(0 1)"),
+            ("GEOMETRYCOLLECTION(LINESTRING(0 0,2 0),LINESTRING(1 0,1 5))", "POINT(1 0)"),
+            ("GEOMETRYCOLLECTION(POINT(5 5),LINESTRING(0 0,1 0),LINESTRING(1 0,2 0))", "POINT(1 0)"),
+        ]
+        for geometry_wkt, other_wkt in cases:
+            geometry, other = load_wkt(geometry_wkt), load_wkt(other_wkt)
+            assert str(relate(geometry, other)) == str(
+                relate(canonicalize(geometry), other)
+            ), geometry_wkt

@@ -1,0 +1,92 @@
+"""Unit tests for merging deduplication state across campaign shards."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dedup import DeduplicationResult, Deduplicator
+from repro.core.oracle import CrashReport
+
+
+def dedup_with(crashes: list[tuple[str, float]]) -> Deduplicator:
+    deduplicator = Deduplicator()
+    for bug_id, seconds in crashes:
+        deduplicator.observe_crash(CrashReport("stmt", "boom", bug_id=bug_id), seconds)
+    return deduplicator
+
+
+class TestDeduplicationResultCombine:
+    def test_disjoint_union_ordered_by_detection_time(self):
+        left = DeduplicationResult(
+            unique_bug_ids=["a"], first_detection_seconds={"a": 5.0}
+        )
+        right = DeduplicationResult(
+            unique_bug_ids=["b"], first_detection_seconds={"b": 2.0}
+        )
+        combined = left.combine(right)
+        assert combined.unique_bug_ids == ["b", "a"]
+        assert combined.first_detection_seconds == {"a": 5.0, "b": 2.0}
+
+    def test_earliest_detection_wins_for_shared_bugs(self):
+        left = DeduplicationResult(unique_bug_ids=["a"], first_detection_seconds={"a": 5.0})
+        right = DeduplicationResult(unique_bug_ids=["a"], first_detection_seconds={"a": 3.0})
+        assert left.combine(right).first_detection_seconds["a"] == 3.0
+        assert right.combine(left).first_detection_seconds["a"] == 3.0
+
+    def test_ties_broken_by_bug_id_for_determinism(self):
+        left = DeduplicationResult(unique_bug_ids=["b"], first_detection_seconds={"b": 1.0})
+        right = DeduplicationResult(unique_bug_ids=["a"], first_detection_seconds={"a": 1.0})
+        assert left.combine(right).unique_bug_ids == ["a", "b"]
+        assert right.combine(left).unique_bug_ids == ["a", "b"]
+
+    def test_signatures_union_preserves_first_appearance_order(self):
+        left = DeduplicationResult(unique_signatures=["s1", "s2"])
+        right = DeduplicationResult(unique_signatures=["s2", "s3"])
+        assert left.combine(right).unique_signatures == ["s1", "s2", "s3"]
+
+    def test_combine_with_empty_is_identity_on_bug_sets(self):
+        left = DeduplicationResult(
+            unique_bug_ids=["a", "b"],
+            first_detection_seconds={"a": 1.0, "b": 2.0},
+            unique_signatures=["s"],
+        )
+        combined = left.combine(DeduplicationResult())
+        assert combined.unique_bug_ids == ["a", "b"]
+        assert combined.unique_signatures == ["s"]
+
+    def test_combine_does_not_mutate_inputs(self):
+        left = DeduplicationResult(unique_bug_ids=["a"], first_detection_seconds={"a": 1.0})
+        right = DeduplicationResult(unique_bug_ids=["b"], first_detection_seconds={"b": 2.0})
+        left.combine(right)
+        assert left.unique_bug_ids == ["a"]
+        assert right.unique_bug_ids == ["b"]
+
+
+class TestDeduplicatorMerge:
+    def test_merge_unions_crash_observations(self):
+        left = dedup_with([("bug-1", 1.0), ("bug-2", 4.0)])
+        right = dedup_with([("bug-2", 2.0), ("bug-3", 3.0)])
+        left.merge(right)
+        assert left.result.unique_bug_ids == ["bug-1", "bug-2", "bug-3"]
+        assert left.result.first_detection_seconds["bug-2"] == 2.0
+
+    def test_merge_returns_self_for_chaining(self):
+        left = dedup_with([("bug-1", 1.0)])
+        assert left.merge(dedup_with([("bug-2", 2.0)])) is left
+
+    def test_merged_timeline_is_cumulative(self):
+        left = dedup_with([("bug-1", 1.0)])
+        right = dedup_with([("bug-2", 0.5)])
+        left.merge(right)
+        assert left.unique_bugs_over_time() == [(0.5, 1), (1.0, 2)]
+
+    def test_merge_matches_single_deduplicator_semantics(self):
+        # Observing the same stream through one deduplicator or through two
+        # merged ones must yield the same unique-bug set.
+        observations = [("x", 1.0), ("y", 2.0), ("x", 3.0), ("z", 0.5)]
+        single = dedup_with(observations)
+        merged = dedup_with(observations[:2]).merge(dedup_with(observations[2:]))
+        assert set(single.result.unique_bug_ids) == set(merged.result.unique_bug_ids)
+        assert (
+            single.result.first_detection_seconds == merged.result.first_detection_seconds
+        )
