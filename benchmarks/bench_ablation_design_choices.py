@@ -124,7 +124,10 @@ def _run_variant(canonicalize_followup: bool, use_affine: bool, seed: int):
                     else AffineTransformation.identity()
                 )
                 outcome = oracle.check(
-                    spec, query_count=_QUERIES_PER_SPEC, transformation=transformation
+                    spec,
+                    query_count=_QUERIES_PER_SPEC,
+                    transformation=transformation,
+                    scenarios=["topological-join"],
                 )
                 queries += outcome.queries_run
                 discrepancies += len(outcome.discrepancies)

@@ -1,0 +1,85 @@
+"""Per-scenario throughput and bug yield of the metamorphic scenario suite.
+
+The scenario registry opened a new axis (query-shape diversity); this
+benchmark records what each scenario *costs* and what it *pays*: rounds and
+queries per second of wall-clock, discrepancies observed, and the unique
+ground-truth bugs only that scenario detected within the budget.  Future
+PRs tuning the registry (budget weighting, new scenarios, engine
+optimisations) can diff these rows to see which scenarios pay for their
+runtime.
+
+Each scenario runs the *same* campaign — same dialect, seed, geometry and
+round budget — restricted to that single scenario, plus one "all" row for
+the default multi-scenario round.  Process-level caches are cleared between
+configurations so a scenario cannot ride on relate/canonical work a
+previous configuration paid for.
+"""
+
+from __future__ import annotations
+
+from repro.core.campaign import CampaignConfig, TestingCampaign
+from repro.scenarios import scenario_names
+
+from benchmarks.conftest import clear_process_caches, write_report
+
+ROUNDS = 3
+BASE = dict(dialect="postgis", seed=2025, geometry_count=6, queries_per_round=14)
+
+
+def _run_one(scenarios: tuple[str, ...] | None) -> dict:
+    clear_process_caches()
+    config = CampaignConfig(**BASE, scenarios=scenarios)
+    result = TestingCampaign(config).run(rounds=ROUNDS)
+    return {
+        "result": result,
+        "rounds_per_second": result.rounds / result.total_seconds if result.total_seconds else 0.0,
+        "queries_per_second": result.queries_run / result.total_seconds if result.total_seconds else 0.0,
+    }
+
+
+def _run_all() -> dict[str, dict]:
+    outcomes = {name: _run_one((name,)) for name in scenario_names()}
+    outcomes["all"] = _run_one(None)
+    return outcomes
+
+
+def test_scenario_throughput(benchmark):
+    outcomes = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    lines = [
+        f"Per-scenario throughput and bug yield ({ROUNDS} rounds, seed {BASE['seed']}, "
+        f"{BASE['dialect']}, {BASE['queries_per_round']} queries/round)"
+    ]
+    lines.append(
+        f"{'scenario':>18} {'wall (s)':>9} {'rounds/s':>9} {'queries/s':>10} "
+        f"{'disc.':>6} {'unique bugs':>12}"
+    )
+    for name, outcome in outcomes.items():
+        result = outcome["result"]
+        lines.append(
+            f"{name:>18} {result.total_seconds:>9.3f} "
+            f"{outcome['rounds_per_second']:>9.2f} {outcome['queries_per_second']:>10.2f} "
+            f"{len(result.discrepancies):>6} {result.unique_bug_count:>12}"
+        )
+
+    exclusive: dict[str, set] = {
+        name: set(outcome["result"].unique_bug_ids)
+        for name, outcome in outcomes.items()
+        if name != "all"
+    }
+    for name, bugs in sorted(exclusive.items()):
+        others = set().union(*(b for n, b in exclusive.items() if n != name))
+        only_here = bugs - others
+        if only_here:
+            lines.append(f"only {name} found: {', '.join(sorted(only_here))}")
+    write_report("scenario_throughput", lines)
+
+    # Contracts: every scenario completes its rounds, and the suite as a
+    # whole must not detect fewer unique bugs than the reference scenario
+    # alone (diversity must never cost coverage at equal budget).
+    for name, outcome in outcomes.items():
+        assert outcome["result"].rounds == ROUNDS, name
+    assert (
+        outcomes["all"]["result"].unique_bug_count + 2
+        >= outcomes["topological-join"]["result"].unique_bug_count
+    )

@@ -44,7 +44,15 @@ def run_redetection_campaigns(rounds: int = 2) -> dict[str, int]:
     redetected: dict[str, int] = {}
     for dialect in ("postgis", "duckdb_spatial", "mysql", "sqlserver"):
         campaign = TestingCampaign(
-            CampaignConfig(dialect=dialect, seed=42, geometry_count=8, queries_per_round=15)
+            # the whole metamorphic scenario suite: redetection is about how
+            # much of the catalog a short campaign can reach, and the distance
+            # and KNN scenarios reach bugs the JOIN template cannot.
+            CampaignConfig(
+                dialect=dialect,
+                seed=42,
+                geometry_count=8,
+                queries_per_round=21,
+            )
         )
         result = campaign.run(rounds=rounds)
         redetected[dialect] = result.unique_bug_count

@@ -155,6 +155,7 @@ def test_table4_aei_only_bug_is_missed_by_all_baselines_experimentally(benchmark
             spec,
             query_count=40,
             transformation=AffineTransformation.from_parts(1, 0, 0, 1, 0, -1),
+            scenarios=["topological-join"],
         )
         tlp = TLPOracle(lambda: connect("postgis", bug_ids=[bug_id]), rng=rng)
         tlp_outcome = tlp.check(spec, query_count=20)

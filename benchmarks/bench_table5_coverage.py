@@ -57,7 +57,13 @@ def _unit_test_workload() -> None:
 
 def _spatter_workload() -> None:
     campaign = TestingCampaign(
-        CampaignConfig(dialect="postgis", seed=11, geometry_count=5, queries_per_round=5)
+        CampaignConfig(
+            dialect="postgis",
+            seed=11,
+            geometry_count=5,
+            queries_per_round=5,
+            scenarios=("topological-join",),
+        )
     )
     campaign.run(rounds=1)
 

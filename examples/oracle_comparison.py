@@ -44,7 +44,7 @@ def main() -> None:
 
     # --- AEI -----------------------------------------------------------------
     aei = AEIOracle(lambda: connect("postgis", bug_ids=[BUG_ID]), rng=rng)
-    aei_outcome = aei.check(SPEC, query_count=60)
+    aei_outcome = aei.check(SPEC, query_count=60, scenarios=["topological-join"])
     print(f"AEI:           {len(aei_outcome.discrepancies)} discrepancy(ies) -> "
           f"{'DETECTED' if aei_outcome.discrepancies else 'missed'}")
 

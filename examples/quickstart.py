@@ -38,7 +38,14 @@ def main() -> None:
         lambda: connect("postgis", emulate_release_under_test=True),
         rng=random.Random(0),
     )
-    outcome = buggy_oracle.check(spec, query_count=40, transformation=transformation)
+    # scenarios=["topological-join"] pins the paper's JOIN template; omit it
+    # to validate the whole metamorphic scenario registry (docs/SCENARIOS.md).
+    outcome = buggy_oracle.check(
+        spec,
+        query_count=40,
+        transformation=transformation,
+        scenarios=["topological-join"],
+    )
     for discrepancy in outcome.discrepancies:
         print("  logic bug found:", discrepancy.describe())
         print("  injected ground truth:", ", ".join(discrepancy.triggered_bug_ids))
@@ -48,7 +55,12 @@ def main() -> None:
     print()
     print("=== Fixed engine ===")
     clean_oracle = AEIOracle(lambda: connect("postgis"), rng=random.Random(0))
-    clean_outcome = clean_oracle.check(spec, query_count=40, transformation=transformation)
+    clean_outcome = clean_oracle.check(
+        spec,
+        query_count=40,
+        transformation=transformation,
+        scenarios=["topological-join"],
+    )
     print(
         f"  {clean_outcome.queries_run} queries, "
         f"{len(clean_outcome.discrepancies)} discrepancies (expected: 0)"

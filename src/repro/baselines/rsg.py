@@ -9,19 +9,17 @@ both configurations share every other pipeline component.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.core.campaign import CampaignConfig
 
 
 def random_shape_campaign_config(base: CampaignConfig | None = None) -> CampaignConfig:
-    """A copy of ``base`` with the derivative strategy switched off."""
+    """A copy of ``base`` with the derivative strategy switched off.
+
+    ``dataclasses.replace`` keeps every other field — scenario selection,
+    sharding, fault profile — identical, so the two arms of the generator
+    ablation differ in the generator alone.
+    """
     base = base or CampaignConfig()
-    return CampaignConfig(
-        dialect=base.dialect,
-        bug_ids=base.bug_ids,
-        emulate_release_under_test=base.emulate_release_under_test,
-        geometry_count=base.geometry_count,
-        table_count=base.table_count,
-        queries_per_round=base.queries_per_round,
-        use_derivative_strategy=False,
-        seed=base.seed,
-    )
+    return replace(base, use_derivative_strategy=False)

@@ -12,8 +12,9 @@ import sys
 
 from repro.core.campaign import CampaignConfig
 from repro.core.parallel import run_campaign
-from repro.engine.dialects import available_dialects, default_fault_profile
+from repro.engine.dialects import available_dialects, default_fault_profile, get_dialect
 from repro.engine.faults import bug_by_id
+from repro.scenarios import all_scenarios, get_scenario, scenario_names
 
 
 def build_argument_parser() -> argparse.ArgumentParser:
@@ -54,6 +55,22 @@ def build_argument_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--scenarios",
+        nargs="+",
+        default=None,
+        metavar="SCENARIO",
+        help=(
+            "metamorphic scenarios to validate each round; names from the "
+            "registry or 'all' (default: all scenarios applicable to the "
+            "dialect; see --list-scenarios)"
+        ),
+    )
+    parser.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        help="print the metamorphic scenario catalog and exit",
+    )
+    parser.add_argument(
         "--clean",
         action="store_true",
         help="test the fully fixed engine instead of the buggy release emulation",
@@ -78,6 +95,19 @@ def _print_bug_catalog(dialect: str) -> None:
         print(f"  [{bug.kind:5s}] [{bug.status:11s}] {bug.bug_id}: {bug.summary}")
 
 
+def _print_scenario_catalog(dialect: str) -> None:
+    resolved = get_dialect(dialect)
+    print(f"Metamorphic scenario catalog (dialect: {dialect}):")
+    for scenario in all_scenarios():
+        applicable = "" if scenario.is_applicable(resolved) else "  [not applicable]"
+        canonical = "" if scenario.canonicalize_followup else ", uncanonicalized"
+        print(
+            f"  {scenario.name:18s} [{scenario.family.value}{canonical}] "
+            f"{scenario.title}{applicable}"
+        )
+    print("\nEach scenario is documented in docs/SCENARIOS.md.")
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_argument_parser()
@@ -86,6 +116,9 @@ def main(argv: list[str] | None = None) -> int:
     if arguments.list_bugs:
         _print_bug_catalog(arguments.dialect)
         return 0
+    if arguments.list_scenarios:
+        _print_scenario_catalog(arguments.dialect)
+        return 0
 
     if arguments.rounds < 0:
         parser.error("--rounds must be non-negative")
@@ -93,6 +126,31 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--workers must be at least 1")
     if arguments.shards is not None and arguments.shards < 1:
         parser.error("--shards must be at least 1")
+
+    scenarios: tuple[str, ...] | None = None
+    if arguments.scenarios is not None:
+        known = set(scenario_names())
+        dialect = get_dialect(arguments.dialect)
+        for name in arguments.scenarios:
+            if name.lower() == "all":
+                continue
+            if name.lower() not in known:
+                parser.error(
+                    f"unknown scenario {name!r}; available: "
+                    f"{', '.join(sorted(known))} (or 'all')"
+                )
+            if not get_scenario(name.lower()).is_applicable(dialect):
+                # an explicitly requested scenario the dialect cannot run
+                # must fail loudly — silently dropping it would print a
+                # zero-query campaign that reads like a clean result.
+                parser.error(
+                    f"scenario {name!r} is not applicable to dialect "
+                    f"{arguments.dialect!r} (see --list-scenarios)"
+                )
+        if any(name.lower() == "all" for name in arguments.scenarios):
+            scenarios = None  # all applicable to the dialect
+        else:
+            scenarios = tuple(name.lower() for name in arguments.scenarios)
 
     config = CampaignConfig(
         dialect=arguments.dialect,
@@ -104,6 +162,7 @@ def main(argv: list[str] | None = None) -> int:
         seed=arguments.seed,
         workers=arguments.workers,
         shards=arguments.shards,
+        scenarios=scenarios,
     )
     if arguments.duration is not None:
         result = run_campaign(config, duration_seconds=arguments.duration)
@@ -111,6 +170,15 @@ def main(argv: list[str] | None = None) -> int:
         result = run_campaign(config, rounds=arguments.rounds)
 
     print(result.summary())
+    if result.queries_by_scenario:
+        print("\nQueries and findings per scenario:")
+        findings_by_scenario: dict[str, int] = {}
+        for discrepancy in result.discrepancies:
+            name = getattr(discrepancy, "scenario", "topological-join")
+            findings_by_scenario[name] = findings_by_scenario.get(name, 0) + 1
+        for name, count in result.queries_by_scenario.items():
+            found = findings_by_scenario.get(name, 0)
+            print(f"  {name:18s} {count:5d} queries, {found:3d} discrepancies")
     if result.discrepancies:
         print("\nDiscrepancies:")
         for discrepancy in result.discrepancies:

@@ -9,6 +9,7 @@ oracle observes is attributable to the system under test.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
 from fractions import Fraction
@@ -45,6 +46,43 @@ class AffineTransformation:
     @property
     def is_identity(self) -> bool:
         return self.matrix == ((1, 0, 0), (0, 1, 0), (0, 0, 1))
+
+    @property
+    def is_similarity(self) -> bool:
+        """True when the linear part is a uniform scaling of an orthogonal map.
+
+        Similarities (rotations, reflections, uniform scalings, translations
+        and their compositions) multiply every distance by the same factor,
+        so they preserve *relative* distance order — the admissibility
+        condition of the KNN and distance oracles (paper Section 7).
+        Algebraically: the two columns of the linear part are orthogonal and
+        of equal (non-zero) norm.
+        """
+        (a11, a12, _), (a21, a22, _), _ = self.matrix
+        orthogonal = a11 * a12 + a21 * a22 == 0
+        equal_norm = a11 * a11 + a21 * a21 == a12 * a12 + a22 * a22
+        return orthogonal and equal_norm and self.determinant != 0
+
+    @property
+    def is_rigid(self) -> bool:
+        """True for distance-preserving maps (similarity with unit scale)."""
+        return self.is_similarity and abs(self.determinant) == 1
+
+    @property
+    def length_scale(self) -> float:
+        """The factor every length is multiplied by (similarities only).
+
+        For a similarity the linear part scales all distances uniformly by
+        ``sqrt(|det|)``; for a general affine map lengths change
+        anisotropically and no single factor exists, so callers must check
+        :attr:`is_similarity` first.
+        """
+        return math.sqrt(abs(self.determinant))
+
+    @property
+    def area_scale(self) -> int:
+        """The factor every area is multiplied by: ``|det|`` (any affine map)."""
+        return abs(self.determinant)
 
     def apply(self, geometry: Geometry) -> Geometry:
         """Transform every coordinate of a geometry."""
@@ -101,17 +139,46 @@ def random_affine_transformation(
     return AffineTransformation.from_parts(a11, a12, a21, a22, b1, b2)
 
 
-def rigid_affine_transformation(rng: random.Random) -> AffineTransformation:
-    """A transformation restricted to rotations by quarter turns, reflections
-    avoided, uniform scaling and translation.
+#: the four quarter-turn rotations (reflections avoided).
+_QUARTER_TURNS = ((1, 0, 0, 1), (0, -1, 1, 0), (-1, 0, 0, -1), (0, 1, -1, 0))
 
-    This is the KNN-safe subset discussed in the paper's Section 7: rotate,
-    translate and scale preserve relative distances, whereas shearing does
-    not, so distance-ranking oracles must restrict themselves to this family.
+
+def _quarter_turn_transformation(rng: random.Random, scale_of) -> AffineTransformation:
+    """Quarter-turn rotation × ``scale_of(rng)`` scaling + integer translation.
+
+    ``scale_of`` is called *between* the rotation and translation draws so
+    both public samplers keep their historical rng-draw order.
     """
-    quarter = rng.choice(((1, 0, 0, 1), (0, -1, 1, 0), (-1, 0, 0, -1), (0, 1, -1, 0)))
-    scale = rng.randint(1, 4)
+    quarter = rng.choice(_QUARTER_TURNS)
+    scale = scale_of(rng)
     a11, a12, a21, a22 = (value * scale for value in quarter)
     b1 = rng.randint(-10, 10)
     b2 = rng.randint(-10, 10)
     return AffineTransformation.from_parts(a11, a12, a21, a22, b1, b2)
+
+
+def similarity_affine_transformation(rng: random.Random) -> AffineTransformation:
+    """A random similarity: quarter-turn rotation, uniform integer scaling
+    and integer translation (reflections avoided).
+
+    This is the KNN-safe subset discussed in the paper's Section 7: rotate,
+    translate and scale preserve relative distances, whereas shearing does
+    not, so distance-ranking oracles must restrict themselves to this family.
+    The integer scale factor also keeps scaled distance thresholds exact.
+    """
+    return _quarter_turn_transformation(rng, lambda r: r.randint(1, 4))
+
+
+#: historical name: the original KNN module called the similarity family
+#: "rigid" after the paper's informal rotate/translate/scale phrasing.
+rigid_affine_transformation = similarity_affine_transformation
+
+
+def rigid_motion_transformation(rng: random.Random) -> AffineTransformation:
+    """A random rigid motion: quarter-turn rotation plus integer translation.
+
+    Unlike :func:`similarity_affine_transformation` this preserves absolute
+    distances (unit scale), so even distance *values* — not just their order
+    — must survive the transformation unchanged.
+    """
+    return _quarter_turn_transformation(rng, lambda r: 1)

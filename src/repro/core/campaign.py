@@ -1,9 +1,10 @@
 """The testing-campaign driver (the automated version of Section 5.1).
 
 A campaign repeatedly (1) generates a database with the geometry-aware
-generator, (2) builds its affine-equivalent follow-up, (3) runs template
-queries over both, and (4) records, reduces and deduplicates every
-discrepancy and crash.  It also keeps the timing split (time inside the
+generator, (2) builds its affine-equivalent follow-ups (one per
+transformation-family group of the active scenarios), (3) validates every
+metamorphic scenario of the registry (``repro.scenarios``) over the pairs,
+and (4) records, reduces and deduplicates every discrepancy and crash.  It also keeps the timing split (time inside the
 SDBMS vs. total Spatter time) that Figure 7 reports and exposes
 unique-bugs-over-time data for Figure 8(a).
 
@@ -56,8 +57,14 @@ class CampaignConfig:
     geometry_count: int = 10
     #: Tables the geometries are spread over (the paper's *m*).
     table_count: int = 2
-    #: Template queries instantiated per generation round.
+    #: Scenario queries instantiated per generation round, split across the
+    #: active scenarios (see ``repro.core.oracle.allocate_query_budget``).
     queries_per_round: int = 20
+    #: Metamorphic scenarios to validate each round (registry names from
+    #: ``repro.scenarios``).  ``None`` runs every scenario applicable to the
+    #: dialect — the campaign default; capability gating still applies to an
+    #: explicit selection.
+    scenarios: tuple[str, ...] | None = None
     #: ``True`` enables the derivative strategy (Algorithm 1); ``False`` is
     #: the random-shape-only RSG baseline.
     use_derivative_strategy: bool = True
@@ -90,8 +97,11 @@ class CampaignResult:
     config: CampaignConfig
     #: Generation/validation rounds completed.
     rounds: int = 0
-    #: Template queries executed by the oracle.
+    #: Scenario queries executed by the oracle.
     queries_run: int = 0
+    #: Queries executed per scenario name (summed across shards on merge),
+    #: the denominator of per-scenario bug-yield reporting.
+    queries_by_scenario: dict[str, int] = field(default_factory=dict)
     #: Semantic errors (invalid geometries, unsupported arguments) that were
     #: ignored rather than reported.
     errors_ignored: int = 0
@@ -131,8 +141,12 @@ class CampaignResult:
         sharding = ""
         if self.shard_count > 1:
             sharding = f" [{self.shard_count} shards]"
+        scenarios = ""
+        if self.queries_by_scenario:
+            scenarios = f" across {len(self.queries_by_scenario)} scenario(s)"
         return (
-            f"{self.config.dialect}: {self.rounds} rounds, {self.queries_run} queries, "
+            f"{self.config.dialect}: {self.rounds} rounds, {self.queries_run} queries"
+            f"{scenarios}, "
             f"{len(self.discrepancies)} discrepancies, {len(self.crashes)} crashes, "
             f"{self.unique_bug_count} unique bugs, "
             f"{self.sdbms_seconds:.3f}s in SDBMS / {self.total_seconds:.3f}s total"
@@ -182,10 +196,14 @@ class CampaignResult:
             )
         )
         timeline = sorted(combined.first_detection_seconds.values())
+        by_scenario = dict(left.queries_by_scenario)
+        for scenario, count in right.queries_by_scenario.items():
+            by_scenario[scenario] = by_scenario.get(scenario, 0) + count
         return CampaignResult(
             config=left.config,
             rounds=left.rounds + right.rounds,
             queries_run=left.queries_run + right.queries_run,
+            queries_by_scenario=by_scenario,
             errors_ignored=left.errors_ignored + right.errors_ignored,
             discrepancies=left.discrepancies + right.discrepancies,
             crashes=left.crashes + right.crashes,
@@ -330,9 +348,17 @@ class TestingCampaign:
                 return
             raise
 
-        outcome = oracle.check(spec, query_count=self.config.queries_per_round)
+        outcome = oracle.check(
+            spec,
+            query_count=self.config.queries_per_round,
+            scenarios=self.config.scenarios,
+        )
         elapsed = time.perf_counter() - started
         result.queries_run += outcome.queries_run
+        for scenario, count in outcome.queries_by_scenario.items():
+            result.queries_by_scenario[scenario] = (
+                result.queries_by_scenario.get(scenario, 0) + count
+            )
         result.errors_ignored += outcome.errors_ignored
         for discrepancy in outcome.discrepancies:
             result.discrepancies.append(discrepancy)

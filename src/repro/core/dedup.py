@@ -10,16 +10,26 @@ each case to a bug identity:
   paper's binary search over fix commits, available to us because the bugs
   are injected rather than historical;
 * **signature deduplication** is the fallback a tester without ground truth
-  would use: the predicate under test plus the multiset of geometry types in
-  the reduced test case.
+  would use: the scenario and query label under test plus the multiset of
+  geometry types in the reduced test case.  The scenario tag matters now
+  that several scenarios can exercise the same predicate — an
+  ``st_intersects`` miscount from the JOIN template and one from the
+  single-table filter travel through different engine paths and deserve
+  separate identities.
 """
 
 from __future__ import annotations
+
+import re
 
 from dataclasses import dataclass, field
 
 from repro.core.oracle import CrashReport, Discrepancy
 from repro.geometry import load_wkt
+
+#: the quoted WKT literal of an INSERT produced by DatabaseSpec, with or
+#: without the leading id column.
+_INSERT_WKT = re.compile(r"VALUES\s*\((?:\d+\s*,\s*)?'(?P<wkt>.*)'\)\s*$", re.DOTALL)
 
 
 def ground_truth_identity(discrepancy: Discrepancy) -> tuple[str, ...]:
@@ -28,17 +38,22 @@ def ground_truth_identity(discrepancy: Discrepancy) -> tuple[str, ...]:
 
 
 def signature_identity(discrepancy: Discrepancy) -> str:
-    """A syntactic bug signature: predicate + geometry type multiset."""
+    """A syntactic bug signature: scenario + label + geometry type multiset."""
     types: list[str] = []
     for statement in discrepancy.original_statements:
         if not statement.upper().startswith("INSERT"):
             continue
-        wkt = statement.split("VALUES ('", 1)[-1].rsplit("')", 1)[0].replace("''", "'")
+        match = _INSERT_WKT.search(statement)
+        wkt = match.group("wkt").replace("''", "'") if match else ""
         try:
             types.append(load_wkt(wkt).geom_type)
         except Exception:  # noqa: BLE001 - signature building must not fail
             types.append("UNPARSED")
-    return f"{discrepancy.query.predicate}|{'+'.join(sorted(types))}"
+    label = getattr(discrepancy.query, "label", None) or getattr(
+        discrepancy.query, "predicate", "?"
+    )
+    scenario = getattr(discrepancy, "scenario", "topological-join")
+    return f"{scenario}|{label}|{'+'.join(sorted(types))}"
 
 
 @dataclass

@@ -36,16 +36,35 @@ class DatabaseSpec:
     def all_wkts(self) -> list[str]:
         return [wkt for rows in self.tables.values() for wkt in rows]
 
-    def create_statements(self, geometry_column: str = "g") -> list[str]:
-        """The CREATE TABLE / INSERT statements that materialise the spec."""
+    def create_statements(
+        self, geometry_column: str = "g", include_ids: bool = False
+    ) -> list[str]:
+        """The CREATE TABLE / INSERT statements that materialise the spec.
+
+        ``include_ids`` adds a 1-based ``id`` column, stable across an AEI
+        pair because both databases are materialised from specs with the
+        same row order — which is what lets row-list scenarios (KNN) compare
+        result rows by identity instead of by transformed coordinates.
+        """
         statements = []
         for table in self.table_names():
-            statements.append(f"CREATE TABLE {table} ({geometry_column} geometry)")
-            for wkt in self.tables[table]:
-                escaped = wkt.replace("'", "''")
+            if include_ids:
                 statements.append(
-                    f"INSERT INTO {table} ({geometry_column}) VALUES ('{escaped}')"
+                    f"CREATE TABLE {table} (id int, {geometry_column} geometry)"
                 )
+            else:
+                statements.append(f"CREATE TABLE {table} ({geometry_column} geometry)")
+            for row_id, wkt in enumerate(self.tables[table], start=1):
+                escaped = wkt.replace("'", "''")
+                if include_ids:
+                    statements.append(
+                        f"INSERT INTO {table} (id, {geometry_column}) "
+                        f"VALUES ({row_id}, '{escaped}')"
+                    )
+                else:
+                    statements.append(
+                        f"INSERT INTO {table} ({geometry_column}) VALUES ('{escaped}')"
+                    )
         return statements
 
 

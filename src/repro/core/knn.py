@@ -1,21 +1,17 @@
 """AEI for K-nearest-neighbour queries (the paper's Section 7 extension).
 
-The paper sketches how Affine Equivalent Inputs could test KNN functionality
-— supported by geospatial systems and vector databases alike — provided the
-transformation family is restricted: rotation, translation and uniform
-scaling preserve the *relative* distance order, whereas shearing does not.
+The KNN oracle now lives in the metamorphic scenario registry — see
+:class:`repro.scenarios.knn.KNNScenario` — where it runs inside every
+campaign next to the other scenarios, under the similarity transformation
+family (rotation, translation and uniform scaling preserve the *relative*
+distance order, whereas shearing does not).
 
-This module implements that extension end to end:
-
-1. a database is generated (or supplied) exactly as for the topological
-   oracle;
-2. the follow-up database applies a *rigid* transformation
-   (:func:`repro.core.affine.rigid_affine_transformation`): a quarter-turn
-   rotation, a uniform integer scale and an integer translation;
-3. the same KNN query — the k rows nearest to a query point, evaluated via
-   ``ORDER BY ST_Distance(...) LIMIT k`` — is executed against both
-   databases, with the query point transformed alongside the data;
-4. differing row-id result lists reveal a logic bug.
+This module keeps the historical standalone surface: :class:`KNNOracle`
+materialises a spec with row ids, instantiates the scenario's shared SQL
+template (:func:`repro.scenarios.knn.knn_sql`) with a caller-chosen ``k``,
+and reports differing neighbour lists as :class:`KNNDiscrepancy` records —
+the same comparison the campaign pipeline performs, for callers that want
+KNN in isolation.
 """
 
 from __future__ import annotations
@@ -29,6 +25,7 @@ from repro.core.affine import AffineTransformation, rigid_affine_transformation
 from repro.core.canonical import canonicalize
 from repro.core.generator import DatabaseSpec
 from repro.engine.database import SpatialDatabase
+from repro.scenarios.knn import knn_sql
 
 
 @dataclass
@@ -57,7 +54,7 @@ class KNNOutcome:
 
 
 class KNNOracle:
-    """Validates KNN results with rigid Affine Equivalent Inputs."""
+    """Validates KNN results with similarity Affine Equivalent Inputs."""
 
     def __init__(self, database_factory, rng: random.Random | None = None):
         self.database_factory = database_factory
@@ -67,13 +64,8 @@ class KNNOracle:
     def materialise(self, spec: DatabaseSpec) -> SpatialDatabase:
         """Create one table per spec table, with row ids for neighbour lists."""
         database = self.database_factory()
-        for table in spec.table_names():
-            database.execute(f"CREATE TABLE {table} (id int, g geometry)")
-            for row_id, wkt in enumerate(spec.tables[table], start=1):
-                escaped = wkt.replace("'", "''")
-                database.execute(
-                    f"INSERT INTO {table} (id, g) VALUES ({row_id}, '{escaped}')"
-                )
+        for statement in spec.create_statements(include_ids=True):
+            database.execute(statement)
         return database
 
     def build_followup_spec(
@@ -88,12 +80,8 @@ class KNNOracle:
 
     @staticmethod
     def knn_sql(table: str, query_point_wkt: str, k: int) -> str:
-        """The KNN query template: order by distance to the query point."""
-        escaped = query_point_wkt.replace("'", "''")
-        return (
-            f"SELECT id FROM {table} "
-            f"ORDER BY ST_Distance(g, '{escaped}'::geometry), id LIMIT {k}"
-        )
+        """The KNN query template (delegates to the registered scenario)."""
+        return knn_sql(table, query_point_wkt, k)
 
     # ------------------------------------------------------------------- run
     def check(
@@ -103,7 +91,7 @@ class KNNOracle:
         k: int = 3,
         transformation: AffineTransformation | None = None,
     ) -> KNNOutcome:
-        """Compare KNN results between a spec and its rigid follow-up."""
+        """Compare KNN results between a spec and its similarity follow-up."""
         outcome = KNNOutcome()
         transformation = transformation or rigid_affine_transformation(self.rng)
         followup_spec = self.build_followup_spec(spec, transformation)
@@ -125,12 +113,12 @@ class KNNOracle:
             try:
                 neighbours_original = tuple(
                     row[0]
-                    for row in original.query_rows(self.knn_sql(table, query_point.wkt, k))
+                    for row in original.query_rows(knn_sql(table, query_point.wkt, k))
                 )
                 neighbours_followup = tuple(
                     row[0]
                     for row in followup.query_rows(
-                        self.knn_sql(table, transformed_point.wkt, k)
+                        knn_sql(table, transformed_point.wkt, k)
                     )
                 )
             except (EngineCrash, ReproError):

@@ -1,14 +1,20 @@
-"""The AEI oracle: build SDB1 and SDB2, run the same query, compare counts.
+"""The AEI oracle: build SDB1 and SDB2, run scenario queries, compare results.
 
-This is the "Results Validation" step of Figure 5.  Given a generated
-database specification, the oracle
+This is the "Results Validation" step of Figure 5, generalized from the
+paper's single JOIN template to the metamorphic scenario registry
+(:mod:`repro.scenarios`).  Given a generated database specification, the
+oracle
 
 1. materialises SDB1 in a fresh connection to the system under test;
-2. canonicalises every geometry and applies one shared affine transformation
-   to produce SDB2 (Definition 3.4 makes the two databases Affine Equivalent
-   Inputs for every topological query);
-3. instantiates the query template and executes it against both databases;
-4. reports a :class:`Discrepancy` whenever the two row counts differ.
+2. resolves the scenario selection against the dialect's capabilities and
+   groups the scenarios by ``(transformation family, canonicalize?)``;
+3. for each group, canonicalises every geometry and applies one shared
+   transformation *sampled from the group's family* to produce an SDB2
+   (Definition 3.4 makes each pair Affine Equivalent Inputs for the
+   scenarios in its group);
+4. lets every scenario instantiate queries against both databases and
+   reports a :class:`Discrepancy` whenever the observed SDB2 result differs
+   from the result the scenario's expectation function derives from SDB1's.
 
 Semantic errors raised by the SDBMS (invalid geometries) are ignored, and
 crashes are converted into :class:`CrashReport` records, mirroring how the
@@ -19,32 +25,57 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.errors import EngineCrash, ReproError, SemanticGeometryError
 from repro.geometry import load_wkt
-from repro.core.affine import AffineTransformation, random_affine_transformation
+from repro.core.affine import AffineTransformation
 from repro.core.canonical import canonicalize
 from repro.core.generator import DatabaseSpec
-from repro.core.queries import QueryTemplate, TopologicalQuery
 from repro.engine.database import SpatialDatabase
+from repro.scenarios import Scenario, ScenarioContext, resolve_scenarios
+from repro.scenarios.base import TransformationFamily
 
 
 @dataclass
 class Discrepancy:
-    """A logic-bug candidate: the same AEI query returned different counts."""
+    """A logic-bug candidate: a scenario's expectation was violated.
 
-    query: TopologicalQuery
-    count_original: int
-    count_followup: int
+    ``result_expected`` is what the scenario's expectation function derived
+    from the SDB1 result; for the invariance scenarios it equals
+    ``result_original``, for covariant scenarios (metrics) it is the scaled
+    value.
+    """
+
+    query: Any  # ScenarioQuery (or the legacy TopologicalQuery surface)
+    result_original: Any
+    result_followup: Any
     original_statements: list[str]
     followup_statements: list[str]
     transformation: AffineTransformation
     triggered_bug_ids: tuple[str, ...] = ()
+    scenario: str = "topological-join"
+    result_expected: Any = None
+
+    # ------------------------------------------------------------ back-compat
+    @property
+    def count_original(self) -> Any:
+        """Historical name from the counts-only oracle."""
+        return self.result_original
+
+    @property
+    def count_followup(self) -> Any:
+        """Historical name from the counts-only oracle."""
+        return self.result_followup
 
     def describe(self) -> str:
+        expected = ""
+        if self.result_expected != self.result_original:
+            expected = f", expected {self.result_expected}"
         return (
-            f"{self.query.sql()} returned {self.count_original} on SDB1 but "
-            f"{self.count_followup} on SDB2 ({self.transformation.describe()})"
+            f"[{self.scenario}] {self.query.describe()} returned "
+            f"{self.result_original} on SDB1 but {self.result_followup} on SDB2"
+            f"{expected} ({self.transformation.describe()})"
         )
 
 
@@ -65,6 +96,31 @@ class OracleOutcome:
     crashes: list[CrashReport] = field(default_factory=list)
     queries_run: int = 0
     errors_ignored: int = 0
+    #: queries executed per scenario name (capability- and admissibility-
+    #: gated scenarios simply never appear).
+    queries_by_scenario: dict[str, int] = field(default_factory=dict)
+
+
+def allocate_query_budget(
+    query_count: int, scenario_count: int, offset: int = 0
+) -> list[int]:
+    """Split one round's query budget across the active scenarios.
+
+    The total stays ``query_count`` whatever the scenario count (keeping
+    round cost independent of how many scenarios are enabled).  With
+    ``offset=0`` the remainder goes to the earlier scenarios — the
+    reference JOIN template first; the oracle rotates ``offset`` per check
+    so that when there are fewer queries than scenarios, *which* scenarios
+    go without changes every round instead of permanently starving the
+    trailing ones.
+    """
+    if scenario_count <= 0:
+        return []
+    base, remainder = divmod(max(0, query_count), scenario_count)
+    return [
+        base + (1 if (index - offset) % scenario_count < remainder else 0)
+        for index in range(scenario_count)
+    ]
 
 
 class AEIOracle:
@@ -77,32 +133,47 @@ class AEIOracle:
         canonicalize_followup: bool = True,
     ):
         """``database_factory`` returns a *fresh* connection to the system
-        under test each time it is called (the oracle needs two databases per
-        round)."""
+        under test each time it is called (the oracle needs one SDB1 plus
+        one SDB2 per transformation-family group)."""
         self.database_factory = database_factory
         self.rng = rng or random.Random()
         self.canonicalize_followup = canonicalize_followup
 
     # ------------------------------------------------------------------ steps
     def build_followup_spec(
-        self, spec: DatabaseSpec, transformation: AffineTransformation
+        self,
+        spec: DatabaseSpec,
+        transformation: AffineTransformation,
+        canonicalize_spec: bool | None = None,
     ) -> DatabaseSpec:
-        """Canonicalise and affine-transform every geometry of a spec."""
+        """Canonicalise (optionally) and transform every geometry of a spec."""
+        if canonicalize_spec is None:
+            canonicalize_spec = self.canonicalize_followup
         followup = DatabaseSpec(tables={})
         for table, wkts in spec.tables.items():
-            transformed = []
-            for wkt in wkts:
-                geometry = load_wkt(wkt)
-                if self.canonicalize_followup:
-                    geometry = canonicalize(geometry)
-                transformed.append(transformation.apply(geometry).wkt)
-            followup.tables[table] = transformed
+            followup.tables[table] = [
+                self._followup_wkt(wkt, transformation, canonicalize_spec) for wkt in wkts
+            ]
         return followup
 
+    @staticmethod
+    def _followup_wkt(
+        wkt: str, transformation: AffineTransformation, canonicalize_spec: bool
+    ) -> str:
+        """One geometry through the follow-up pipeline (shared with literals)."""
+        geometry = load_wkt(wkt)
+        if canonicalize_spec:
+            geometry = canonicalize(geometry)
+        return transformation.apply(geometry).wkt
+
     def materialise(self, spec: DatabaseSpec) -> SpatialDatabase:
-        """Create the tables and rows of a spec in a fresh connection."""
+        """Create the tables and rows of a spec in a fresh connection.
+
+        Rows carry stable ids (``include_ids``) so row-list scenarios can
+        compare results by identity.
+        """
         database = self.database_factory()
-        for statement in spec.create_statements():
+        for statement in spec.create_statements(include_ids=True):
             database.execute(statement)
         return database
 
@@ -112,37 +183,159 @@ class AEIOracle:
         spec: DatabaseSpec,
         query_count: int = 10,
         transformation: AffineTransformation | None = None,
+        scenarios=None,
     ) -> OracleOutcome:
-        """Run ``query_count`` random template queries over an AEI pair."""
-        outcome = OracleOutcome()
-        transformation = transformation or random_affine_transformation(self.rng)
-        followup_spec = self.build_followup_spec(spec, transformation)
+        """Run ``query_count`` scenario queries over AEI pairs.
 
+        ``scenarios`` selects registry entries by name (``None`` or
+        ``"all"`` means every scenario applicable to the dialect); the
+        budget is split across them by :func:`allocate_query_budget`.  An
+        explicit ``transformation`` is honoured for every scenario whose
+        family admits it — inadmissible scenarios are skipped, which is the
+        registry form of the old "skip distance predicates for non-rigid
+        transformations" rule.
+        """
+        outcome = OracleOutcome()
         try:
             original = self.materialise(spec)
-            followup = self.materialise(followup_spec)
         except EngineCrash as crash:
             outcome.crashes.append(
-                CrashReport(statement="<database construction>", message=str(crash), bug_id=crash.bug_id)
+                CrashReport(
+                    statement="<database construction>",
+                    message=str(crash),
+                    bug_id=crash.bug_id,
+                )
             )
             return outcome
         except ReproError:
             outcome.errors_ignored += 1
             return outcome
 
-        template = QueryTemplate(original.dialect, self.rng)
-        tables = spec.table_names()
-        for _ in range(query_count):
-            query = template.random_query(tables, include_distance_predicates=False)
+        active = resolve_scenarios(scenarios, original.dialect)
+        if transformation is not None:
+            active = [s for s in active if s.admits_transformation(transformation)]
+        if not active:
+            return outcome
+
+        # rotate which scenarios receive the budget remainder (and, when
+        # query_count < len(active), which run at all) so repeated checks —
+        # one per campaign round — starve no scenario permanently.
+        offset = self.rng.randrange(len(active)) if len(active) > 1 else 0
+        budgets = allocate_query_budget(query_count, len(active), offset=offset)
+        budget_of = {id(scenario): budget for scenario, budget in zip(active, budgets)}
+        groups = self._group_scenarios(active, shared_transformation=transformation is not None)
+        original_statements = spec.create_statements(include_ids=True)
+
+        for (family, canonicalize_spec), members in groups.items():
+            if all(budget_of[id(scenario)] <= 0 for scenario in members):
+                continue
+            group_transformation = transformation or family.sample(self.rng)
+            followup_spec = self.build_followup_spec(
+                spec,
+                group_transformation,
+                canonicalize_spec=canonicalize_spec and self.canonicalize_followup,
+            )
+            try:
+                followup = self.materialise(followup_spec)
+            except EngineCrash as crash:
+                outcome.crashes.append(
+                    CrashReport(
+                        statement="<database construction>",
+                        message=str(crash),
+                        bug_id=crash.bug_id,
+                    )
+                )
+                continue
+            except ReproError:
+                outcome.errors_ignored += 1
+                continue
+            context = ScenarioContext(
+                dialect=original.dialect,
+                rng=self.rng,
+                transformation=group_transformation,
+                followup_wkt=lambda wkt, t=group_transformation, c=(
+                    canonicalize_spec and self.canonicalize_followup
+                ): self._followup_wkt(wkt, t, c),
+            )
+            followup_statements = followup_spec.create_statements(include_ids=True)
+            for scenario in members:
+                budget = budget_of[id(scenario)]
+                if budget <= 0:
+                    continue
+                self._run_scenario(
+                    outcome,
+                    scenario,
+                    spec,
+                    context,
+                    budget,
+                    original,
+                    followup,
+                    original_statements,
+                    followup_statements,
+                )
+        return outcome
+
+    # -------------------------------------------------------------- internals
+    @staticmethod
+    def _group_scenarios(
+        active: list[Scenario],
+        shared_transformation: bool = False,
+    ) -> dict[tuple[TransformationFamily | None, bool], list[Scenario]]:
+        """Group scenarios sharing one follow-up database.
+
+        A follow-up is reusable across scenarios exactly when they draw from
+        the same transformation family and agree on canonicalization, so the
+        group key is that pair; insertion order keeps the registry order.
+        With one explicit transformation shared by every scenario
+        (``shared_transformation``) the family no longer discriminates —
+        only the canonicalize flag does — so the key drops it rather than
+        materialising byte-identical follow-up databases per family.
+        """
+        groups: dict[tuple[TransformationFamily | None, bool], list[Scenario]] = {}
+        for scenario in active:
+            family = None if shared_transformation else scenario.family
+            key = (family, scenario.canonicalize_followup)
+            groups.setdefault(key, []).append(scenario)
+        return groups
+
+    def _run_scenario(
+        self,
+        outcome: OracleOutcome,
+        scenario: Scenario,
+        spec: DatabaseSpec,
+        context: ScenarioContext,
+        budget: int,
+        original: SpatialDatabase,
+        followup: SpatialDatabase,
+        original_statements: list[str],
+        followup_statements: list[str],
+    ) -> None:
+        queries = scenario.build_queries(spec, context, budget)
+        for query in queries:
             outcome.queries_run += 1
+            outcome.queries_by_scenario[scenario.name] = (
+                outcome.queries_by_scenario.get(scenario.name, 0) + 1
+            )
             before_original = len(original.fault_plan.triggered)
             before_followup = len(followup.fault_plan.triggered)
             try:
-                count_original = original.query_value(query.sql())
-                count_followup = followup.query_value(query.sql())
+                if query.kind == "rows":
+                    result_original: Any = tuple(
+                        tuple(row) for row in original.query_rows(query.sql_original)
+                    )
+                    result_followup: Any = tuple(
+                        tuple(row) for row in followup.query_rows(query.sql_followup)
+                    )
+                else:
+                    result_original = original.query_value(query.sql_original)
+                    result_followup = followup.query_value(query.sql_followup)
             except EngineCrash as crash:
                 outcome.crashes.append(
-                    CrashReport(statement=query.sql(), message=str(crash), bug_id=crash.bug_id)
+                    CrashReport(
+                        statement=query.sql_original,
+                        message=str(crash),
+                        bug_id=crash.bug_id,
+                    )
                 )
                 continue
             except SemanticGeometryError:
@@ -151,7 +344,10 @@ class AEIOracle:
             except ReproError:
                 outcome.errors_ignored += 1
                 continue
-            if count_original != count_followup:
+            expected = scenario.expected_followup(
+                query, result_original, context.transformation
+            )
+            if not scenario.results_match(expected, result_followup):
                 newly_triggered = (
                     original.fault_plan.triggered[before_original:]
                     + followup.fault_plan.triggered[before_followup:]
@@ -159,12 +355,13 @@ class AEIOracle:
                 outcome.discrepancies.append(
                     Discrepancy(
                         query=query,
-                        count_original=count_original,
-                        count_followup=count_followup,
-                        original_statements=spec.create_statements(),
-                        followup_statements=followup_spec.create_statements(),
-                        transformation=transformation,
+                        result_original=result_original,
+                        result_followup=result_followup,
+                        original_statements=original_statements,
+                        followup_statements=followup_statements,
+                        transformation=context.transformation,
                         triggered_bug_ids=tuple(dict.fromkeys(newly_triggered)),
+                        scenario=scenario.name,
+                        result_expected=expected,
                     )
                 )
-        return outcome

@@ -17,8 +17,11 @@ Design:
   total round budget the merged set equals a serial run of the same seed.
 * **Mergeable results.**  Each worker returns its shard's
   ``CampaignResult``; :meth:`CampaignResult.combine` unions the deduplicated
-  bug sets (earliest detection wins) and re-bases every shard's
-  unique-bugs-over-time series onto the orchestrator's shared wall clock.
+  bug sets (earliest detection wins), sums the per-scenario query counters
+  (rounds validate the whole metamorphic scenario registry, so shard
+  results carry a ``queries_by_scenario`` breakdown), and re-bases every
+  shard's unique-bugs-over-time series onto the orchestrator's shared wall
+  clock.
 * **Graceful degradation.**  With ``workers=1`` — or when the platform
   refuses to give us a process pool (restricted sandboxes without working
   semaphores) — the shards run in-process, preserving the exact merged

@@ -7,12 +7,15 @@ The template is::
 The two table names are chosen from the generated database and the
 topological-relationship condition is chosen from the predicates the tested
 dialect documents.  Distance-based RANGE predicates (``ST_DWithin`` and
-``ST_DFullyWithin``) take an extra integer distance argument; the same
-distance must be *scaled consistently* for the follow-up database because an
-affine transformation does not preserve absolute distances — the template
-therefore marks such queries so the oracle can skip them for non-rigid
-transformations, mirroring the paper's restriction of distance oracles to
-rotate/translate/scale (Section 7).
+``ST_DFullyWithin``) take an extra integer distance argument whose value is
+*not* affine-invariant, so which transformations admit them is a property of
+the scenario using the template, not of the oracle: the topological-join
+scenario (``repro.scenarios.topological``) restricts itself to the
+affine-invariant predicates of :func:`invariant_predicates`, while the
+distance-join scenario (``repro.scenarios.distance``) runs the distance
+predicates under similarity transformations with the threshold scaled
+alongside the data — the paper's Section 7 restriction stated once, as an
+admissibility declaration.
 """
 
 from __future__ import annotations
@@ -24,6 +27,20 @@ from repro.engine.dialects import Dialect
 
 #: predicates whose result depends on absolute distances.
 DISTANCE_PREDICATES = ("st_dwithin", "st_dfullywithin")
+
+
+def invariant_predicates(dialect: Dialect) -> list[str]:
+    """The dialect's topological predicates that are affine-invariant.
+
+    This is the admissible predicate set of any scenario running under
+    *general* affine transformations; the distance predicates it excludes
+    are only usable by scenarios that transform the threshold too.
+    """
+    return [
+        predicate
+        for predicate in dialect.topological_predicates()
+        if predicate not in DISTANCE_PREDICATES
+    ]
 
 
 @dataclass(frozen=True)
@@ -51,6 +68,28 @@ class TopologicalQuery:
         return (
             f"SELECT COUNT(*) FROM {self.table_a} JOIN {self.table_b} ON {condition}"
         )
+
+    def followup_sql(self) -> str:
+        """The SDB2 statement (identical for non-distance predicates).
+
+        A distance query's threshold is *not* affine-invariant — the SDB2
+        statement needs it scaled by the transformation's length factor,
+        which this object does not know (the distance-join scenario builds
+        two separate queries for exactly that reason) — so asking for a
+        follow-up here would silently compare against an unscaled threshold.
+        """
+        if self.uses_distance:
+            raise ValueError(
+                "a distance-predicate query has no transformation-independent "
+                "follow-up SQL; build the scaled SDB2 query explicitly "
+                "(see repro.scenarios.distance)"
+            )
+        return self.sql()
+
+    @property
+    def label(self) -> str:
+        """The signature-relevant part of the query (its predicate)."""
+        return self.predicate
 
     def describe(self) -> str:
         return self.sql()

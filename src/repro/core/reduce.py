@@ -11,11 +11,11 @@ differing counts.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.errors import EngineCrash, ReproError
 from repro.core.affine import AffineTransformation
 from repro.core.generator import DatabaseSpec
-from repro.core.queries import TopologicalQuery
 
 
 @dataclass
@@ -23,47 +23,78 @@ class ReducedCase:
     """The outcome of reduction: the minimal spec and its differing counts."""
 
     spec: DatabaseSpec
-    query: TopologicalQuery
-    count_original: int
-    count_followup: int
+    query: Any  # TopologicalQuery or ScenarioQuery
+    count_original: Any
+    count_followup: Any
     removed_geometries: int
 
 
 class TestCaseReducer:
-    """ddmin-style reduction over the rows of a generated database."""
+    """ddmin-style reduction over the rows of a generated database.
+
+    Works on any scalar scenario query: the query's SDB1 statement runs on
+    the candidate spec, the SDB2 statement (possibly carrying transformed
+    literals) on the candidate's follow-up, and the candidate keeps failing
+    while the observed SDB2 value differs from the expected one.  Pass the
+    discrepancy's :class:`~repro.scenarios.base.Scenario` for covariant
+    scenarios (metrics) — it supplies the expectation function, the match
+    tolerance and the follow-up canonicalization choice; without one the
+    expectation is plain equality over a canonicalised follow-up, the
+    original oracle's check.
+    """
 
     #: not a pytest test class, despite the name
     __test__ = False
 
-    def __init__(self, oracle, max_rounds: int = 10):
+    def __init__(self, oracle, max_rounds: int = 10, scenario=None):
         """``oracle`` is an :class:`~repro.core.oracle.AEIOracle`."""
         self.oracle = oracle
         self.max_rounds = max_rounds
+        self.scenario = scenario
 
     def _still_fails(
         self,
         spec: DatabaseSpec,
-        query: TopologicalQuery,
+        query: Any,
         transformation: AffineTransformation,
-    ) -> tuple[bool, int, int]:
+    ) -> tuple[bool, Any, Any]:
         """Re-run one query over an AEI pair built from the candidate spec."""
-        followup_spec = self.oracle.build_followup_spec(spec, transformation)
+        canonicalize_spec = None
+        if self.scenario is not None and not self.scenario.canonicalize_followup:
+            canonicalize_spec = False
+        followup_spec = self.oracle.build_followup_spec(
+            spec, transformation, canonicalize_spec=canonicalize_spec
+        )
+        followup_sql = getattr(query, "followup_sql", query.sql)()
         try:
             original = self.oracle.materialise(spec)
             followup = self.oracle.materialise(followup_spec)
             count_original = original.query_value(query.sql())
-            count_followup = followup.query_value(query.sql())
+            count_followup = followup.query_value(followup_sql)
         except (EngineCrash, ReproError):
             return False, 0, 0
-        return count_original != count_followup, count_original, count_followup
+        if self.scenario is not None:
+            expected = self.scenario.expected_followup(
+                query, count_original, transformation
+            )
+            fails = not self.scenario.results_match(expected, count_followup)
+        else:
+            fails = count_original != count_followup
+        return fails, count_original, count_followup
 
     def reduce(
         self,
         spec: DatabaseSpec,
-        query: TopologicalQuery,
+        query: Any,
         transformation: AffineTransformation,
     ) -> ReducedCase:
         """Remove as many geometries as possible while the discrepancy holds."""
+        if getattr(query, "kind", "scalar") != "scalar":
+            raise ValueError(
+                "TestCaseReducer only reduces scalar scenario queries; "
+                f"got a {query.kind!r}-kind query (reduce row-list scenarios "
+                "like knn by shrinking the spec manually)"
+            )
         current = DatabaseSpec(tables={name: list(rows) for name, rows in spec.tables.items()})
         failing, count_original, count_followup = self._still_fails(current, query, transformation)
         removed = 0

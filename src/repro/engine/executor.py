@@ -32,6 +32,10 @@ from repro.engine.catalog import Column, Table
 from repro.engine.faults import MECH_INDEX_DROPS_EMPTY, FaultPlan
 from repro.engine.registry import FunctionRegistry
 
+#: aggregate functions the projection layer evaluates itself (never routed
+#: through the spatial function registry).
+_AGGREGATE_FUNCTIONS = {"count", "sum"}
+
 #: functions whose candidate set can be narrowed with an envelope filter.
 _INDEXABLE_PREDICATES = {
     "st_intersects",
@@ -309,7 +313,7 @@ class Executor:
     def _is_aggregate(self, statement: ast.Select) -> bool:
         return any(
             isinstance(item.expression, ast.FunctionCall)
-            and item.expression.name.lower() == "count"
+            and item.expression.name.lower() in _AGGREGATE_FUNCTIONS
             for item in statement.items
         )
 
@@ -318,10 +322,12 @@ class Executor:
         values: list[Any] = []
         for item in statement.items:
             expression = item.expression
-            if (
-                isinstance(expression, ast.FunctionCall)
-                and expression.name.lower() == "count"
-            ):
+            name = (
+                expression.name.lower()
+                if isinstance(expression, ast.FunctionCall)
+                else None
+            )
+            if name == "count":
                 if expression.is_star:
                     count = len(qualifying)
                 else:
@@ -332,9 +338,21 @@ class Executor:
                     )
                 columns.append(item.alias or "count")
                 values.append(count)
+            elif name == "sum":
+                if expression.is_star or not expression.arguments:
+                    raise SQLExecutionError("SUM requires an expression argument")
+                addends = [
+                    value
+                    for environment in qualifying
+                    if (value := self._evaluate(expression.arguments[0], environment))
+                    is not None
+                ]
+                # SQL semantics: SUM over zero non-NULL inputs is NULL.
+                columns.append(item.alias or "sum")
+                values.append(sum(addends) if addends else None)
             else:
                 raise SQLExecutionError(
-                    "aggregate queries may only combine COUNT expressions"
+                    "aggregate queries may only combine COUNT and SUM expressions"
                 )
         return ResultSet(columns=columns, rows=[tuple(values)])
 

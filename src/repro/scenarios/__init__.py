@@ -1,0 +1,122 @@
+"""The metamorphic scenario registry.
+
+One registry of every query scenario Spatter can validate over an AEI pair,
+in a stable order (the reference JOIN template first).  The oracle, the
+campaign driver, the CLI and the docs-coverage check all iterate this
+registry instead of hard-coding query shapes; adding a scenario means
+registering a :class:`~repro.scenarios.base.Scenario` subclass here and
+documenting it in ``docs/SCENARIOS.md`` (CI enforces the latter).
+"""
+
+from __future__ import annotations
+
+from repro.engine.dialects import Dialect
+from repro.scenarios.base import (
+    Scenario,
+    ScenarioContext,
+    ScenarioQuery,
+    TransformationFamily,
+)
+from repro.scenarios.distance import DistanceJoinScenario
+from repro.scenarios.filters import AttributeFilterScenario
+from repro.scenarios.joins import JoinChainScenario
+from repro.scenarios.knn import KNNScenario, knn_sql
+from repro.scenarios.metrics import MetricAreaScenario, MetricLengthScenario
+from repro.scenarios.topological import TopologicalJoinScenario
+
+__all__ = [
+    "Scenario",
+    "ScenarioContext",
+    "ScenarioQuery",
+    "TransformationFamily",
+    "all_scenarios",
+    "applicable_scenarios",
+    "get_scenario",
+    "knn_sql",
+    "register_scenario",
+    "resolve_scenarios",
+    "scenario_names",
+]
+
+#: registration order is the execution and reporting order of a campaign
+#: round; the reference scenario comes first.
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    """Add a scenario instance to the registry (name must be unique)."""
+    if not scenario.name:
+        raise ValueError("a scenario must declare a non-empty name")
+    if scenario.name in _REGISTRY:
+        raise ValueError(f"scenario {scenario.name!r} is already registered")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+for _scenario_class in (
+    TopologicalJoinScenario,
+    AttributeFilterScenario,
+    JoinChainScenario,
+    DistanceJoinScenario,
+    KNNScenario,
+    MetricAreaScenario,
+    MetricLengthScenario,
+):
+    register_scenario(_scenario_class())
+
+
+def all_scenarios() -> list[Scenario]:
+    """Every registered scenario, in registration order."""
+    return list(_REGISTRY.values())
+
+
+def scenario_names() -> list[str]:
+    """Registry names, in registration order."""
+    return list(_REGISTRY)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up one scenario by its registry name."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {', '.join(_REGISTRY)}"
+        ) from None
+
+
+def applicable_scenarios(dialect: Dialect) -> list[Scenario]:
+    """The scenarios whose capability requirements the dialect satisfies."""
+    return [scenario for scenario in all_scenarios() if scenario.is_applicable(dialect)]
+
+
+def resolve_scenarios(names, dialect: Dialect) -> list[Scenario]:
+    """Turn a user-facing scenario selection into scenario instances.
+
+    ``None`` (and the special token ``"all"``) selects every scenario
+    applicable to the dialect — the campaign default, where capability
+    gating silently narrows the set.  Explicit names are honoured in order
+    and deduplicated (registry scenarios are singletons, and per-scenario
+    query budgets are keyed by instance), but an explicitly requested
+    scenario the dialect cannot run raises: silently dropping it would let
+    a zero-query campaign read like a clean engine.
+    """
+    if names is None:
+        return applicable_scenarios(dialect)
+    selected: list[Scenario] = []
+    for name in names:
+        if isinstance(name, Scenario):
+            scenario = name
+        elif str(name).lower() == "all":
+            return applicable_scenarios(dialect)
+        else:
+            scenario = get_scenario(str(name))
+        if not scenario.is_applicable(dialect):
+            raise ValueError(
+                f"scenario {scenario.name!r} is not applicable to dialect "
+                f"{dialect.name!r} (it requires "
+                f"{', '.join(scenario.requires_functions) or 'features the dialect lacks'})"
+            )
+        if scenario not in selected:
+            selected.append(scenario)
+    return selected

@@ -1,0 +1,197 @@
+"""The metamorphic-scenario abstraction.
+
+The paper's "Results Validation" step (Figure 5) exercises one query shape —
+``SELECT COUNT(*) FROM a JOIN b ON <TopoRlt>`` — and checks equality of the
+two counts.  Its Section 7 sketches how the same affine-equivalence idea
+extends to KNN and distance queries once the transformation family is
+restricted, and affine-invariant query logics show a much larger family of
+queries whose answers transform *predictably* (not necessarily identically)
+under affine maps.
+
+A :class:`Scenario` packages one such query shape as a first-class object:
+
+* a **query builder** that instantiates concrete SQL for the original
+  database (SDB1) and its affine follow-up (SDB2) — the two strings may
+  differ when the query embeds a geometry literal or a distance threshold
+  that must be transformed alongside the data;
+* an **admissible transformation family** (:class:`TransformationFamily`)
+  declaring which affine maps keep the scenario's metamorphic relation
+  valid — the oracle samples follow-up transformations from it and skips
+  the scenario when handed an inadmissible explicit transformation;
+* an **expectation function** mapping the SDB1 result to the *expected*
+  SDB2 result, generalizing the original equality-of-counts check
+  (a metric scenario, for example, expects the SDB2 sum to be the SDB1 sum
+  scaled by the transformation's determinant).
+
+Scenario instances are stateless and queries are plain dataclasses, so both
+travel safely through the multiprocessing boundary of the parallel
+orchestrator.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.affine import (
+    AffineTransformation,
+    random_affine_transformation,
+    rigid_motion_transformation,
+    similarity_affine_transformation,
+)
+from repro.core.generator import DatabaseSpec
+from repro.engine.dialects import Dialect
+
+
+class TransformationFamily(enum.Enum):
+    """The transformation families a scenario may declare admissible.
+
+    Each family knows how to *sample* a random member and how to decide
+    whether an explicitly supplied transformation is *admitted* — the single
+    place where rules like "distance queries need a similarity" are stated
+    (they used to live as an oracle-side skip flag).
+    """
+
+    #: any invertible affine map (Algorithm 2): topological relations only.
+    GENERAL = "general"
+    #: uniform scaling of an orthogonal map + translation: preserves the
+    #: relative order of distances (KNN-safe) and scales every length by the
+    #: same factor.
+    SIMILARITY = "similarity"
+    #: similarity with unit scale: preserves absolute distances.
+    RIGID = "rigid"
+
+    def sample(self, rng: random.Random) -> AffineTransformation:
+        """Draw a random transformation from the family."""
+        return _SAMPLERS[self](rng)
+
+    def admits(self, transformation: AffineTransformation) -> bool:
+        """True when the transformation belongs to the family."""
+        if self is TransformationFamily.GENERAL:
+            return transformation.is_invertible
+        if self is TransformationFamily.SIMILARITY:
+            return transformation.is_similarity
+        return transformation.is_rigid
+
+
+_SAMPLERS: dict[TransformationFamily, Callable[[random.Random], AffineTransformation]] = {
+    TransformationFamily.GENERAL: random_affine_transformation,
+    TransformationFamily.SIMILARITY: similarity_affine_transformation,
+    TransformationFamily.RIGID: rigid_motion_transformation,
+}
+
+
+@dataclass(frozen=True)
+class ScenarioQuery:
+    """One instantiated scenario query: the SQL for both sides of an AEI pair.
+
+    Plain data (no callables) so discrepancies embedding it pickle across
+    the parallel orchestrator's process boundary.
+    """
+
+    #: registry name of the scenario that built the query.
+    scenario: str
+    #: signature-relevant label (predicate, metric, ``k``...) used by
+    #: deduplication and reporting.
+    label: str
+    #: SQL executed against the original database (SDB1).
+    sql_original: str
+    #: SQL executed against the follow-up database (SDB2); differs from
+    #: ``sql_original`` when a literal or threshold is transformed.
+    sql_followup: str
+    #: ``"scalar"`` (single value) or ``"rows"`` (ordered row list).
+    kind: str = "scalar"
+
+    def sql(self) -> str:
+        """The SDB1 statement (the historical single-SQL surface)."""
+        return self.sql_original
+
+    def followup_sql(self) -> str:
+        """The SDB2 statement."""
+        return self.sql_followup
+
+    @property
+    def predicate(self) -> str:
+        """Back-compat alias: older tooling read ``query.predicate``."""
+        return self.label
+
+    def describe(self) -> str:
+        if self.sql_original == self.sql_followup:
+            return self.sql_original
+        return f"{self.sql_original}  /  {self.sql_followup}"
+
+
+@dataclass
+class ScenarioContext:
+    """Everything a scenario needs to instantiate queries for one AEI pair."""
+
+    dialect: Dialect
+    rng: random.Random
+    transformation: AffineTransformation
+    #: WKT -> WKT mapping implementing the oracle's follow-up pipeline
+    #: (canonicalize, then transform) so literals embedded in follow-up SQL
+    #: go through exactly the same derivation as the stored geometries.
+    followup_wkt: Callable[[str], str] = field(default=lambda wkt: wkt)
+
+
+class Scenario:
+    """Base class: one metamorphic query scenario.
+
+    Subclasses set the class attributes and implement
+    :meth:`build_queries`; they may override :meth:`expected_followup`
+    (default: the SDB2 result must equal the SDB1 result) and
+    :meth:`results_match` (default: equality).
+    """
+
+    #: registry name (also the ``--scenarios`` CLI token).
+    name: str = ""
+    #: one-line human description for ``--list-scenarios`` and the docs.
+    title: str = ""
+    #: the admissible transformation family.
+    family: TransformationFamily = TransformationFamily.GENERAL
+    #: whether the follow-up database this scenario validates against may be
+    #: canonicalised.  Metric scenarios opt out: element-level
+    #: canonicalization removes duplicate elements, which preserves the
+    #: denoted point set (and so every topological relation) but not
+    #: summed areas or lengths.
+    canonicalize_followup: bool = True
+    #: functions the dialect must expose for the scenario to be applicable.
+    requires_functions: tuple[str, ...] = ()
+    #: pointer into the paper / related work for the docs catalog.
+    paper_anchor: str = ""
+
+    # -------------------------------------------------------------- gating
+    def is_applicable(self, dialect: Dialect) -> bool:
+        """Capability gating: can this scenario run against the dialect?"""
+        return all(dialect.supports_function(name) for name in self.requires_functions)
+
+    def admits_transformation(self, transformation: AffineTransformation) -> bool:
+        """Admissibility of one explicit transformation.
+
+        Defaults to family membership; scenarios may add constraints beyond
+        the family (e.g. the distance scenario needs an *exact* threshold
+        scale factor).  The oracle only consults this for explicitly
+        supplied transformations — sampled ones come from the family's
+        sampler, which each scenario's constraints must accept.
+        """
+        return self.family.admits(transformation)
+
+    # ------------------------------------------------------------- queries
+    def build_queries(self, spec: DatabaseSpec, context: ScenarioContext, count: int) -> list[ScenarioQuery]:
+        """Instantiate ``count`` random queries over the spec's tables."""
+        raise NotImplementedError
+
+    # --------------------------------------------------------- expectation
+    def expected_followup(self, query: ScenarioQuery, original: Any, transformation: AffineTransformation) -> Any:
+        """The SDB2 result implied by the SDB1 result (default: identical)."""
+        return original
+
+    def results_match(self, expected: Any, actual: Any) -> bool:
+        """Compare the expected against the observed SDB2 result."""
+        return expected == actual
+
+    # ----------------------------------------------------------- reporting
+    def describe(self) -> str:
+        return f"{self.name}: {self.title} [{self.family.value}]"

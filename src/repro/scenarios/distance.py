@@ -1,0 +1,75 @@
+"""Distance-predicate join scenario: thresholds scaled with the data.
+
+``ST_DWithin``/``ST_DFullyWithin`` take an absolute distance argument, so
+the paper's oracle simply skipped them (general affine maps do not preserve
+distances).  Under a *similarity* transformation, however, every distance is
+multiplied by the same factor ``s = sqrt(|det|)``, so the predicate survives
+if the threshold is scaled too:
+
+    SDB1:  SELECT COUNT(*) FROM a JOIN b ON st_dwithin(a.g, b.g, d)
+    SDB2:  SELECT COUNT(*) FROM a JOIN b ON st_dwithin(a.g, b.g, d*s)
+
+This re-admits the distance predicates the topological scenario excludes —
+the Section 7 extension the paper sketches — and reaches the distance
+machinery (and its EMPTY-element recursion bugs) that no purely topological
+query ever calls.  The family's sampler draws integer scale factors, so the
+scaled threshold stays exact.
+"""
+
+from __future__ import annotations
+
+from repro.core.generator import DatabaseSpec
+from repro.core.queries import DISTANCE_PREDICATES, TopologicalQuery
+from repro.scenarios.base import Scenario, ScenarioContext, ScenarioQuery, TransformationFamily
+
+
+class DistanceJoinScenario(Scenario):
+    name = "distance-join"
+    title = "COUNT over a join on a distance predicate with a scaled threshold"
+    family = TransformationFamily.SIMILARITY
+    paper_anchor = "Section 7 (distance extension); Section 4.2 threshold scaling"
+
+    def is_applicable(self, dialect) -> bool:
+        return any(dialect.supports_function(p) for p in DISTANCE_PREDICATES)
+
+    def admits_transformation(self, transformation) -> bool:
+        """Similarities with an *integer* length scale only.
+
+        An irrational scale (e.g. the 45°-like similarity ``(1,-1;1,1)``,
+        ``s = sqrt(2)``) would force a lossy float threshold into the
+        follow-up SQL, and a last-ulp difference at an exact predicate
+        boundary would read as a discrepancy on a bug-free engine.  The
+        family's sampler always draws integer scales, so this only filters
+        explicitly supplied transformations.
+        """
+        if not self.family.admits(transformation):
+            return False
+        scale = transformation.length_scale
+        return scale == int(scale)
+
+    def build_queries(self, spec: DatabaseSpec, context: ScenarioContext, count: int) -> list[ScenarioQuery]:
+        predicates = [p for p in DISTANCE_PREDICATES if context.dialect.supports_function(p)]
+        tables = spec.table_names()
+        scale = context.transformation.length_scale
+        queries = []
+        for _ in range(count):
+            predicate = context.rng.choice(predicates)
+            table_a = context.rng.choice(tables)
+            table_b = context.rng.choice(tables)
+            distance = context.rng.randint(1, 20)
+            # admits_transformation guarantees an integer scale, keeping the
+            # scaled threshold (and so the follow-up comparison) exact.
+            threshold = distance * int(scale)
+            queries.append(
+                ScenarioQuery(
+                    scenario=self.name,
+                    label=predicate,
+                    sql_original=TopologicalQuery(
+                        table_a, table_b, predicate, distance=distance
+                    ).sql(),
+                    sql_followup=TopologicalQuery(
+                        table_a, table_b, predicate, distance=threshold
+                    ).sql(),
+                )
+            )
+        return queries

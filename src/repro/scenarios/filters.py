@@ -1,0 +1,62 @@
+"""Single-table filter scenario: ``WHERE <predicate>(g, <literal>)``.
+
+The affine-invariant query logics of Haesevoets & Kuijpers (arXiv:0810.5725)
+cover queries that compare stored geometries against *constants*, provided
+the constants are transformed alongside the data.  This scenario instantiates
+
+    SELECT COUNT(*) FROM t WHERE <TopoRlt>(g, '<literal>'::geometry)
+
+with a literal drawn from the generated database itself (maximising the
+chance of non-trivial relationships); the follow-up query embeds the
+literal's image under the same canonicalize-then-transform pipeline the
+stored geometries go through, so the pair stays affine equivalent and the
+two counts must agree.
+
+Unlike the JOIN template this exercises the engine's single-table scan
+path — including the constant-probe index filter of the paper's Listing 8 —
+so index-side bugs that never show up in join plans become reachable.
+"""
+
+from __future__ import annotations
+
+from repro.core.generator import DatabaseSpec
+from repro.core.queries import invariant_predicates
+from repro.scenarios.base import Scenario, ScenarioContext, ScenarioQuery, TransformationFamily
+
+
+class AttributeFilterScenario(Scenario):
+    name = "attribute-filter"
+    title = "COUNT over a single-table filter against a transformed literal"
+    family = TransformationFamily.GENERAL
+    paper_anchor = "Section 7 (query extensions); Haesevoets & Kuijpers, arXiv:0810.5725"
+
+    def is_applicable(self, dialect) -> bool:
+        return bool(invariant_predicates(dialect))
+
+    def build_queries(self, spec: DatabaseSpec, context: ScenarioContext, count: int) -> list[ScenarioQuery]:
+        predicates = invariant_predicates(context.dialect)
+        tables = spec.table_names()
+        literals = spec.all_wkts()
+        queries = []
+        for _ in range(count):
+            predicate = context.rng.choice(predicates)
+            table = context.rng.choice(tables)
+            literal = context.rng.choice(literals)
+            followup_literal = context.followup_wkt(literal)
+            queries.append(
+                ScenarioQuery(
+                    scenario=self.name,
+                    label=predicate,
+                    sql_original=self._sql(table, predicate, literal),
+                    sql_followup=self._sql(table, predicate, followup_literal),
+                )
+            )
+        return queries
+
+    @staticmethod
+    def _sql(table: str, predicate: str, literal_wkt: str) -> str:
+        escaped = literal_wkt.replace("'", "''")
+        return (
+            f"SELECT COUNT(*) FROM {table} "
+            f"WHERE {predicate}({table}.g, '{escaped}'::geometry)"
+        )

@@ -1,0 +1,72 @@
+"""Three-way join-chain scenario.
+
+Clause-guided fuzzers (SQLaser, arXiv:2407.04294) find that bug yield grows
+with query-shape diversity: longer FROM/JOIN chains drive the planner and
+executor through code paths a two-table join never reaches (join reordering,
+repeated index probes, intermediate result handling).  This scenario chains
+three aliased table references with two topological predicates:
+
+    SELECT COUNT(*) FROM ta AS a
+      JOIN (SELECT id, g FROM tb ORDER BY id LIMIT <cap>) AS b
+        ON <p1>(a.g, b.g)
+      JOIN (SELECT id, g FROM tc ORDER BY id LIMIT <cap>) AS c
+        ON <p2>(b.g, c.g)
+
+Every DE-9IM predicate in the chain is affine-invariant, so the qualifying
+triples — and hence the counts — must be identical across an AEI pair under
+any invertible affine map.  Aliases make the chain well-formed even when the
+generated database has fewer than three tables (true aliased self-joins are
+themselves a path the two-table template never took: its repeated table
+names collapsed to one binding).  The inner hops read derived tables capped
+by a deterministic ``ORDER BY id LIMIT`` — row ids are stable across an AEI
+pair, so the caps select the *same* rows on both sides and keep the
+metamorphic relation exact while bounding the cubic blow-up of evaluating
+exact DE-9IM matrices over derived-geometry triples; covering the full
+pairwise volume stays the reference JOIN scenario's job.
+"""
+
+from __future__ import annotations
+
+from repro.core.generator import DatabaseSpec
+from repro.core.queries import invariant_predicates
+from repro.scenarios.base import Scenario, ScenarioContext, ScenarioQuery, TransformationFamily
+
+
+class JoinChainScenario(Scenario):
+    name = "join-chain"
+    title = "COUNT over a three-way join chain of topological predicates"
+    family = TransformationFamily.GENERAL
+    paper_anchor = "ROADMAP scenario axis; SQLaser (arXiv:2407.04294) clause diversity"
+
+    #: rows each inner binding's derived table is capped to.
+    hop_cap: int = 3
+
+    def is_applicable(self, dialect) -> bool:
+        return bool(invariant_predicates(dialect))
+
+    def build_queries(self, spec: DatabaseSpec, context: ScenarioContext, count: int) -> list[ScenarioQuery]:
+        predicates = invariant_predicates(context.dialect)
+        tables = spec.table_names()
+        queries = []
+        for _ in range(count):
+            table_a = context.rng.choice(tables)
+            table_b = context.rng.choice(tables)
+            table_c = context.rng.choice(tables)
+            first = context.rng.choice(predicates)
+            second = context.rng.choice(predicates)
+            sql = (
+                f"SELECT COUNT(*) FROM {table_a} AS a "
+                f"JOIN (SELECT id, g FROM {table_b} ORDER BY id "
+                f"LIMIT {self.hop_cap}) AS b ON {first}(a.g, b.g) "
+                f"JOIN (SELECT id, g FROM {table_c} ORDER BY id "
+                f"LIMIT {self.hop_cap}) AS c ON {second}(b.g, c.g)"
+            )
+            queries.append(
+                ScenarioQuery(
+                    scenario=self.name,
+                    label=f"{first}+{second}",
+                    sql_original=sql,
+                    sql_followup=sql,
+                )
+            )
+        return queries

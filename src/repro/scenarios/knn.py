@@ -1,0 +1,64 @@
+"""K-nearest-neighbour scenario (the paper's Section 7 extension).
+
+The k rows nearest to a query point, evaluated via
+
+    SELECT id FROM t ORDER BY ST_Distance(g, '<point>'::geometry), id LIMIT k
+
+must be the *same rows* after a similarity transformation is applied to the
+data and the query point alike: rotation, translation and uniform scaling
+multiply every distance by one factor and therefore preserve the relative
+distance order (shearing does not, which is exactly why the scenario
+declares the similarity family).  Ties are broken by row id, so the row
+lists compare deterministically.
+
+This absorbs the standalone ``repro.core.knn`` oracle into the registry:
+the oracle materialises specs with stable ``id`` columns for every
+scenario, so the neighbour lists join the same campaign/dedup pipeline as
+the count scenarios.
+"""
+
+from __future__ import annotations
+
+from repro.core.generator import DatabaseSpec
+from repro.scenarios.base import Scenario, ScenarioContext, ScenarioQuery, TransformationFamily
+
+
+def knn_sql(table: str, query_point_wkt: str, k: int) -> str:
+    """The KNN query template: order by distance to the query point."""
+    escaped = query_point_wkt.replace("'", "''")
+    return (
+        f"SELECT id FROM {table} "
+        f"ORDER BY ST_Distance(g, '{escaped}'::geometry), id LIMIT {k}"
+    )
+
+
+class KNNScenario(Scenario):
+    name = "knn"
+    title = "k nearest neighbours of a transformed query point, by row id"
+    family = TransformationFamily.SIMILARITY
+    requires_functions = ("st_distance",)
+    paper_anchor = "Section 7 (KNN extension)"
+
+    #: the paper's sketch uses small k; the builder draws from this range.
+    k_range: tuple[int, int] = (1, 5)
+
+    def build_queries(self, spec: DatabaseSpec, context: ScenarioContext, count: int) -> list[ScenarioQuery]:
+        tables = spec.table_names()
+        queries = []
+        for _ in range(count):
+            table = context.rng.choice(tables)
+            x = context.rng.randint(-10, 10)
+            y = context.rng.randint(-10, 10)
+            k = context.rng.randint(*self.k_range)
+            point = f"POINT({x} {y})"
+            transformed_point = context.followup_wkt(point)
+            queries.append(
+                ScenarioQuery(
+                    scenario=self.name,
+                    label=f"k={k}",
+                    sql_original=knn_sql(table, point, k),
+                    sql_followup=knn_sql(table, transformed_point, k),
+                    kind="rows",
+                )
+            )
+        return queries

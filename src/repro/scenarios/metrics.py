@@ -1,0 +1,100 @@
+"""Affine-covariant metric scenarios: aggregate measures that *scale*.
+
+Topological answers are affine-invariant; metric answers are affine-
+**covariant**: they change under the transformation, but predictably.
+For an affine map with linear part ``A``,
+
+* every area is multiplied by ``|det A|`` — for any invertible map, and
+* every length is multiplied by ``sqrt(|det A|)`` — provided the map is a
+  similarity (a general affine map stretches directions unequally and no
+  single length factor exists).
+
+These scenarios aggregate a measure over a whole table,
+
+    SELECT SUM(ST_Area(g))   FROM t      (general affine)
+    SELECT SUM(ST_Length(g)) FROM t      (similarity only)
+
+and expect the SDB2 sum to be the SDB1 sum scaled by the transformation's
+factor — the first expectation functions in the registry that are not plain
+equality.  Comparison uses a relative tolerance because the engine hands
+back floats (areas are exact rationals internally, lengths involve square
+roots).
+
+Both scenarios opt out of canonicalised follow-ups: element-level
+canonicalization removes duplicate elements, which preserves the denoted
+point set (and every DE-9IM relation) but not a *sum* of per-row measures.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.core.affine import AffineTransformation
+from repro.core.generator import DatabaseSpec
+from repro.scenarios.base import Scenario, ScenarioContext, ScenarioQuery, TransformationFamily
+
+#: relative tolerance for float comparisons; the inputs are small integer
+#: coordinates, so anything past 1e-9 is an engine bug, not rounding.
+_REL_TOL = 1e-9
+
+
+class _MetricScenario(Scenario):
+    """Common machinery: SUM a measure over one table, expect a scaled sum."""
+
+    canonicalize_followup = False
+    #: the aggregated ST_* function (set by subclasses).
+    metric_function: str = ""
+
+    def scale_factor(self, transformation: AffineTransformation) -> float:
+        raise NotImplementedError
+
+    def build_queries(self, spec: DatabaseSpec, context: ScenarioContext, count: int) -> list[ScenarioQuery]:
+        tables = spec.table_names()
+        queries = []
+        for _ in range(count):
+            table = context.rng.choice(tables)
+            sql = f"SELECT SUM({self.metric_function}({table}.g)) FROM {table}"
+            queries.append(
+                ScenarioQuery(
+                    scenario=self.name,
+                    label=self.metric_function,
+                    sql_original=sql,
+                    sql_followup=sql,
+                )
+            )
+        return queries
+
+    def expected_followup(self, query: ScenarioQuery, original: Any, transformation: AffineTransformation) -> Any:
+        if original is None:  # SUM over an empty table is NULL
+            return None
+        return self.scale_factor(transformation) * float(original)
+
+    def results_match(self, expected: Any, actual: Any) -> bool:
+        if expected is None or actual is None:
+            return expected is None and actual is None
+        return math.isclose(float(expected), float(actual), rel_tol=_REL_TOL, abs_tol=_REL_TOL)
+
+
+class MetricAreaScenario(_MetricScenario):
+    name = "metric-area"
+    title = "SUM(ST_Area) scaled by the transformation's |determinant|"
+    family = TransformationFamily.GENERAL
+    requires_functions = ("st_area",)
+    metric_function = "st_area"
+    paper_anchor = "Section 7 (beyond invariance); affine area covariance"
+
+    def scale_factor(self, transformation: AffineTransformation) -> float:
+        return float(transformation.area_scale)
+
+
+class MetricLengthScenario(_MetricScenario):
+    name = "metric-length"
+    title = "SUM(ST_Length) scaled by the similarity's length factor"
+    family = TransformationFamily.SIMILARITY
+    requires_functions = ("st_length",)
+    metric_function = "st_length"
+    paper_anchor = "Section 7 (beyond invariance); similarity length covariance"
+
+    def scale_factor(self, transformation: AffineTransformation) -> float:
+        return transformation.length_scale

@@ -1,0 +1,45 @@
+"""The reference scenario: the paper's topological JOIN template (Figure 5).
+
+``SELECT COUNT(*) FROM a JOIN b ON <TopoRlt>`` — every DE-9IM relationship
+is invariant under invertible affine maps (Proposition 3.3), so the two
+counts must be equal.  This is the original Spatter oracle, ported onto the
+scenario interface unchanged; the only rule that moved is the
+distance-predicate exclusion, which is now stated here as part of the
+scenario's admissibility (general affine maps do not preserve distances)
+instead of as a skip flag inside the oracle.
+"""
+
+from __future__ import annotations
+
+from repro.core.generator import DatabaseSpec
+from repro.core.queries import TopologicalQuery, invariant_predicates
+from repro.scenarios.base import Scenario, ScenarioContext, ScenarioQuery, TransformationFamily
+
+
+class TopologicalJoinScenario(Scenario):
+    name = "topological-join"
+    title = "COUNT over a two-table join on a topological predicate"
+    family = TransformationFamily.GENERAL
+    paper_anchor = "Figure 5 'Results Validation'; Proposition 3.3"
+
+    def is_applicable(self, dialect) -> bool:
+        return bool(invariant_predicates(dialect))
+
+    def build_queries(self, spec: DatabaseSpec, context: ScenarioContext, count: int) -> list[ScenarioQuery]:
+        predicates = invariant_predicates(context.dialect)
+        tables = spec.table_names()
+        queries = []
+        for _ in range(count):
+            predicate = context.rng.choice(predicates)
+            table_a = context.rng.choice(tables)
+            table_b = context.rng.choice(tables)
+            sql = TopologicalQuery(table_a, table_b, predicate).sql()
+            queries.append(
+                ScenarioQuery(
+                    scenario=self.name,
+                    label=predicate,
+                    sql_original=sql,
+                    sql_followup=sql,
+                )
+            )
+        return queries

@@ -10,16 +10,20 @@ from repro.engine.faults import bug_by_id
 
 class TestCampaignAgainstBuggyRelease:
     def test_postgis_campaign_finds_injected_bugs(self):
+        # scenarios=None: every registry scenario runs (the campaign default).
         campaign = TestingCampaign(
             CampaignConfig(
-                dialect="postgis", seed=42, geometry_count=8, queries_per_round=15
+                dialect="postgis", seed=42, geometry_count=6, queries_per_round=15
             )
         )
-        result = campaign.run(rounds=4)
-        assert result.rounds == 4
+        result = campaign.run(rounds=3)
+        assert result.rounds == 3
         assert result.queries_run > 0
         assert result.discrepancies or result.crashes
         assert result.unique_bug_count >= 2
+        # the query budget was spread over the whole scenario registry
+        assert len(result.queries_by_scenario) >= 5
+        assert sum(result.queries_by_scenario.values()) == result.queries_run
         # every ground-truth id refers to a real catalog entry
         for bug_id in result.unique_bug_ids:
             assert bug_by_id(bug_id) is not None

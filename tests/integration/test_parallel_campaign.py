@@ -15,7 +15,17 @@ from repro.cli import main
 from repro.core.campaign import CampaignConfig, CampaignResult, TestingCampaign
 from repro.core.parallel import ParallelCampaign, run_campaign, shard_rounds
 
-CONFIG = CampaignConfig(dialect="postgis", seed=42, geometry_count=6, queries_per_round=10)
+# Three scenarios spanning three follow-up groups (general/canonicalized,
+# similarity/canonicalized, general/uncanonicalized) keep the orchestration
+# contract under test scenario-aware while staying cheap; the full-registry
+# serial-vs-parallel equivalence lives in test_scenario_campaign.py.
+CONFIG = CampaignConfig(
+    dialect="postgis",
+    seed=42,
+    geometry_count=6,
+    queries_per_round=10,
+    scenarios=("topological-join", "knn", "metric-area"),
+)
 ROUNDS = 4
 
 

@@ -1,0 +1,179 @@
+"""End-to-end contracts of the metamorphic scenario suite.
+
+Three guarantees beyond the unit layer:
+
+* the ported JOIN scenario alone still finds the injected engine faults the
+  original single-template oracle found;
+* at least one injected fault is detectable *only* by a new scenario — the
+  distance machinery's EMPTY-element recursion bug never surfaces through
+  purely topological queries but reorders KNN neighbour lists;
+* a parallel campaign over the whole registry equals the serial run
+  finding-for-finding (the orchestrator's determinism contract extends to
+  multi-scenario rounds).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.cli import main
+from repro.core.affine import AffineTransformation
+from repro.core.campaign import CampaignConfig, TestingCampaign
+from repro.core.generator import DatabaseSpec
+from repro.core.oracle import AEIOracle
+from repro.core.parallel import ParallelCampaign
+from repro.engine.database import connect
+
+ALL_SCENARIO_CONFIG = CampaignConfig(
+    dialect="postgis",
+    seed=11,
+    geometry_count=5,
+    queries_per_round=14,
+    scenarios=None,  # the default: every applicable scenario
+)
+
+#: the first element of the MULTIPOINT is far away, so the buggy
+#: first-element distance recursion reorders the neighbour list once
+#: canonicalization (on the follow-up side only) removes the EMPTY element.
+DISTANCE_BUG_SPEC = DatabaseSpec(
+    tables={
+        "t1": [
+            "MULTIPOINT((9 0),(0 0),EMPTY)",
+            "POINT(2 0)",
+            "POINT(6 0)",
+        ]
+    }
+)
+DISTANCE_BUG = "geos-distance-empty-recursion"
+
+
+class TestJoinScenarioStillFindsTheFaults:
+    def test_reference_scenario_alone_matches_the_original_oracle(self):
+        campaign = TestingCampaign(
+            CampaignConfig(
+                dialect="postgis",
+                seed=42,
+                geometry_count=8,
+                queries_per_round=15,
+                scenarios=("topological-join",),
+            )
+        )
+        result = campaign.run(rounds=4)
+        assert result.unique_bug_count >= 2
+        assert set(result.queries_by_scenario) == {"topological-join"}
+        for discrepancy in result.discrepancies:
+            assert discrepancy.scenario == "topological-join"
+
+
+class TestFaultOnlyNewScenariosCanSee:
+    def _check(self, scenarios, seed=0, query_count=20):
+        oracle = AEIOracle(
+            lambda: connect("postgis", bug_ids=[DISTANCE_BUG]), random.Random(seed)
+        )
+        return oracle.check(
+            DISTANCE_BUG_SPEC,
+            query_count=query_count,
+            transformation=AffineTransformation.identity(),
+            scenarios=scenarios,
+        )
+
+    def test_topological_join_cannot_see_the_distance_bug(self):
+        # distance predicates are inadmissible under general affine maps, so
+        # the reference scenario never calls the buggy distance recursion.
+        for seed in range(5):
+            outcome = self._check(["topological-join"], seed=seed)
+            assert outcome.discrepancies == []
+            assert outcome.queries_run == 20
+
+    def test_knn_scenario_detects_it(self):
+        outcome = self._check(["knn"], query_count=30)
+        assert outcome.discrepancies
+        triggered = {
+            bug_id
+            for discrepancy in outcome.discrepancies
+            for bug_id in discrepancy.triggered_bug_ids
+        }
+        assert DISTANCE_BUG in triggered
+        for discrepancy in outcome.discrepancies:
+            assert discrepancy.scenario == "knn"
+
+    def test_the_clean_engine_shows_no_knn_discrepancy_on_the_same_input(self):
+        oracle = AEIOracle(lambda: connect("postgis"), random.Random(0))
+        outcome = oracle.check(
+            DISTANCE_BUG_SPEC,
+            query_count=30,
+            transformation=AffineTransformation.identity(),
+            scenarios=["knn"],
+        )
+        assert outcome.discrepancies == []
+
+
+class TestParallelEqualsSerialAcrossTheRegistry:
+    @pytest.fixture(scope="class")
+    def serial_result(self):
+        return TestingCampaign(ALL_SCENARIO_CONFIG).run(rounds=3)
+
+    def test_serial_run_exercises_the_whole_registry(self, serial_result):
+        assert len(serial_result.queries_by_scenario) >= 5
+
+    def test_two_shards_match_finding_for_finding(self, serial_result):
+        parallel = ParallelCampaign(replace(ALL_SCENARIO_CONFIG, workers=2)).run(rounds=3)
+        assert sorted(d.describe() for d in parallel.discrepancies) == sorted(
+            d.describe() for d in serial_result.discrepancies
+        )
+        assert set(parallel.unique_bug_ids) == set(serial_result.unique_bug_ids)
+        assert parallel.queries_by_scenario == serial_result.queries_by_scenario
+
+    def test_in_process_shards_match_finding_for_finding(self, serial_result):
+        parallel = ParallelCampaign(replace(ALL_SCENARIO_CONFIG, shards=3)).run(rounds=3)
+        assert sorted(d.describe() for d in parallel.discrepancies) == sorted(
+            d.describe() for d in serial_result.discrepancies
+        )
+        assert parallel.queries_by_scenario == serial_result.queries_by_scenario
+
+
+class TestCommandLineScenarios:
+    def test_scenarios_flag_limits_the_round(self, capsys):
+        exit_code = main(
+            [
+                "--dialect", "postgis", "--rounds", "2", "--geometries", "4",
+                "--queries", "6", "--seed", "11",
+                "--scenarios", "knn", "metric-area",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code in (0, 1)
+        assert "knn" in output
+        assert "metric-area" in output
+        assert "topological-join" not in output
+
+    def test_scenarios_all_runs_the_registry(self, capsys):
+        exit_code = main(
+            [
+                "--dialect", "postgis", "--rounds", "1", "--geometries", "4",
+                "--queries", "7", "--seed", "2", "--scenarios", "all",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code in (0, 1)
+        assert "topological-join" in output
+        assert "metric-length" in output
+
+    def test_unknown_scenario_is_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--scenarios", "no-such-scenario"])
+
+    def test_inapplicable_scenario_is_rejected_loudly(self):
+        # sqlserver exposes no distance predicates; silently running a
+        # zero-query campaign would read as a clean result.
+        with pytest.raises(SystemExit):
+            main(["--dialect", "sqlserver", "--scenarios", "distance-join"])
+
+    def test_list_scenarios_prints_the_catalog(self, capsys):
+        assert main(["--list-scenarios"]) == 0
+        output = capsys.readouterr().out
+        assert "topological-join" in output
+        assert "docs/SCENARIOS.md" in output

@@ -73,7 +73,10 @@ class TestAEIOracle:
         # the origin, mirroring the Listing 1 / Listing 2 pair.
         transformation = AffineTransformation.from_parts(1, 0, 0, 1, 0, -1)
         outcome = oracle.check(
-            _spec_listing1(), query_count=30, transformation=transformation
+            _spec_listing1(),
+            query_count=30,
+            transformation=transformation,
+            scenarios=["topological-join"],
         )
         predicates = {d.query.predicate for d in outcome.discrepancies}
         assert "st_covers" in predicates or "st_coveredby" in predicates
@@ -92,17 +95,19 @@ class TestAEIOracle:
                 "t2": ["GEOMETRYCOLLECTION(POINT(0 0))"],
             }
         )
-        outcome = oracle.check(spec, query_count=40)
+        outcome = oracle.check(spec, query_count=40, scenarios=["topological-join"])
         assert outcome.crashes
         assert all(c.bug_id == "geos-crash-touches-empty-collection" for c in outcome.crashes)
 
 
 class TestDeduplication:
-    def _discrepancy(self, bug_ids=("bug-a",), predicate="st_covers") -> Discrepancy:
+    def _discrepancy(
+        self, bug_ids=("bug-a",), predicate="st_covers", scenario="topological-join"
+    ) -> Discrepancy:
         return Discrepancy(
             query=TopologicalQuery("t1", "t2", predicate),
-            count_original=1,
-            count_followup=0,
+            result_original=1,
+            result_followup=0,
             original_statements=[
                 "CREATE TABLE t1 (g geometry)",
                 "INSERT INTO t1 (g) VALUES ('POINT(0 0)')",
@@ -110,15 +115,35 @@ class TestDeduplication:
             followup_statements=[],
             transformation=AffineTransformation.identity(),
             triggered_bug_ids=tuple(bug_ids),
+            scenario=scenario,
+            result_expected=1,
         )
 
     def test_ground_truth_identity(self):
         assert ground_truth_identity(self._discrepancy(("b", "a", "a"))) == ("a", "b")
 
-    def test_signature_identity_uses_predicate_and_types(self):
+    def test_signature_identity_uses_scenario_label_and_types(self):
         signature = signature_identity(self._discrepancy())
-        assert signature.startswith("st_covers|")
+        assert signature.startswith("topological-join|st_covers|")
         assert "POINT" in signature
+
+    def test_signature_identity_parses_id_bearing_inserts(self):
+        discrepancy = self._discrepancy()
+        discrepancy.original_statements = [
+            "CREATE TABLE t1 (id int, g geometry)",
+            "INSERT INTO t1 (id, g) VALUES (1, 'LINESTRING(0 0,1 1)')",
+        ]
+        assert "LINESTRING" in signature_identity(discrepancy)
+
+    def test_signature_identity_distinguishes_scenarios(self):
+        left = signature_identity(self._discrepancy(scenario="topological-join"))
+        right = signature_identity(self._discrepancy(scenario="attribute-filter"))
+        assert left != right
+
+    def test_count_aliases_keep_the_historical_surface(self):
+        discrepancy = self._discrepancy()
+        assert discrepancy.count_original == discrepancy.result_original == 1
+        assert discrepancy.count_followup == discrepancy.result_followup == 0
 
     def test_deduplicator_counts_each_bug_once(self):
         deduplicator = Deduplicator()
