@@ -13,22 +13,37 @@ round budget — restricted to that single scenario, plus one "all" row for
 the default multi-scenario round.  Process-level caches are cleared between
 configurations so a scenario cannot ride on relate/canonical work a
 previous configuration paid for.
+
+Since the execution fast-path layer landed, the two join-heavy scenarios
+(the slowest rows of the table) additionally run with ``fast_path=False``;
+the report shows the speedup and the benchmark asserts the fast path's
+contract — at least 2x rounds/s on ``topological-join`` and ``join-chain``
+with a bug yield identical to the slow path.  The measured rows are also
+written to ``BENCH_scenario_throughput.json`` (fast path off = "before",
+on = "after").
 """
 
 from __future__ import annotations
 
+import json
+import os
+
 from repro.core.campaign import CampaignConfig, TestingCampaign
 from repro.scenarios import scenario_names
 
-from benchmarks.conftest import clear_process_caches, write_report
+from benchmarks.conftest import RESULTS_DIRECTORY, clear_process_caches, write_report
 
 ROUNDS = 3
 BASE = dict(dialect="postgis", seed=2025, geometry_count=6, queries_per_round=14)
 
+#: join-heavy scenarios measured in both execution modes (the fast path's
+#: declared ≥2x targets).
+FAST_PATH_TARGETS = ("topological-join", "join-chain")
 
-def _run_one(scenarios: tuple[str, ...] | None) -> dict:
+
+def _run_one(scenarios: tuple[str, ...] | None, fast_path: bool = True) -> dict:
     clear_process_caches()
-    config = CampaignConfig(**BASE, scenarios=scenarios)
+    config = CampaignConfig(**BASE, scenarios=scenarios, fast_path=fast_path)
     result = TestingCampaign(config).run(rounds=ROUNDS)
     return {
         "result": result,
@@ -40,7 +55,43 @@ def _run_one(scenarios: tuple[str, ...] | None) -> dict:
 def _run_all() -> dict[str, dict]:
     outcomes = {name: _run_one((name,)) for name in scenario_names()}
     outcomes["all"] = _run_one(None)
+    for name in FAST_PATH_TARGETS:
+        outcomes[f"{name} [no fast path]"] = _run_one((name,), fast_path=False)
     return outcomes
+
+
+def _write_json(outcomes: dict[str, dict]) -> None:
+    """Persist the before/after comparison next to the text report and at
+    the repository root (``BENCH_scenario_throughput.json``)."""
+
+    def row(outcome: dict) -> dict:
+        result = outcome["result"]
+        return {
+            "wall_seconds": round(result.total_seconds, 3),
+            "rounds_per_second": round(outcome["rounds_per_second"], 3),
+            "queries_per_second": round(outcome["queries_per_second"], 3),
+            "discrepancies": len(result.discrepancies),
+            "unique_bugs": sorted(result.unique_bug_ids),
+        }
+
+    payload = {
+        "config": {**BASE, "rounds": ROUNDS},
+        "fast_path_off_before": {
+            name: row(outcomes[f"{name} [no fast path]"]) for name in FAST_PATH_TARGETS
+        },
+        "fast_path_on_after": {name: row(outcomes[name]) for name in FAST_PATH_TARGETS},
+        "all_scenarios_fast_path_on": {
+            name: row(outcome)
+            for name, outcome in outcomes.items()
+            if "[no fast path]" not in name
+        },
+    }
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    with open(os.path.join(RESULTS_DIRECTORY, "scenario_throughput.json"), "w") as handle:
+        handle.write(text)
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    with open(os.path.join(root, "BENCH_scenario_throughput.json"), "w") as handle:
+        handle.write(text)
 
 
 def test_scenario_throughput(benchmark):
@@ -51,21 +102,26 @@ def test_scenario_throughput(benchmark):
         f"{BASE['dialect']}, {BASE['queries_per_round']} queries/round)"
     ]
     lines.append(
-        f"{'scenario':>18} {'wall (s)':>9} {'rounds/s':>9} {'queries/s':>10} "
+        f"{'scenario':>32} {'wall (s)':>9} {'rounds/s':>9} {'queries/s':>10} "
         f"{'disc.':>6} {'unique bugs':>12}"
     )
     for name, outcome in outcomes.items():
         result = outcome["result"]
         lines.append(
-            f"{name:>18} {result.total_seconds:>9.3f} "
+            f"{name:>32} {result.total_seconds:>9.3f} "
             f"{outcome['rounds_per_second']:>9.2f} {outcome['queries_per_second']:>10.2f} "
             f"{len(result.discrepancies):>6} {result.unique_bug_count:>12}"
         )
+    for name in FAST_PATH_TARGETS:
+        fast = outcomes[name]["rounds_per_second"]
+        slow = outcomes[f"{name} [no fast path]"]["rounds_per_second"]
+        speedup = fast / slow if slow else float("inf")
+        lines.append(f"fast-path speedup on {name}: {speedup:.2f}x")
 
     exclusive: dict[str, set] = {
         name: set(outcome["result"].unique_bug_ids)
         for name, outcome in outcomes.items()
-        if name != "all"
+        if name != "all" and "[no fast path]" not in name
     }
     for name, bugs in sorted(exclusive.items()):
         others = set().union(*(b for n, b in exclusive.items() if n != name))
@@ -73,6 +129,7 @@ def test_scenario_throughput(benchmark):
         if only_here:
             lines.append(f"only {name} found: {', '.join(sorted(only_here))}")
     write_report("scenario_throughput", lines)
+    _write_json(outcomes)
 
     # Contracts: every scenario completes its rounds, and the suite as a
     # whole must not detect fewer unique bugs than the reference scenario
@@ -83,3 +140,14 @@ def test_scenario_throughput(benchmark):
         outcomes["all"]["result"].unique_bug_count + 2
         >= outcomes["topological-join"]["result"].unique_bug_count
     )
+    # Fast-path contract: >= 2x rounds/s on the join-heavy scenarios with a
+    # bug yield identical to the slow path (same unique-bug sets, same
+    # discrepancy stream).
+    for name in FAST_PATH_TARGETS:
+        fast = outcomes[name]
+        slow = outcomes[f"{name} [no fast path]"]
+        assert fast["rounds_per_second"] >= 2 * slow["rounds_per_second"], name
+        assert set(fast["result"].unique_bug_ids) == set(slow["result"].unique_bug_ids), name
+        assert [d.describe() for d in fast["result"].discrepancies] == [
+            d.describe() for d in slow["result"].discrepancies
+        ], name

@@ -159,7 +159,9 @@ def test_table4_aei_only_bug_is_missed_by_all_baselines_experimentally(benchmark
         )
         tlp = TLPOracle(lambda: connect("postgis", bug_ids=[bug_id]), rng=rng)
         tlp_outcome = tlp.check(spec, query_count=20)
-        index = IndexToggleOracle(lambda: connect("postgis", bug_ids=[bug_id]), rng=rng)
+        index = IndexToggleOracle(
+            lambda: connect("postgis", bug_ids=[bug_id], fast_path=False), rng=rng
+        )
         index_outcome = index.check(spec, query_count=20)
         return {
             "aei": len(aei_outcome.discrepancies),

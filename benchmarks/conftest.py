@@ -29,7 +29,7 @@ def write_report(name: str, lines: list[str]) -> str:
 
 
 def clear_process_caches() -> None:
-    """Drop every process-level memo (relate + canonical caches).
+    """Drop every process-level memo (relate, canonical and interner caches).
 
     Benchmarks that compare serial against forked-worker runs must call
     this between configurations: forked workers inherit the parent's
@@ -37,10 +37,12 @@ def clear_process_caches() -> None:
     work entirely and inflate the speedup far beyond the worker count.
     """
     from repro.core.canonical import clear_canonical_cache
+    from repro.geometry.cache import clear_geometry_cache
     from repro.topology.relate import clear_relate_cache
 
     clear_relate_cache()
     clear_canonical_cache()
+    clear_geometry_cache()
 
 
 @pytest.fixture(autouse=True)

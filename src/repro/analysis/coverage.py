@@ -129,6 +129,18 @@ class CoverageTracker:
         return self._trace_lines
 
     def __enter__(self) -> "CoverageTracker":
+        # Coverage runs measure what the engine *executes*; process-global
+        # memos (relate, canonicalization, interned parsing) warmed by
+        # earlier work would let the tracked workload skip whole code paths
+        # and make percentages incomparable across configurations — the
+        # same reason the benchmarks clear these caches between runs.
+        from repro.core.canonical import clear_canonical_cache
+        from repro.geometry.cache import clear_geometry_cache
+        from repro.topology.relate import clear_relate_cache
+
+        clear_relate_cache()
+        clear_canonical_cache()
+        clear_geometry_cache()
         self._previous_trace = sys.gettrace()
         sys.settrace(self._trace)
         return self

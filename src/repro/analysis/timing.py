@@ -1,14 +1,20 @@
-"""Run-time distribution measurement (Figure 7).
+"""Run-time distribution measurement (Figure 7) and fast-path cache stats.
 
 Figure 7 of the paper shows, for each SDBMS and for N ∈ {1, 10, 50, 100}
 geometries per run, the total time Spatter spends versus the part of it
 spent executing statements inside the SDBMS.  The campaign runner already
 tracks both numbers; this module packages the sweep.
+
+Since the execution fast-path layer landed, each measurement also carries
+the aggregated cache counters (prepared-predicate cache, relate memo and
+geometry interner hits/misses) so the time split can be read alongside how
+much repeated work the caches absorbed.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import Counter
+from dataclasses import dataclass, field
 
 from repro.core.campaign import CampaignConfig
 from repro.core.parallel import run_campaign
@@ -30,6 +36,13 @@ class TimeSplit:
     queries_run: int
     #: Worker processes the campaign ran with (1 = serial driver).
     workers: int = 1
+    #: Cache counters summed over the repeats (``prepared_*``, ``relate_*``
+    #: and ``interner_*`` hits/misses).  Populated in both execution modes:
+    #: the relate WKT memo, the geometry interner and the seed's
+    #: ST_Contains prepared routing stay active with ``fast_path=False`` —
+    #: only the gated layers (broad prepared caching, auto indexes, the
+    #: clearance kernel) go quiet.
+    cache_stats: dict[str, int] = field(default_factory=dict)
 
     @property
     def sdbms_share(self) -> float:
@@ -37,6 +50,14 @@ class TimeSplit:
         if self.spatter_seconds == 0:
             return 0.0
         return self.sdbms_seconds / self.spatter_seconds
+
+    def cache_hit_rate(self, layer: str) -> float:
+        """Hit rate of one cache layer (``prepared``, ``relate`` or
+        ``interner``); 0.0 when the layer saw no traffic."""
+        hits = self.cache_stats.get(f"{layer}_hits", 0)
+        misses = self.cache_stats.get(f"{layer}_misses", 0)
+        total = hits + misses
+        return hits / total if total else 0.0
 
 
 def measure_campaign_time_split(
@@ -48,6 +69,7 @@ def measure_campaign_time_split(
     emulate_release_under_test: bool = True,
     rounds: int = 1,
     workers: int = 1,
+    fast_path: bool = True,
 ) -> TimeSplit:
     """Average the Spatter/SDBMS time split over ``repeats`` runs.
 
@@ -61,6 +83,7 @@ def measure_campaign_time_split(
     total_spatter = 0.0
     total_sdbms = 0.0
     total_queries = 0
+    caches: Counter[str] = Counter()
     for repeat in range(repeats):
         config = CampaignConfig(
             dialect=dialect,
@@ -69,11 +92,13 @@ def measure_campaign_time_split(
             seed=seed + repeat,
             emulate_release_under_test=emulate_release_under_test,
             workers=workers,
+            fast_path=fast_path,
         )
         result = run_campaign(config, rounds=rounds)
         total_spatter += result.total_seconds
         total_sdbms += result.sdbms_seconds
         total_queries += result.queries_run
+        caches.update(result.cache_stats)
     return TimeSplit(
         dialect=dialect,
         geometry_count=geometry_count,
@@ -81,4 +106,5 @@ def measure_campaign_time_split(
         sdbms_seconds=total_sdbms / repeats,
         queries_run=total_queries // repeats,
         workers=workers,
+        cache_stats=caches,
     )

@@ -5,6 +5,14 @@ planner uses a sequential scan or a spatial index (GiST) scan.  The paper
 uses this oracle as a baseline ("Index" column of Table 4) and notes that it
 only helps when the test case actually exercises the index — which is why it
 can in principle find the two index-related bugs but nothing else.
+
+Connections handed to this oracle should be opened with
+``connect(..., fast_path=False)``: its whole point is to compare the two
+scan paths of the *seed* execution engine, so the fast-path layer's own
+envelope prefilters and auto-built indexes must stay out of the picture.
+(``IndexToggleOracle`` enforces this defensively by switching any
+fast-path-enabled connection its factory returns back to the reference
+execution mode.)
 """
 
 from __future__ import annotations
@@ -43,6 +51,13 @@ class IndexToggleOracle:
 
     def _materialise(self, spec: DatabaseSpec, geometry_column: str = "g") -> SpatialDatabase:
         database = self.database_factory()
+        if getattr(database, "fast_path", False):
+            # The Index oracle compares the seed engine's two scan paths;
+            # disable the fast-path planner features on this connection so
+            # the only index machinery in play is the one it toggles itself.
+            database.fast_path = False
+            database.executor.fast_path = False
+            database.registry.fast_path = False
         for statement in spec.create_statements():
             database.execute(statement)
         for table in spec.table_names():

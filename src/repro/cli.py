@@ -81,6 +81,15 @@ def build_argument_parser() -> argparse.ArgumentParser:
         help="disable the derivative strategy (the RSG baseline)",
     )
     parser.add_argument(
+        "--no-fast-path",
+        action="store_true",
+        help=(
+            "disable the execution fast-path layer (prepared-predicate "
+            "caching, auto-built STR indexes, integer clearance kernel); "
+            "the reference configuration of the fast-path self-checks"
+        ),
+    )
+    parser.add_argument(
         "--list-bugs",
         action="store_true",
         help="print the injected bug catalog for the dialect and exit",
@@ -159,6 +168,7 @@ def main(argv: list[str] | None = None) -> int:
         table_count=arguments.tables,
         queries_per_round=arguments.queries,
         use_derivative_strategy=not arguments.random_shape_only,
+        fast_path=not arguments.no_fast_path,
         seed=arguments.seed,
         workers=arguments.workers,
         shards=arguments.shards,
@@ -170,6 +180,19 @@ def main(argv: list[str] | None = None) -> int:
         result = run_campaign(config, rounds=arguments.rounds)
 
     print(result.summary())
+    # Only label the counters as fast-path output when the fast path ran;
+    # with --no-fast-path the remaining traffic is the seed's unconditional
+    # layers (relate WKT memo, ST_Contains routing) and would mislead.
+    if result.cache_stats and result.config.fast_path:
+        prepared_hits = result.cache_stats.get("prepared_hits", 0)
+        prepared_misses = result.cache_stats.get("prepared_misses", 0)
+        relate_hits = result.cache_stats.get("relate_hits", 0)
+        relate_misses = result.cache_stats.get("relate_misses", 0)
+        print(
+            f"Fast-path caches: prepared {prepared_hits} hits / "
+            f"{prepared_misses} misses, relate {relate_hits} hits / "
+            f"{relate_misses} misses"
+        )
     if result.queries_by_scenario:
         print("\nQueries and findings per scenario:")
         findings_by_scenario: dict[str, int] = {}

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import random
 import time
+from collections import Counter
 from dataclasses import dataclass, field, replace
 
 from repro.core.dedup import DeduplicationResult, Deduplicator
@@ -68,6 +69,16 @@ class CampaignConfig:
     #: ``True`` enables the derivative strategy (Algorithm 1); ``False`` is
     #: the random-shape-only RSG baseline.
     use_derivative_strategy: bool = True
+    #: ``True`` enables the gated execution fast-path layers: prepared
+    #: caching of the full indexable-predicate family, auto-built STR index
+    #: prefilters on oracle-materialised databases, and the integer
+    #: clearance kernel.  Defaults on; ``False`` is the reference side of
+    #: the fast-path equivalence self-checks and the right setting for the
+    #: Index baseline oracle.  (The always-pure layers — interned parsing,
+    #: per-instance wkt/envelope memos, the relate WKT memo, and the seed's
+    #: ST_Contains prepared routing — are not gated; results are identical
+    #: in both modes either way, which the equivalence suite asserts.)
+    fast_path: bool = True
     #: Master seed; combined with the global round index via
     #: :func:`round_rng`, so ``seed`` + total rounds fully determine a run.
     seed: int = 0
@@ -102,6 +113,9 @@ class CampaignResult:
     #: Queries executed per scenario name (summed across shards on merge),
     #: the denominator of per-scenario bug-yield reporting.
     queries_by_scenario: dict[str, int] = field(default_factory=dict)
+    #: Fast-path cache counters (prepared/relate/interner hits and misses),
+    #: summed over connections and rounds — and over shards on merge.
+    cache_stats: dict[str, int] = field(default_factory=dict)
     #: Semantic errors (invalid geometries, unsupported arguments) that were
     #: ignored rather than reported.
     errors_ignored: int = 0
@@ -186,6 +200,8 @@ class CampaignResult:
         stays a sum (aggregate engine time across processes).
         """
         left, right = self.rebased(), other.rebased()
+        caches = Counter(left.cache_stats)
+        caches.update(right.cache_stats)
         combined = DeduplicationResult(
             unique_bug_ids=list(left.unique_bug_ids),
             first_detection_seconds=dict(left.first_detection_seconds),
@@ -204,6 +220,7 @@ class CampaignResult:
             rounds=left.rounds + right.rounds,
             queries_run=left.queries_run + right.queries_run,
             queries_by_scenario=by_scenario,
+            cache_stats=dict(caches),
             errors_ignored=left.errors_ignored + right.errors_ignored,
             discrepancies=left.discrepancies + right.discrepancies,
             crashes=left.crashes + right.crashes,
@@ -268,7 +285,11 @@ class TestingCampaign:
 
     def new_connection(self) -> SpatialDatabase:
         """A fresh connection to the system under test."""
-        return connect(self.config.dialect, bug_ids=self._bug_ids())
+        return connect(
+            self.config.dialect,
+            bug_ids=self._bug_ids(),
+            fast_path=self.config.fast_path,
+        )
 
     # ------------------------------------------------------------------ run
     def run(
@@ -292,13 +313,22 @@ class TestingCampaign:
         )
         started = time.perf_counter()
 
-        while True:
-            elapsed = time.perf_counter() - started
-            if duration_seconds is not None and elapsed >= duration_seconds:
-                break
-            if rounds is not None and result.rounds >= rounds:
-                break
-            self._run_round(result, started)
+        # The integer clearance kernel is process-global (it lives below the
+        # per-connection layers); scope it to this run so fast-path-off
+        # campaigns measure the seed execution end to end.
+        from repro.topology.noding import set_fast_clearance
+
+        previous_clearance = set_fast_clearance(self.config.fast_path)
+        try:
+            while True:
+                elapsed = time.perf_counter() - started
+                if duration_seconds is not None and elapsed >= duration_seconds:
+                    break
+                if rounds is not None and result.rounds >= rounds:
+                    break
+                self._run_round(result, started)
+        finally:
+            set_fast_clearance(previous_clearance)
 
         result.total_seconds = time.perf_counter() - started
         result.unique_bug_ids = list(self.deduplicator.result.unique_bug_ids)
@@ -331,7 +361,8 @@ class TestingCampaign:
             sdbms_connections.append(connection)
             return connection
 
-        oracle = AEIOracle(tracked_factory, rng=rng)
+        oracle = AEIOracle(tracked_factory, rng=rng, fast_path=self.config.fast_path)
+        global_caches_before = self._global_cache_stats()
         try:
             spec = generator.generate()
         except Exception as crash:  # EngineCrash during derivation
@@ -345,6 +376,7 @@ class TestingCampaign:
                 elapsed = time.perf_counter() - started
                 self.deduplicator.observe_crash(report, elapsed)
                 result.sdbms_seconds += sum(c.stats.seconds_in_engine for c in sdbms_connections)
+                self._collect_cache_stats(result, sdbms_connections, global_caches_before)
                 return
             raise
 
@@ -367,3 +399,41 @@ class TestingCampaign:
             result.crashes.append(crash)
             self.deduplicator.observe_crash(crash, elapsed)
         result.sdbms_seconds += sum(c.stats.seconds_in_engine for c in sdbms_connections)
+        self._collect_cache_stats(result, sdbms_connections, global_caches_before)
+
+    @staticmethod
+    def _global_cache_stats() -> dict[str, int]:
+        """Snapshot of the process-level cache counters (relate + interner)."""
+        from repro.geometry.cache import geometry_cache_stats
+        from repro.topology.relate import relate_cache_stats
+
+        relate_stats = relate_cache_stats()
+        interner = geometry_cache_stats()
+        return {
+            "relate_hits": relate_stats["hits"],
+            "relate_misses": relate_stats["misses"],
+            "interner_hits": interner["hits"],
+            "interner_misses": interner["misses"],
+        }
+
+    def _collect_cache_stats(
+        self,
+        result: CampaignResult,
+        connections: "list[SpatialDatabase]",
+        global_before: dict[str, int],
+    ) -> None:
+        """Fold one round's cache counters into the campaign result.
+
+        Prepared-cache counters are connection-scoped and summed directly;
+        the relate and interner counters are process-global, so the round
+        contributes its before/after delta (which also keeps shard results
+        additive under the parallel merge).
+        """
+        totals = Counter(result.cache_stats)
+        for connection in connections:
+            totals.update(connection.cache_stats())
+        global_after = self._global_cache_stats()
+        totals.update(
+            {key: value - global_before.get(key, 0) for key, value in global_after.items()}
+        )
+        result.cache_stats = dict(totals)

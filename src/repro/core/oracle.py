@@ -131,13 +131,24 @@ class AEIOracle:
         database_factory,
         rng: random.Random | None = None,
         canonicalize_followup: bool = True,
+        fast_path: bool = True,
     ):
         """``database_factory`` returns a *fresh* connection to the system
         under test each time it is called (the oracle needs one SDB1 plus
-        one SDB2 per transformation-family group)."""
+        one SDB2 per transformation-family group).
+
+        With ``fast_path`` on, every materialised database gets STR
+        bulk-loaded R-tree indexes on its geometry columns right after
+        construction (followup databases included), so the scenario joins
+        start with warm envelope prefilters.  Disable it to reproduce the
+        seed execution behaviour exactly — e.g. for the differential
+        self-check suite or when driving the Index baseline oracle, whose
+        seqscan/index toggling must stay the only index machinery in play.
+        """
         self.database_factory = database_factory
         self.rng = rng or random.Random()
         self.canonicalize_followup = canonicalize_followup
+        self.fast_path = fast_path
 
     # ------------------------------------------------------------------ steps
     def build_followup_spec(
@@ -175,6 +186,8 @@ class AEIOracle:
         database = self.database_factory()
         for statement in spec.create_statements(include_ids=True):
             database.execute(statement)
+        if self.fast_path and getattr(database, "fast_path", False):
+            database.build_auto_indexes()
         return database
 
     # ------------------------------------------------------------------- run

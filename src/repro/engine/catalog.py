@@ -69,6 +69,13 @@ class Table:
             raise TableError(f"table {name!r} has duplicate column names")
         self.rows: list[dict[str, Any]] = []
         self.indexes: dict[str, SpatialIndex] = {}
+        #: planner-internal fast-path indexes, kept strictly apart from the
+        #: user-created ``indexes``: they are always built faithfully (EMPTY
+        #: rows preserved, STR bulk load) regardless of the fault plan, and
+        #: ``spatial_index_on`` never returns them, so explicitly created —
+        #: possibly fault-corrupted — indexes keep their semantics.  The
+        #: value is ``None`` for columns probed and found unsuitable.
+        self.auto_indexes: dict[str, SpatialIndex | None] = {}
         self._next_rowid = 0
 
     def column_names(self) -> list[str]:
@@ -98,6 +105,8 @@ class Table:
         self._next_rowid += 1
         self.rows.append(row)
         self._index_row(row, drop_empty_from_index)
+        # Auto indexes are rebuilt lazily on the next probe.
+        self.auto_indexes.clear()
         return row["__rowid__"]
 
     def _index_row(self, row: dict[str, Any], drop_empty: bool) -> None:
@@ -137,11 +146,54 @@ class Table:
         return index
 
     def spatial_index_on(self, column: str) -> SpatialIndex | None:
-        """The first spatial index covering the given column, if any."""
+        """The first *user-created* spatial index covering the column, if any."""
         for index in self.indexes.values():
             if index.column == column.lower():
                 return index
         return None
+
+    def auto_spatial_index(self, column: str) -> SpatialIndex | None:
+        """A fast-path R-tree over a geometry column, built on first use.
+
+        The index is STR bulk-loaded from the current rows and is a pure
+        planner accelerator: EMPTY geometries stay reachable through
+        ``empty_rows`` whatever the fault plan (the injected GiST bug only
+        corrupts *user-created* indexes), and NULL rows are omitted because
+        a NULL operand makes every indexable predicate evaluate to NULL.
+        Returns ``None`` — and remembers the verdict until the next insert —
+        when the column is not a geometry column or holds a non-geometry,
+        non-NULL value (the envelope prefilter would not be conservative
+        there).
+        """
+        key = column.lower()
+        if key in self.auto_indexes:
+            return self.auto_indexes[key]
+        index: SpatialIndex | None = None
+        if self.has_column(key) and self.column(key).is_geometry:
+            entries: list[tuple[Envelope, int]] = []
+            empty_rows: list[int] = []
+            suitable = True
+            for row in self.rows:
+                value = row.get(key)
+                if value is None:
+                    continue
+                if not isinstance(value, Geometry):
+                    suitable = False
+                    break
+                envelope = value.envelope()
+                if envelope is None:
+                    empty_rows.append(row["__rowid__"])
+                else:
+                    entries.append((envelope, row["__rowid__"]))
+            if suitable:
+                index = SpatialIndex(
+                    name=f"__auto_{self.name}_{key}__",
+                    column=key,
+                    tree=RTree.bulk_load(entries),
+                    empty_rows=empty_rows,
+                )
+        self.auto_indexes[key] = index
+        return index
 
     def row_by_id(self, rowid: int) -> dict[str, Any]:
         for row in self.rows:

@@ -45,19 +45,23 @@ class SpatialDatabase:
         dialect: Dialect | str = "postgis",
         fault_plan: FaultPlan | None = None,
         use_default_faults: bool = False,
+        fast_path: bool = True,
     ):
         self.dialect = get_dialect(dialect) if isinstance(dialect, str) else dialect
         if fault_plan is None and use_default_faults:
             fault_plan = FaultPlan.from_ids(default_fault_profile(self.dialect.name))
         self.fault_plan = fault_plan or FaultPlan.none()
+        self.fast_path = fast_path
         self.prepared_cache = PreparedGeometryCache(
             buggy_collection_repeat=any(
                 bug.mechanism == "prepared_collection_false" for bug in self.fault_plan.active_bugs
             )
         )
-        self.registry = FunctionRegistry(self.dialect, self.fault_plan, self.prepared_cache)
+        self.registry = FunctionRegistry(
+            self.dialect, self.fault_plan, self.prepared_cache, fast_path=fast_path
+        )
         self.state = SpatialDatabaseState()
-        self.executor = Executor(self.state, self.registry, self.fault_plan)
+        self.executor = Executor(self.state, self.registry, self.fault_plan, fast_path=fast_path)
         self.stats = ExecutionStats()
 
     # ------------------------------------------------------------------ API
@@ -98,15 +102,48 @@ class SpatialDatabase:
         self.state.settings["enable_seqscan"] = True
         self.prepared_cache.clear()
 
+    def build_auto_indexes(self) -> int:
+        """Eagerly build the fast-path STR indexes on every geometry column.
+
+        Returns the number of indexes built.  The oracle calls this right
+        after materialising a database so join-heavy scenario queries start
+        with warm envelope prefilters; lazy construction inside the executor
+        covers every other entry point.  A no-op when the connection runs
+        with the fast path disabled.
+        """
+        if not self.fast_path:
+            return 0
+        built = 0
+        for table in self.state.tables.values():
+            for column in table.columns:
+                if column.is_geometry and table.auto_spatial_index(column.name) is not None:
+                    built += 1
+        return built
+
+    def cache_stats(self) -> dict[str, int]:
+        """Connection-scoped cache counters (prepared-geometry cache).
+
+        Only true counters are exposed — the ``entries`` gauge is omitted
+        because campaign aggregation sums these values across connections
+        and rounds, which is meaningless for a point-in-time size.
+        """
+        stats = self.prepared_cache.stats()
+        return {
+            f"prepared_{key}": stats[key] for key in ("hits", "misses", "evictions")
+        }
+
     def clone_empty(self) -> "SpatialDatabase":
         """A new database with the same dialect and fault profile, no data."""
-        return SpatialDatabase(self.dialect, FaultPlan(self.fault_plan.active_bugs))
+        return SpatialDatabase(
+            self.dialect, FaultPlan(self.fault_plan.active_bugs), fast_path=self.fast_path
+        )
 
 
 def connect(
     dialect: str = "postgis",
     bug_ids: Iterable[str] | None = None,
     emulate_release_under_test: bool = False,
+    fast_path: bool = True,
 ) -> SpatialDatabase:
     """Open an emulated SDBMS connection.
 
@@ -114,8 +151,14 @@ def connect(
     ``emulate_release_under_test=True`` instead activates the default profile
     for the dialect (every catalog bug the paper reported against that
     system), which is what the testing-campaign experiments use.
+    ``fast_path=False`` disables the execution fast-path layer (prepared
+    caching beyond ST_Contains and automatic envelope prefilters) — the
+    reference configuration for the differential self-checks and for the
+    Index baseline oracle.
     """
     if bug_ids is not None:
         plan = FaultPlan.from_ids(bug_ids)
-        return SpatialDatabase(dialect, plan)
-    return SpatialDatabase(dialect, use_default_faults=emulate_release_under_test)
+        return SpatialDatabase(dialect, plan, fast_path=fast_path)
+    return SpatialDatabase(
+        dialect, use_default_faults=emulate_release_under_test, fast_path=fast_path
+    )

@@ -30,24 +30,16 @@ from repro.geometry.model import Geometry
 from repro.engine import ast
 from repro.engine.catalog import Column, Table
 from repro.engine.faults import MECH_INDEX_DROPS_EMPTY, FaultPlan
+from repro.engine.prepared import INDEXABLE_PREDICATES
 from repro.engine.registry import FunctionRegistry
 
 #: aggregate functions the projection layer evaluates itself (never routed
 #: through the spatial function registry).
 _AGGREGATE_FUNCTIONS = {"count", "sum"}
 
-#: functions whose candidate set can be narrowed with an envelope filter.
-_INDEXABLE_PREDICATES = {
-    "st_intersects",
-    "st_contains",
-    "st_within",
-    "st_covers",
-    "st_coveredby",
-    "st_equals",
-    "st_touches",
-    "st_overlaps",
-    "st_crosses",
-}
+#: functions whose candidate set can be narrowed with an envelope filter
+#: (shared with the prepared-geometry cache's routing table).
+_INDEXABLE_PREDICATES = INDEXABLE_PREDICATES
 
 
 @dataclass
@@ -73,10 +65,17 @@ class ResultSet:
 class Executor:
     """Evaluates statements against a database's tables and settings."""
 
-    def __init__(self, database: "SpatialDatabaseState", registry: FunctionRegistry, fault_plan: FaultPlan):
+    def __init__(
+        self,
+        database: "SpatialDatabaseState",
+        registry: FunctionRegistry,
+        fault_plan: FaultPlan,
+        fast_path: bool = True,
+    ):
         self.database = database
         self.registry = registry
         self.fault_plan = fault_plan
+        self.fast_path = fast_path
 
     # ------------------------------------------------------------ statements
     def execute(self, statement: ast.Statement) -> ResultSet:
@@ -208,6 +207,8 @@ class Executor:
     ) -> list[dict[str, dict[str, Any]]]:
         binding, rows = self._rows_for_item(join.item)
         index_plan = self._index_join_plan(join, binding)
+        if index_plan is None:
+            index_plan = self._auto_index_join_plan(join, binding)
         joined: list[dict[str, dict[str, Any]]] = []
         for environment in environments:
             candidate_rows = rows
@@ -226,23 +227,62 @@ class Executor:
     def _use_index(self) -> bool:
         return not self.database.settings.get("enable_seqscan", True)
 
+    def _prefilter_allowed(self, name: str) -> bool:
+        """True if the fast path may skip candidate rows for this predicate
+        or operator without observable effect.
+
+        The envelope prefilter is only conservative when a skipped
+        evaluation could neither raise (strict validation, EMPTY-element
+        rejection, unsupported feature errors, crash faults) nor record a
+        fault trigger the oracle's deduplication keys on — so it is gated on
+        a permissive dialect and on no active bug influencing the predicate
+        (see :meth:`FaultPlan.influences_function`).
+        """
+        if not self.fast_path:
+            return False
+        dialect = self.registry.dialect
+        if dialect.strict_validation or not dialect.supports_empty_elements:
+            return False
+        if name.startswith("st_"):
+            if not dialect.supports_function(name):
+                return False
+        elif not dialect.supports_operator(name):
+            return False
+        return not self.fault_plan.influences_function(name)
+
     def _maybe_filter_with_index(self, statement, item, binding, rows):
         """Index-filter a single-table scan whose WHERE compares a geometry
-        column against a constant geometry (the paper's Listing 8 shape)."""
-        if not self._use_index() or statement.where is None:
+        column against a constant geometry (the paper's Listing 8 shape).
+
+        Two index sources feed the filter: a user-created index when
+        sequential scans are disabled (the seed behaviour, faithful to the
+        fault plan), or — with the fast path on and the prefilter provably
+        unobservable — an automatically built STR index used as a pure
+        envelope prefilter even under the default planner settings.
+        """
+        if statement.where is None:
             return rows
         if len(statement.from_items) != 1 or statement.joins:
             return rows
         if not isinstance(item, ast.TableRef):
             return rows
+        if not self._use_index() and not self.fast_path:
+            return rows
         probe = self._constant_probe(statement.where, binding)
         if probe is None:
             return rows
-        column_name, constant_expression = probe
+        probe_name, column_name, constant_expression = probe
         table = self._table(item.name)
-        index = table.spatial_index_on(column_name)
+        index = table.spatial_index_on(column_name) if self._use_index() else None
         if index is None:
-            return rows
+            # The auto prefilter pre-evaluates the constant once; guard on a
+            # non-empty scan so a query whose slow path would never evaluate
+            # the constant (zero rows) cannot raise here.
+            if not rows or not self._prefilter_allowed(probe_name):
+                return rows
+            index = table.auto_spatial_index(column_name)
+            if index is None:
+                return rows
         constant = self._evaluate(constant_expression, {})
         if not isinstance(constant, Geometry):
             return rows
@@ -250,14 +290,17 @@ class Executor:
         return [row for row in rows if row["__rowid__"] in candidate_ids]
 
     def _constant_probe(self, where: ast.Expression, binding: str):
-        """Return (column, constant expression) for an indexable WHERE clause."""
+        """Return (predicate or operator name, column, constant expression)
+        for an indexable WHERE clause."""
         if isinstance(where, ast.BinaryOp) and where.operator in ("~=", "="):
+            name = where.operator
             sides = (where.left, where.right)
         elif (
             isinstance(where, ast.FunctionCall)
             and where.name.lower() in _INDEXABLE_PREDICATES
             and len(where.arguments) >= 2
         ):
+            name = where.name.lower()
             sides = (where.arguments[0], where.arguments[1])
         else:
             return None
@@ -267,7 +310,7 @@ class Executor:
             if column_side.table is not None and column_side.table != binding:
                 continue
             if _is_constant_expression(constant_side):
-                return column_side.name, constant_side
+                return name, column_side.name, constant_side
         return None
 
     def _drop_empty_from_index(self) -> bool:
@@ -295,6 +338,53 @@ class Executor:
             if inner_ref.table != inner_binding:
                 continue
             index = table.spatial_index_on(inner_ref.name)
+            if index is None:
+                continue
+            return table, index, outer_ref, inner_ref.name
+        return None
+
+    def _auto_index_join_plan(self, join: ast.Join, inner_binding: str):
+        """Fast-path variant of :meth:`_index_join_plan`.
+
+        Uses an automatically built STR index as an envelope prefilter for
+        the inner side of a nested-loop join, without requiring sequential
+        scans to be disabled.  Only engaged when skipping rows is provably
+        unobservable (:meth:`_prefilter_allowed`): every indexable predicate
+        implies envelope intersection, EMPTY inner rows remain candidates
+        via ``empty_rows``, and NULL rows evaluate to NULL anyway.
+        """
+        if not self.fast_path or join.condition is None:
+            return None
+        if not isinstance(join.item, ast.TableRef):
+            return None
+        condition = join.condition
+        if not isinstance(condition, ast.FunctionCall):
+            return None
+        name = condition.name.lower()
+        if name not in _INDEXABLE_PREDICATES or len(condition.arguments) < 2:
+            return None
+        if not self._prefilter_allowed(name):
+            return None
+        first, second = condition.arguments[0], condition.arguments[1]
+        if not isinstance(first, ast.ColumnRef) or not isinstance(second, ast.ColumnRef):
+            return None
+        table = self._table(join.item.name)
+        for outer_ref, inner_ref in ((first, second), (second, first)):
+            if inner_ref.table != inner_binding:
+                continue
+            if outer_ref.table is None or outer_ref.table == inner_binding:
+                # The probe must be resolvable against the *outer* environment
+                # alone and keep exact nested-loop semantics.  An unqualified
+                # reference may resolve differently (or not at all) there than
+                # in the joined row, and ON p(t.g, t.g) — a self-referential
+                # condition under a repeated binding — is evaluated on the
+                # *inner* row by the nested loop, so prefiltering with the
+                # outer row's envelope would drop qualifying rows.  The
+                # opt-in user-index path (_index_join_plan) keeps the seed's
+                # historical behaviour for these shapes; the always-on fast
+                # path must stay observably inert and falls back instead.
+                continue
+            index = table.auto_spatial_index(inner_ref.name)
             if index is None:
                 continue
             return table, index, outer_ref, inner_ref.name

@@ -474,6 +474,28 @@ class FaultPlan:
                 return True
         return False
 
+    def influences_function(self, function_name: str) -> bool:
+        """True if any active bug can perturb (or crash) evaluations of the
+        given SQL function or operator.
+
+        The execution fast path uses this as its safety gate: an envelope
+        prefilter may only skip candidate pairs of a predicate whose
+        evaluation no active bug can touch, so that skipping an evaluation
+        can neither change a result nor suppress a trigger/crash the slow
+        path would have produced.  Bugs with an empty ``functions`` tuple
+        target non-evaluation machinery (index construction, format
+        conversion) — except for crash bugs, which could fire anywhere, so
+        those conservatively influence everything.
+        """
+        name = function_name.lower()
+        for bug in self.active_bugs:
+            if bug.functions:
+                if name in bug.functions:
+                    return True
+            elif bug.kind == CRASH:
+                return True
+        return False
+
     def record_trigger(self, mechanism: str, function_name: str | None = None) -> list[str]:
         """Record that a mechanism fired; returns the triggered bug ids."""
         fired = []

@@ -204,9 +204,19 @@ class RTree:
         group_a = [entries[seed_a]]
         group_b = [entries[seed_b]]
         remaining = [e for k, e in enumerate(entries) if k not in (seed_a, seed_b)]
-        for entry in remaining:
-            if len(group_a) + len(remaining) <= self.min_entries:
+        for position, entry in enumerate(remaining):
+            # Guttman's min-fill rule: when a group needs every entry still
+            # unassigned (this one included) to reach min_entries, it gets
+            # them all.  The count must be of *unassigned* entries — using
+            # the full remainder list would mistime the rule and let splits
+            # (e.g. over duplicate envelopes, where the growth tie always
+            # favours group A) leave the other group under-filled.
+            unassigned = len(remaining) - position
+            if len(group_a) + unassigned <= self.min_entries:
                 group_a.append(entry)
+                continue
+            if len(group_b) + unassigned <= self.min_entries:
+                group_b.append(entry)
                 continue
             growth_a = _group_envelope(group_a).expanded(entry.envelope).area()
             growth_b = _group_envelope(group_b).expanded(entry.envelope).area()

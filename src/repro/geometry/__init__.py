@@ -9,6 +9,9 @@ This package provides the geometry objects every other layer builds on:
 * :mod:`repro.geometry.primitives` — exact low-level predicates (orientation,
   segment intersection, point-in-ring, ...).
 * :mod:`repro.geometry.validity` — OGC-style semantic validity checks.
+* :mod:`repro.geometry.cache` — interned parsing: each distinct WKT/WKB text
+  is parsed once per process and shared (``load_wkt`` below is the interned
+  reader; the raw parser stays available as ``repro.geometry.wkt.load_wkt``).
 """
 
 from repro.geometry.model import (
@@ -22,7 +25,8 @@ from repro.geometry.model import (
     Point,
     Polygon,
 )
-from repro.geometry.wkt import dump_wkt, load_wkt
+from repro.geometry.cache import load_wkt_interned as load_wkt
+from repro.geometry.wkt import dump_wkt
 
 __all__ = [
     "Coordinate",

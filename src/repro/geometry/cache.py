@@ -1,0 +1,83 @@
+"""Interned geometry parsing: each distinct WKT/WKB text is parsed once.
+
+The engine's hot paths re-read the same serialized geometries over and over:
+every nested-loop join evaluation re-parses constant literals, the oracle
+re-parses each table geometry when it builds follow-up databases, and
+deduplication re-parses the WKTs of every reduced test case.  Parsing is
+pure — the text fully determines the geometry, independent of dialect and
+fault plan (dialect-specific validation happens *after* parsing, in
+``FunctionRegistry._coerce_geometry``) — so one process-wide interning table
+is safe: callers receive a shared, immutable ``Geometry`` instance.
+
+Sharing instances has a second benefit: the relate engine's identity-keyed
+memo (:mod:`repro.topology.relate`) hits whenever the *same objects* meet
+again, which interning makes the common case.
+
+The table follows the repository's cache idiom (bounded, cleared wholesale
+on overflow) and exposes hit/miss counters surfaced by
+``repro.analysis.timing``.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.model import Geometry
+from repro.geometry.wkt import load_wkt as _parse_wkt
+
+_WKT_INTERN: dict[str, Geometry] = {}
+_WKB_INTERN: dict[str, Geometry] = {}
+_INTERN_LIMIT = 65536
+
+_STATS = {"hits": 0, "misses": 0}
+
+
+def load_wkt_interned(text: str) -> Geometry:
+    """Parse WKT through the interning table.
+
+    Identical inputs return the identical (shared) ``Geometry`` object; the
+    text is only parsed on the first occurrence.  Parse errors are never
+    cached — an invalid text raises every time, exactly like the raw parser.
+    """
+    cached = _WKT_INTERN.get(text)
+    if cached is not None:
+        _STATS["hits"] += 1
+        return cached
+    _STATS["misses"] += 1
+    geometry = _parse_wkt(text)
+    if len(_WKT_INTERN) >= _INTERN_LIMIT:
+        _WKT_INTERN.clear()
+    _WKT_INTERN[text] = geometry
+    return geometry
+
+
+def load_hex_wkb_interned(text: str) -> Geometry:
+    """Parse hexadecimal WKB through the interning table (see above)."""
+    from repro.geometry.wkb import load_hex_wkb as _parse_hex_wkb
+
+    cached = _WKB_INTERN.get(text)
+    if cached is not None:
+        _STATS["hits"] += 1
+        return cached
+    _STATS["misses"] += 1
+    geometry = _parse_hex_wkb(text)
+    if len(_WKB_INTERN) >= _INTERN_LIMIT:
+        _WKB_INTERN.clear()
+    _WKB_INTERN[text] = geometry
+    return geometry
+
+
+def geometry_cache_stats() -> dict[str, int]:
+    """Hit/miss counters plus current table sizes."""
+    return {
+        "hits": _STATS["hits"],
+        "misses": _STATS["misses"],
+        "wkt_entries": len(_WKT_INTERN),
+        "wkb_entries": len(_WKB_INTERN),
+    }
+
+
+def clear_geometry_cache() -> None:
+    """Drop every interned geometry and reset the counters."""
+    _WKT_INTERN.clear()
+    _WKB_INTERN.clear()
+    _STATS["hits"] = 0
+    _STATS["misses"] = 0

@@ -97,12 +97,19 @@ def as_coordinate(value: CoordinateInput) -> Coordinate:
     return Coordinate(seq[0], seq[1])
 
 
+#: sentinel distinguishing "envelope not computed yet" from "empty geometry".
+_ENVELOPE_UNSET = object()
+
+
 class Geometry:
     """Base class for every geometry.
 
     Subclasses implement the OGC accessors used throughout the library:
     ``geom_type``, ``dimension``, ``is_empty``, ``coordinates`` and
     ``wkt``.
+
+    Geometries are immutable after construction; the ``wkt`` and
+    ``envelope`` accessors rely on that to memoize their results.
     """
 
     #: OGC type name, e.g. ``"POINT"``; set on every subclass.
@@ -136,23 +143,43 @@ class Geometry:
 
     @property
     def wkt(self) -> str:
-        """Well-Known Text representation of the geometry."""
-        from repro.geometry.wkt import dump_wkt
+        """Well-Known Text representation of the geometry.
 
-        return dump_wkt(self)
+        Memoized per instance: geometries are immutable after construction,
+        and ``wkt`` is the identity every cache in the engine keys on
+        (relate memo, prepared-geometry cache, ``__eq__``/``__hash__``), so
+        serialising once per object instead of once per comparison is one of
+        the fast-path layer's main savings.
+        """
+        memo = getattr(self, "_wkt_memo", None)
+        if memo is None:
+            from repro.geometry.wkt import dump_wkt
+
+            memo = dump_wkt(self)
+            self._wkt_memo = memo
+        return memo
 
     def num_coordinates(self) -> int:
         """Total number of coordinates in the geometry."""
         return sum(1 for _ in self.coordinates())
 
     def envelope(self) -> "Envelope | None":
-        """Axis-aligned bounding box, or None for an empty geometry."""
-        coords = list(self.coordinates())
-        if not coords:
-            return None
-        xs = [c.x for c in coords]
-        ys = [c.y for c in coords]
-        return Envelope(min(xs), min(ys), max(xs), max(ys))
+        """Axis-aligned bounding box, or None for an empty geometry.
+
+        Memoized per instance (geometries are immutable); the envelope is
+        probed on every index filter and relate fast-reject.
+        """
+        memo = getattr(self, "_envelope_memo", _ENVELOPE_UNSET)
+        if memo is _ENVELOPE_UNSET:
+            coords = list(self.coordinates())
+            if not coords:
+                memo = None
+            else:
+                xs = [c.x for c in coords]
+                ys = [c.y for c in coords]
+                memo = Envelope(min(xs), min(ys), max(xs), max(ys))
+            self._envelope_memo = memo
+        return memo
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Geometry):

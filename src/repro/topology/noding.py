@@ -16,6 +16,7 @@ dominating for the same reason).
 
 from __future__ import annotations
 
+import math
 from fractions import Fraction
 from typing import Iterable, Sequence
 
@@ -78,23 +79,135 @@ def midpoint(a: Coordinate, b: Coordinate) -> Coordinate:
     return Coordinate((a.x + b.x) / 2, (a.y + b.y) / 2)
 
 
-def side_offsets(
-    segment: Segment,
+#: process-wide switch for the integer-rescaled clearance kernel.  The two
+#: kernels are exactly equivalent (same rationals, hence identical witness
+#: points); the flag only exists so the execution fast path can be measured
+#: and disabled as one unit (``CampaignConfig.fast_path``).
+_FAST_CLEARANCE = True
+
+
+def set_fast_clearance(enabled: bool) -> bool:
+    """Toggle the integer clearance kernel; returns the previous setting."""
+    global _FAST_CLEARANCE
+    previous = _FAST_CLEARANCE
+    _FAST_CLEARANCE = bool(enabled)
+    return previous
+
+
+def fast_clearance_enabled() -> bool:
+    """Whether the integer clearance kernel is active.
+
+    Callers that precompute an :class:`OffsetContext` for a batch of
+    ``side_offsets`` queries should skip the construction when this is off
+    — the reference kernel would never consult it.
+    """
+    return _FAST_CLEARANCE
+
+
+class _ScaleMismatch(Exception):
+    """A query coordinate is not representable on the context's integer grid."""
+
+
+class OffsetContext:
+    """Precomputed integer view of one arrangement for clearance queries.
+
+    ``side_offsets`` needs, per sub-segment, the minimum squared distance
+    from the sub-segment's midpoint to every node and every non-incident
+    sub-segment.  Computed naively that is O(n) ``Fraction`` operations per
+    call, and ``Fraction`` arithmetic pays a gcd normalisation per operation
+    — the single hottest cost of the relate engine.  This context rescales
+    every coordinate once onto a common integer grid (twice the lcm of all
+    coordinate denominators, so midpoints are integral too) and answers the
+    same clearance queries with pure big-integer arithmetic.  The result is
+    the *identical* rational minimum — no epsilon, no rounding — just
+    computed without per-operation normalisation.
+    """
+
+    def __init__(self, segments: Sequence[Segment], nodes: Iterable[Coordinate]):
+        node_list = list(nodes)
+        denominators = set()
+        for point in node_list:
+            denominators.add(point.x.denominator)
+            denominators.add(point.y.denominator)
+        for start, end in segments:
+            denominators.add(start.x.denominator)
+            denominators.add(start.y.denominator)
+            denominators.add(end.x.denominator)
+            denominators.add(end.y.denominator)
+        self.scale = 2 * (math.lcm(*denominators) if denominators else 1)
+        self._scale_sq = self.scale * self.scale
+        self.nodes = [self._scaled(point) for point in node_list]
+        self.segments = []
+        for start, end in segments:
+            sx, sy = self._scaled(start)
+            ex, ey = self._scaled(end)
+            wx, wy = ex - sx, ey - sy
+            self.segments.append((sx, sy, ex, ey, wx, wy, wx * wx + wy * wy))
+
+    def _scaled(self, point: Coordinate) -> tuple[int, int]:
+        x, y = point.x, point.y
+        if self.scale % x.denominator or self.scale % y.denominator:
+            raise _ScaleMismatch(point)
+        return (
+            x.numerator * (self.scale // x.denominator),
+            y.numerator * (self.scale // y.denominator),
+        )
+
+    def min_clearance_sq(self, a: Coordinate, b: Coordinate) -> Fraction | None:
+        """Minimum positive squared clearance of segment ``a``–``b``'s
+        midpoint, as the exact Fraction the reference loop would produce."""
+        ax, ay = self._scaled(a)
+        bx, by = self._scaled(b)
+        # Both endpoints are even multiples of the base lcm (scale = 2*lcm),
+        # so the midpoint is integral on the same grid.
+        mx, my = (ax + bx) // 2, (ay + by) // 2
+
+        # Track the minimum as an unnormalised rational (num, den); compare
+        # candidates by cross-multiplication to avoid gcd work.
+        best_num: int | None = None
+        best_den = 1
+
+        for nx, ny in self.nodes:
+            dx, dy = mx - nx, my - ny
+            num = dx * dx + dy * dy
+            if num and (best_num is None or num * best_den < best_num * self._scale_sq):
+                best_num, best_den = num, self._scale_sq
+
+        for sx, sy, ex, ey, wx, wy, len_sq in self.segments:
+            vx, vy = mx - sx, my - sy
+            if len_sq == 0:
+                # Degenerate (zero-length) input segment: it "contains" the
+                # midpoint only if it coincides with it; otherwise it is a
+                # point at distance |v|.
+                num = vx * vx + vy * vy
+                if num and (best_num is None or num * best_den < best_num * self._scale_sq):
+                    best_num, best_den = num, self._scale_sq
+                continue
+            cross = vx * wy - vy * wx
+            dotv = vx * wx + vy * wy
+            if cross == 0 and 0 <= dotv <= len_sq:
+                continue  # the segment passes through the midpoint
+            if dotv <= 0:
+                num, den = vx * vx + vy * vy, self._scale_sq
+            elif dotv >= len_sq:
+                ux, uy = mx - ex, my - ey
+                num, den = ux * ux + uy * uy, self._scale_sq
+            else:
+                num, den = cross * cross, len_sq * self._scale_sq
+            if num and (best_num is None or num * best_den < best_num * den):
+                best_num, best_den = num, den
+
+        if best_num is None:
+            return None
+        return Fraction(best_num, best_den)
+
+
+def _min_clearance_sq_reference(
+    mid: Coordinate,
     all_segments: Sequence[Segment],
     all_nodes: Iterable[Coordinate],
-) -> tuple[Coordinate, Coordinate]:
-    """Two face-witness points just either side of a sub-segment's midpoint.
-
-    The offset distance is chosen exactly (as a Fraction) to be smaller than
-    half the distance from the midpoint to every node and to every other
-    sub-segment that does not pass through the midpoint, so each returned
-    point lies strictly inside one of the two arrangement faces adjacent to
-    the segment at its midpoint.
-    """
-    a, b = segment
-    mid = midpoint(a, b)
-    length_sq = squared_distance(a, b)
-
+) -> Fraction | None:
+    """The original Fraction-arithmetic clearance loop (reference kernel)."""
     min_clearance_sq: Fraction | None = None
     for node in all_nodes:
         d_sq = squared_distance(mid, node)
@@ -106,6 +219,41 @@ def side_offsets(
         d_sq = segment_point_squared_distance(mid, other[0], other[1])
         if d_sq > 0 and (min_clearance_sq is None or d_sq < min_clearance_sq):
             min_clearance_sq = d_sq
+    return min_clearance_sq
+
+
+def side_offsets(
+    segment: Segment,
+    all_segments: Sequence[Segment],
+    all_nodes: Iterable[Coordinate],
+    context: OffsetContext | None = None,
+) -> tuple[Coordinate, Coordinate]:
+    """Two face-witness points just either side of a sub-segment's midpoint.
+
+    The offset distance is chosen exactly (as a Fraction) to be smaller than
+    half the distance from the midpoint to every node and to every other
+    sub-segment that does not pass through the midpoint, so each returned
+    point lies strictly inside one of the two arrangement faces adjacent to
+    the segment at its midpoint.
+
+    Callers looping over many sub-segments of one arrangement should build
+    an :class:`OffsetContext` once and pass it in; the clearance minimum is
+    then computed with integer arithmetic (identical value, far cheaper).
+    """
+    a, b = segment
+    mid = midpoint(a, b)
+    length_sq = squared_distance(a, b)
+
+    min_clearance_sq: Fraction | None = None
+    if _FAST_CLEARANCE:
+        if context is None:
+            context = OffsetContext(all_segments, all_nodes)
+        try:
+            min_clearance_sq = context.min_clearance_sq(a, b)
+        except _ScaleMismatch:
+            min_clearance_sq = _min_clearance_sq_reference(mid, all_segments, all_nodes)
+    else:
+        min_clearance_sq = _min_clearance_sq_reference(mid, all_segments, all_nodes)
 
     if min_clearance_sq is None:
         min_clearance_sq = Fraction(1)

@@ -32,7 +32,13 @@ from repro.topology.labels import (
     UNION_STRATEGY,
     TopologyDescriptor,
 )
-from repro.topology.noding import midpoint, node_segments, side_offsets
+from repro.topology.noding import (
+    OffsetContext,
+    fast_clearance_enabled,
+    midpoint,
+    node_segments,
+    side_offsets,
+)
 
 _CLASS_INDEX = {INTERIOR: 0, BOUNDARY: 1, EXTERIOR: 2}
 _DIM_SYMBOLS = {-1: "F", 0: "0", 1: "1", 2: "2"}
@@ -140,26 +146,77 @@ class IntersectionMatrix:
 _RELATE_CACHE: dict[tuple[str, str, str], IntersectionMatrix] = {}
 _RELATE_CACHE_LIMIT = 16384
 
+#: identity-keyed memo in front of the WKT cache: the nine derived named
+#: predicates (within/contains/covers/...) all call ``relate`` on the *same
+#: object pair*, and the interned parser (:mod:`repro.geometry.cache`) makes
+#: repeated evaluations of one literal hand back the same objects, so an
+#: ``id``-based lookup skips even the (memoized) WKT key construction.  The
+#: values pin the geometry objects so their ids cannot be recycled while the
+#: entry lives.
+_RELATE_ID_CACHE: dict[
+    tuple[int, int, str], tuple[Geometry, Geometry, IntersectionMatrix]
+] = {}
+_RELATE_ID_CACHE_LIMIT = 16384
+
+_RELATE_STATS = {"hits": 0, "misses": 0}
+
 
 def clear_relate_cache() -> None:
     """Drop all memoised relate results (used by benchmarks and tests)."""
     _RELATE_CACHE.clear()
+    _RELATE_ID_CACHE.clear()
+    _RELATE_STATS["hits"] = 0
+    _RELATE_STATS["misses"] = 0
+
+
+def relate_cache_stats() -> dict[str, int]:
+    """Hit/miss counters plus current cache sizes."""
+    return {
+        "hits": _RELATE_STATS["hits"],
+        "misses": _RELATE_STATS["misses"],
+        "entries": len(_RELATE_CACHE),
+        "identity_entries": len(_RELATE_ID_CACHE),
+    }
+
+
+def _remember_identity(
+    identity_key: tuple[int, int, str],
+    a: Geometry,
+    b: Geometry,
+    matrix: IntersectionMatrix,
+) -> None:
+    if len(_RELATE_ID_CACHE) >= _RELATE_ID_CACHE_LIMIT:
+        _RELATE_ID_CACHE.clear()
+    _RELATE_ID_CACHE[identity_key] = (a, b, matrix)
 
 
 def relate(
     a: Geometry, b: Geometry, options: RelateOptions = DEFAULT_OPTIONS
 ) -> IntersectionMatrix:
     """Compute the DE-9IM matrix R(a, b)."""
-    key = (a.wkt, b.wkt, options.collection_strategy)
-    cached = _RELATE_CACHE.get(key)
+    strategy = options.collection_strategy
+    identity_key = (id(a), id(b), strategy)
+    identity_hit = _RELATE_ID_CACHE.get(identity_key)
+    if identity_hit is not None and identity_hit[0] is a and identity_hit[1] is b:
+        _RELATE_STATS["hits"] += 1
+        return identity_hit[2]
+    wkt_key = (a.wkt, b.wkt, strategy)
+    cached = _RELATE_CACHE.get(wkt_key)
     if cached is not None:
+        # A read must never trigger the WKT store's clear-on-overflow (a
+        # full cache would be wiped by its own hits); only promote the
+        # result into the identity memo.
+        _RELATE_STATS["hits"] += 1
+        _remember_identity(identity_key, a, b, cached)
         return cached
-    descriptor_a = TopologyDescriptor(a, options.collection_strategy)
-    descriptor_b = TopologyDescriptor(b, options.collection_strategy)
+    _RELATE_STATS["misses"] += 1
+    descriptor_a = TopologyDescriptor(a, strategy)
+    descriptor_b = TopologyDescriptor(b, strategy)
     matrix = relate_descriptors(descriptor_a, descriptor_b)
     if len(_RELATE_CACHE) >= _RELATE_CACHE_LIMIT:
         _RELATE_CACHE.clear()
-    _RELATE_CACHE[key] = matrix
+    _RELATE_CACHE[wkt_key] = matrix
+    _remember_identity(identity_key, a, b, matrix)
     return matrix
 
 
@@ -195,6 +252,10 @@ def relate_descriptors(
     for node in nodes:
         classify(node, 0)
 
+    # One integer-grid clearance context shared by every side-offset query of
+    # this arrangement (identical rationals, computed without per-operation
+    # Fraction normalisation); skipped entirely when the kernel is off.
+    offset_context = OffsetContext(noded_union, nodes) if fast_clearance_enabled() else None
     seen_midpoints: set[Coordinate] = set()
     for segment in noded_union:
         mid = midpoint(segment[0], segment[1])
@@ -202,7 +263,7 @@ def relate_descriptors(
             continue
         seen_midpoints.add(mid)
         classify(mid, 1)
-        left, right = side_offsets(segment, noded_union, nodes)
+        left, right = side_offsets(segment, noded_union, nodes, context=offset_context)
         classify(left, 2)
         classify(right, 2)
 

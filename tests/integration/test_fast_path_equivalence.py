@@ -1,0 +1,121 @@
+"""Differential self-check: the execution fast path changes nothing but speed.
+
+The fast-path layer (interned geometry parsing with memoized envelopes,
+prepared-predicate caching, relate memoization, the integer clearance kernel
+and auto-built STR indexes on oracle-materialised databases) is only
+admissible if a campaign run with ``fast_path=True`` is observably identical
+to the same campaign run with ``fast_path=False``: same findings
+finding-for-finding, same per-scenario query counts, same deduplication
+signatures, same crashes.  These tests run full-registry campaigns over
+several seeds in both modes and compare everything the campaign reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.campaign import CampaignConfig, CampaignResult, TestingCampaign
+from repro.core.canonical import clear_canonical_cache
+from repro.core.dedup import Deduplicator, signature_identity
+from repro.geometry.cache import clear_geometry_cache
+from repro.topology.relate import clear_relate_cache
+
+SEEDS = (7, 2025, 4711)
+ROUNDS = 2
+
+
+def _clear_process_caches() -> None:
+    # Both modes must start cold: the relate/canonical/interner caches are
+    # process-global, and a warm cache would let the second run coast on the
+    # first run's work (hiding, not testing, the fast path).
+    clear_relate_cache()
+    clear_canonical_cache()
+    clear_geometry_cache()
+
+
+def _run(seed: int, fast_path: bool, scenarios=None) -> CampaignResult:
+    _clear_process_caches()
+    config = CampaignConfig(
+        dialect="postgis",
+        seed=seed,
+        geometry_count=6,
+        queries_per_round=14,
+        scenarios=scenarios,
+        fast_path=fast_path,
+    )
+    return TestingCampaign(config).run(rounds=ROUNDS)
+
+
+def _signatures(result: CampaignResult) -> list[str]:
+    deduplicator = Deduplicator()
+    for discrepancy in result.discrepancies:
+        deduplicator.observe_discrepancy(discrepancy, 0.0)
+    return list(deduplicator.result.unique_signatures)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestFastPathEquivalence:
+    """Full-registry campaigns, fast path on vs. off, per seed."""
+
+    def test_findings_match_finding_for_finding(self, seed):
+        fast = _run(seed, fast_path=True)
+        slow = _run(seed, fast_path=False)
+        assert len(fast.discrepancies) == len(slow.discrepancies)
+        for ours, reference in zip(fast.discrepancies, slow.discrepancies):
+            assert ours.describe() == reference.describe()
+            assert ours.result_original == reference.result_original
+            assert ours.result_followup == reference.result_followup
+            assert ours.result_expected == reference.result_expected
+            assert ours.scenario == reference.scenario
+            assert tuple(sorted(ours.triggered_bug_ids)) == tuple(
+                sorted(reference.triggered_bug_ids)
+            )
+        assert [(c.statement, c.bug_id) for c in fast.crashes] == [
+            (c.statement, c.bug_id) for c in slow.crashes
+        ]
+
+    def test_query_counts_and_errors_match(self, seed):
+        fast = _run(seed, fast_path=True)
+        slow = _run(seed, fast_path=False)
+        assert fast.queries_run == slow.queries_run
+        assert fast.queries_by_scenario == slow.queries_by_scenario
+        assert fast.errors_ignored == slow.errors_ignored
+        assert fast.rounds == slow.rounds == ROUNDS
+
+    def test_dedup_identities_match(self, seed):
+        fast = _run(seed, fast_path=True)
+        slow = _run(seed, fast_path=False)
+        # Ground-truth identities (injected-bug ids) in detection order.
+        assert fast.unique_bug_ids == slow.unique_bug_ids
+        # Signature identities (the no-ground-truth fallback).
+        assert _signatures(fast) == _signatures(slow)
+        # And per-discrepancy, not just the deduplicated sets.
+        assert [signature_identity(d) for d in fast.discrepancies] == [
+            signature_identity(d) for d in slow.discrepancies
+        ]
+
+
+def test_reference_join_scenario_equivalence():
+    """The join-heavy reference scenario alone (the fast path's hot target)."""
+    for seed in SEEDS[:2]:
+        fast = _run(seed, fast_path=True, scenarios=("topological-join",))
+        slow = _run(seed, fast_path=False, scenarios=("topological-join",))
+        assert [d.describe() for d in fast.discrepancies] == [
+            d.describe() for d in slow.discrepancies
+        ]
+        assert fast.unique_bug_ids == slow.unique_bug_ids
+        assert fast.queries_by_scenario == slow.queries_by_scenario
+
+
+def test_fast_path_actually_engaged():
+    """Guard against the equivalence above passing vacuously: the fast-path
+    run must show cache traffic the reference run does not (the join-heavy
+    reference scenario re-evaluates the same geometry pairs across its
+    query budget, so the prepared cache must see hits)."""
+    fast = _run(SEEDS[1], fast_path=True, scenarios=("topological-join",))
+    slow = _run(SEEDS[1], fast_path=False, scenarios=("topological-join",))
+    assert fast.cache_stats.get("prepared_hits", 0) > 0
+    assert fast.cache_stats.get("relate_misses", 0) > 0
+    # With the fast path off, only the seed's ST_Contains routing may touch
+    # the prepared cache; the broader predicate family must not.
+    assert slow.cache_stats.get("prepared_hits", 0) <= fast.cache_stats["prepared_hits"]

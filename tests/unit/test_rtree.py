@@ -75,7 +75,115 @@ class TestBulkLoad:
         tree = RTree.bulk_load([])
         assert tree.size == 0
         assert tree.search(box(0, 0, 1, 1)) == []
+        assert tree.all_row_ids() == []
 
     def test_bulk_load_single(self):
         tree = RTree.bulk_load([(box(0, 0, 1, 1), 42)])
         assert tree.search(box(0, 0, 1, 1)) == [42]
+        assert tree.size == 1
+
+    def test_bulk_load_empty_then_insert(self):
+        tree = RTree.bulk_load([])
+        tree.insert(box(0, 0, 1, 1), 5)
+        assert tree.search(box(0, 0, 2, 2)) == [5]
+
+    def test_bulk_load_duplicate_envelopes(self):
+        entries = [(box(5, 5, 6, 6), row_id) for row_id in range(50)]
+        tree = RTree.bulk_load(entries, max_entries=4, min_entries=2)
+        _check_structure(tree)
+        assert set(tree.search(box(5, 5, 6, 6))) == set(range(50))
+        assert tree.search(box(7, 7, 8, 8)) == []
+
+    def test_bulk_load_degenerate_point_envelopes(self):
+        entries = [(box(i, i, i, i), i) for i in range(30)]
+        tree = RTree.bulk_load(entries, max_entries=4, min_entries=2)
+        _check_structure(tree)
+        for i in range(30):
+            assert i in set(tree.search(box(i, i, i, i)))
+        query = box(10, 10, 20, 20)
+        assert set(tree.search(query)) == brute_force(entries, query)
+
+    def test_insert_after_bulk_load_stays_consistent(self):
+        entries = [(box(i, 0, i + 1, 1), i) for i in range(9)]
+        tree = RTree.bulk_load(entries, max_entries=4, min_entries=2)
+        for i in range(9, 30):
+            envelope = box(i, 0, i + 1, 1)
+            entries.append((envelope, i))
+            tree.insert(envelope, i)
+        _check_structure(tree)
+        query = box(3, 0, 12, 1)
+        assert set(tree.search(query)) == brute_force(entries, query)
+
+
+def _check_structure(tree: RTree) -> None:
+    """Capacity bound on every node and uniform leaf depth."""
+    depths: set[int] = set()
+
+    def walk(node, depth):
+        assert len(node.entries) <= tree.max_entries
+        if node.is_leaf:
+            depths.add(depth)
+        else:
+            for child in node.entries:
+                walk(child, depth + 1)
+
+    walk(tree.root, 0)
+    assert len(depths) <= 1
+
+
+class TestQuadraticSplitMinFill:
+    """Both split groups must respect the min-fill invariant.
+
+    The original split guard counted the full remainder list instead of the
+    still-unassigned entries and never protected group B, so splitting over
+    duplicate envelopes (where the growth tie always favours group A) left
+    one group with a single entry — an under-filled node that degrades every
+    future insertion's balance.
+    """
+
+    @staticmethod
+    def _min_fill_ok(tree: RTree) -> bool:
+        verdict = True
+
+        def walk(node, is_root):
+            nonlocal verdict
+            if not is_root and len(node.entries) < tree.min_entries:
+                verdict = False
+            if not node.is_leaf:
+                for child in node.entries:
+                    walk(child, False)
+
+        walk(tree.root, True)
+        return verdict
+
+    def test_duplicate_envelope_splits_fill_both_groups(self):
+        tree = RTree(max_entries=8, min_entries=3)
+        for row_id in range(9):  # forces exactly one split of 9 equal boxes
+            tree.insert(box(1, 1, 2, 2), row_id)
+        assert self._min_fill_ok(tree)
+        assert set(tree.search(box(1, 1, 2, 2))) == set(range(9))
+
+    def test_degenerate_envelope_splits_fill_both_groups(self):
+        tree = RTree(max_entries=4, min_entries=2)
+        for row_id in range(40):
+            tree.insert(box(0, 0, 0, 0), row_id)
+        assert self._min_fill_ok(tree)
+        _check_structure(tree)
+        assert set(tree.search(box(0, 0, 0, 0))) == set(range(40))
+
+    def test_randomized_inserts_keep_min_fill(self):
+        rng = random.Random(31)
+        tree = RTree(max_entries=6, min_entries=3)
+        entries = []
+        for row_id in range(150):
+            x, y = rng.randint(-20, 20), rng.randint(-20, 20)
+            width, height = rng.choice((0, 1, 4)), rng.choice((0, 1, 4))
+            envelope = box(x, y, x + width, y + height)
+            entries.append((envelope, row_id))
+            tree.insert(envelope, row_id)
+        assert self._min_fill_ok(tree)
+        _check_structure(tree)
+        for _ in range(20):
+            x, y = rng.randint(-20, 20), rng.randint(-20, 20)
+            query = box(x, y, x + 6, y + 6)
+            assert set(tree.search(query)) == brute_force(entries, query)
