@@ -21,6 +21,15 @@ contract — at least 2x rounds/s on ``topological-join`` and ``join-chain``
 with a bug yield identical to the slow path.  The measured rows are also
 written to ``BENCH_scenario_throughput.json`` (fast path off = "before",
 on = "after").
+
+Since the backend protocol landed, the full-registry campaign additionally
+runs once per execution backend (``CampaignConfig.backend``), and the JSON
+report carries a ``per_backend`` section recording rounds/s per adapter —
+the throughput axis future engine adapters (DuckDB-spatial, PostGIS over
+the wire) will join.  The benchmark asserts the adapters' semantic
+contract: same campaign, same observable discrepancy stream, whatever
+engine plans the queries (ground-truth attribution may differ — fault
+hooks fire in the planner's evaluation order).
 """
 
 from __future__ import annotations
@@ -40,10 +49,17 @@ BASE = dict(dialect="postgis", seed=2025, geometry_count=6, queries_per_round=14
 #: declared ≥2x targets).
 FAST_PATH_TARGETS = ("topological-join", "join-chain")
 
+#: execution backends the full-registry campaign is measured on — the new
+#: axis of the backend protocol: the same rounds, planned by a different
+#: engine.  ``inprocess`` equals the "all" row; ``sqlite`` is the adapter.
+BACKENDS = ("inprocess", "sqlite")
 
-def _run_one(scenarios: tuple[str, ...] | None, fast_path: bool = True) -> dict:
+
+def _run_one(
+    scenarios: tuple[str, ...] | None, fast_path: bool = True, backend: str = "inprocess"
+) -> dict:
     clear_process_caches()
-    config = CampaignConfig(**BASE, scenarios=scenarios, fast_path=fast_path)
+    config = CampaignConfig(**BASE, scenarios=scenarios, fast_path=fast_path, backend=backend)
     result = TestingCampaign(config).run(rounds=ROUNDS)
     return {
         "result": result,
@@ -57,6 +73,8 @@ def _run_all() -> dict[str, dict]:
     outcomes["all"] = _run_one(None)
     for name in FAST_PATH_TARGETS:
         outcomes[f"{name} [no fast path]"] = _run_one((name,), fast_path=False)
+    for backend in BACKENDS[1:]:
+        outcomes[f"all [backend={backend}]"] = _run_one(None, backend=backend)
     return outcomes
 
 
@@ -83,7 +101,17 @@ def _write_json(outcomes: dict[str, dict]) -> None:
         "all_scenarios_fast_path_on": {
             name: row(outcome)
             for name, outcome in outcomes.items()
-            if "[no fast path]" not in name
+            if "[no fast path]" not in name and "[backend=" not in name
+        },
+        # per-backend rounds/s of the full-registry campaign: the backend
+        # protocol's throughput axis ("inprocess" is the "all" row rerun
+        # under its canonical name so the rows diff cleanly over time).
+        "per_backend": {
+            "inprocess": row(outcomes["all"]),
+            **{
+                backend: row(outcomes[f"all [backend={backend}]"])
+                for backend in BACKENDS[1:]
+            },
         },
     }
     text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
@@ -118,10 +146,17 @@ def test_scenario_throughput(benchmark):
         speedup = fast / slow if slow else float("inf")
         lines.append(f"fast-path speedup on {name}: {speedup:.2f}x")
 
+    for backend in BACKENDS[1:]:
+        backend_row = outcomes[f"all [backend={backend}]"]
+        lines.append(
+            f"backend {backend}: {backend_row['rounds_per_second']:.2f} rounds/s "
+            f"(inprocess: {outcomes['all']['rounds_per_second']:.2f})"
+        )
+
     exclusive: dict[str, set] = {
         name: set(outcome["result"].unique_bug_ids)
         for name, outcome in outcomes.items()
-        if name != "all" and "[no fast path]" not in name
+        if name != "all" and "[no fast path]" not in name and "[backend=" not in name
     }
     for name, bugs in sorted(exclusive.items()):
         others = set().union(*(b for n, b in exclusive.items() if n != name))
@@ -151,3 +186,13 @@ def test_scenario_throughput(benchmark):
         assert [d.describe() for d in fast["result"].discrepancies] == [
             d.describe() for d in slow["result"].discrepancies
         ], name
+    # Backend contract: the adapter swaps the planner, not the semantics —
+    # the same campaign finds the same *observable* discrepancy stream on
+    # every backend.  (Ground-truth attribution is deliberately not
+    # asserted: fault hooks fire in the planner's evaluation order, so a
+    # multi-bug query can record different triggered ids per backend.)
+    for backend in BACKENDS[1:]:
+        adapted = outcomes[f"all [backend={backend}]"]["result"]
+        assert [d.describe() for d in adapted.discrepancies] == [
+            d.describe() for d in outcomes["all"]["result"].discrepancies
+        ], backend

@@ -1,0 +1,147 @@
+"""The cross-backend differential oracle: one query, two planners.
+
+Metamorphic testing (the AEI oracle) and differential testing are
+complementary bug-finding families — SQLancer-style work (Rigger & Su,
+*Pivoted Query Synthesis*) treats cross-engine comparison as the baseline
+metamorphic oracles improve on, and the paper's Section 5.3 analyses its
+blind spots.  With the backend protocol in place, the reproduction can run
+both at once: each scenario query already executed against the campaign's
+primary backend is replayed, verbatim, on a *reference* backend holding the
+same SDB1 data, and any post-normalization difference (see
+:mod:`repro.backends.resultset`) is reported as a
+:class:`BackendDivergence` — a finding class of its own, alongside the
+affine-equivalence violations.
+
+The reference backend runs the **fixed** engine (no injected faults): a
+divergence then witnesses a seeded bug in the primary backend's release
+emulation, which is exactly the ground truth the campaign's smoke checks
+assert.  The comparator consumes no randomness, so enabling the mode never
+perturbs the primary campaign's deterministic round stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.backends.base import Backend, BackendSession
+from repro.backends.resultset import is_ordered_query, normalize_rows, normalize_value
+from repro.errors import EngineCrash, ReproError
+
+
+@dataclass
+class BackendDivergence:
+    """Two backends returned different results for the same statement."""
+
+    #: the ScenarioQuery whose SDB1 statement diverged.
+    query: Any
+    scenario: str
+    label: str
+    backend_primary: str
+    backend_reference: str
+    result_primary: Any
+    result_reference: Any
+    sql: str
+    #: injected bugs the primary backend recorded while producing its side.
+    triggered_bug_ids: tuple[str, ...] = ()
+
+    def signature(self) -> str:
+        """Deduplication identity of the divergence."""
+        if self.triggered_bug_ids:
+            return "cross-backend|" + "+".join(sorted(set(self.triggered_bug_ids)))
+        return f"cross-backend|{self.scenario}|{self.label}"
+
+    def describe(self) -> str:
+        return (
+            f"[cross-backend {self.backend_primary} vs {self.backend_reference}] "
+            f"[{self.scenario}] {self.sql} returned {self.result_primary!r} on "
+            f"{self.backend_primary} but {self.result_reference!r} on "
+            f"{self.backend_reference}"
+        )
+
+
+@dataclass
+class ComparatorStats:
+    """Bookkeeping one comparator accumulates over an oracle invocation."""
+
+    queries_compared: int = 0
+    errors_ignored: int = 0
+    reference_seconds: float = 0.0
+
+
+class CrossBackendComparator:
+    """Replays scenario queries on a reference backend and compares results.
+
+    One comparator serves one oracle invocation: :meth:`materialise` loads
+    SDB1's statements into a fresh reference session, then :meth:`compare`
+    is called once per executed scenario query with the primary backend's
+    observed result.  Errors on the reference side are *ignored*, never
+    reported: an engine that cannot run the statement at all is the
+    inapplicability blind spot of differential testing (Section 5.3), not a
+    logic bug.
+    """
+
+    def __init__(self, backend: Backend, primary_name: str):
+        self.backend = backend
+        self.primary_name = primary_name
+        self.session: BackendSession | None = None
+        self.stats = ComparatorStats()
+
+    # ------------------------------------------------------------ lifecycle
+    def materialise(self, statements: list[str]) -> bool:
+        """Load SDB1 into a fresh reference session; False disables the round."""
+        session = None
+        try:
+            session = self.backend.open_session()
+            for statement in statements:
+                session.execute(statement)
+        except (EngineCrash, ReproError):
+            self.stats.errors_ignored += 1
+            if session is not None:
+                self.backend.close_session(session)
+            self.session = None
+            return False
+        self.session = session
+        return True
+
+    def finish(self) -> ComparatorStats:
+        """Collect the reference engine's time split and release the session."""
+        if self.session is not None:
+            self.stats.reference_seconds += self.session.stats.seconds_in_engine
+            self.backend.close_session(self.session)
+            self.session = None
+        return self.stats
+
+    # ----------------------------------------------------------- comparison
+    def compare(
+        self, query: Any, result_primary: Any, triggered_bug_ids: tuple[str, ...]
+    ) -> BackendDivergence | None:
+        """Replay one query on the reference; a divergence or ``None``."""
+        if self.session is None:
+            return None
+        sql = query.sql_original
+        self.stats.queries_compared += 1
+        try:
+            if query.kind == "rows":
+                ordered = is_ordered_query(sql)
+                shown_primary: Any = normalize_rows(result_primary, ordered)
+                shown_reference: Any = normalize_rows(self.session.query_rows(sql), ordered)
+            else:
+                shown_primary = normalize_value(result_primary)
+                shown_reference = normalize_value(self.session.query_value(sql))
+        except (EngineCrash, ReproError):
+            self.stats.errors_ignored += 1
+            return None
+        if shown_primary == shown_reference:
+            return None
+        return BackendDivergence(
+            query=query,
+            scenario=getattr(query, "scenario", "?"),
+            label=getattr(query, "label", "?"),
+            backend_primary=self.primary_name,
+            backend_reference=self.backend.name,
+            result_primary=shown_primary,
+            result_reference=shown_reference,
+            sql=sql,
+            triggered_bug_ids=tuple(triggered_bug_ids),
+        )

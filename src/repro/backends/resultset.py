@@ -1,0 +1,149 @@
+"""Engine-neutral result sets and the normalization rules behind them.
+
+Two backends executing the same statement legitimately disagree on the
+*representation* of the same answer: the in-process engine hands back
+``bool``/``Fraction``/``Geometry`` objects where SQLite hands back
+``0``/``1`` integers, floats and WKT text; a query without ``ORDER BY``
+fixes no row order; and an engine may render an empty result geometry as
+SQL ``NULL`` where another says ``GEOMETRYCOLLECTION EMPTY``.  The
+cross-backend differential oracle is only sound if those representational
+differences are erased *before* results are compared — otherwise every
+query would "diverge" and the finding class would be noise.
+
+The rules, applied by :func:`normalize_value` / :func:`normalize_rows`:
+
+* **booleans** become ``0``/``1`` integers (SQL has no boolean wire type);
+* **exact rationals** (:class:`fractions.Fraction`) become floats;
+* **floats** are rounded to :data:`FLOAT_DECIMALS` decimal places (and
+  ``-0.0`` collapses to ``0.0``) so last-ulp evaluation differences between
+  engines do not read as divergences;
+* **geometries** — whether objects or WKT text — are re-serialised through
+  the exact geometry model to one canonical WKT, and an *empty* geometry
+  normalises to ``None``: NULL-vs-EMPTY is a representational choice, not a
+  logic bug (PostGIS itself is inconsistent about it across functions);
+* **row order** is only significant when the query says so: without an
+  ``ORDER BY``, rows are sorted under a total order over mixed-type cells.
+
+These rules are shared by every adapter: a backend author implements
+``execute`` returning raw rows and gets sound comparison for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Iterable, Sequence
+
+from repro.errors import SQLExecutionError
+
+#: decimal places floats are rounded to before comparison; the generated
+#: coordinates are small integers, so two correct engines agree far beyond
+#: this precision and anything past it is an engine bug, not rounding.
+FLOAT_DECIMALS = 9
+
+#: WKT type keywords that mark a string cell as a geometry rendering.
+_WKT_PREFIXES = (
+    "POINT",
+    "LINESTRING",
+    "POLYGON",
+    "MULTIPOINT",
+    "MULTILINESTRING",
+    "MULTIPOLYGON",
+    "GEOMETRYCOLLECTION",
+)
+
+
+@dataclass
+class BackendResultSet:
+    """The outcome of one statement, independent of the executing engine."""
+
+    columns: list[str] = field(default_factory=list)
+    rows: list[tuple] = field(default_factory=list)
+    command: str = "SELECT"
+
+    def scalar(self) -> Any:
+        """The single value of a one-row, one-column result."""
+        if len(self.rows) != 1 or len(self.rows[0]) != 1:
+            raise SQLExecutionError(
+                f"expected a scalar result, got {len(self.rows)} row(s)"
+            )
+        return self.rows[0][0]
+
+    def first_column(self) -> list[Any]:
+        return [row[0] for row in self.rows]
+
+
+def looks_like_wkt(text: str) -> bool:
+    """True when a string cell is (the start of) a WKT rendering."""
+    return text.lstrip().upper().startswith(_WKT_PREFIXES)
+
+
+def normalize_value(value: Any) -> Any:
+    """One cell through the cross-backend normalization rules."""
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, Fraction):
+        value = float(value)
+    if isinstance(value, float):
+        rounded = round(value, FLOAT_DECIMALS)
+        return 0.0 if rounded == 0.0 else rounded
+    if isinstance(value, int):
+        return value
+    # Geometry objects and WKT text meet at one canonical serialisation.
+    from repro.geometry.model import Geometry
+
+    if isinstance(value, Geometry):
+        return None if value.is_empty else value.wkt
+    if isinstance(value, str) and looks_like_wkt(value):
+        from repro.geometry import load_wkt
+
+        try:
+            geometry = load_wkt(value)
+        except Exception:  # noqa: BLE001 - not WKT after all; keep the text
+            return value
+        return None if geometry.is_empty else geometry.wkt
+    return value
+
+
+def normalize_row(row: Sequence[Any]) -> tuple:
+    return tuple(normalize_value(cell) for cell in row)
+
+
+def _cell_sort_key(cell: Any) -> tuple:
+    """A total order over normalized cells of mixed types."""
+    if cell is None:
+        return (0, "")
+    if isinstance(cell, (int, float)):
+        return (1, float(cell))
+    return (2, str(cell))
+
+
+def _row_sort_key(row: tuple) -> tuple:
+    return tuple(_cell_sort_key(cell) for cell in row)
+
+
+def normalize_rows(rows: Iterable[Sequence[Any]], ordered: bool) -> tuple:
+    """A whole result through the rules; unordered results are sorted."""
+    normalized = [normalize_row(row) for row in rows]
+    if not ordered:
+        normalized.sort(key=_row_sort_key)
+    return tuple(normalized)
+
+
+def is_ordered_query(sql: str) -> bool:
+    """Whether row order is pinned by the statement (an ``ORDER BY``)."""
+    return "order by" in sql.lower()
+
+
+def values_equivalent(a: Any, b: Any) -> bool:
+    """Cross-backend equality of two scalar results, post-normalization."""
+    return normalize_value(a) == normalize_value(b)
+
+
+def rows_equivalent(
+    rows_a: Iterable[Sequence[Any]], rows_b: Iterable[Sequence[Any]], ordered: bool
+) -> bool:
+    """Cross-backend equality of two row lists, post-normalization."""
+    return normalize_rows(rows_a, ordered) == normalize_rows(rows_b, ordered)

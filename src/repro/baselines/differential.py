@@ -20,10 +20,10 @@ import random
 from dataclasses import dataclass, field
 
 from repro.errors import EngineCrash, ReproError
+from repro.backends import BackendSession, create_backend
 from repro.core.generator import DatabaseSpec
 from repro.core.queries import QueryTemplate, TopologicalQuery
-from repro.engine.database import SpatialDatabase, connect
-from repro.engine.dialects import get_dialect
+from repro.engine.dialects import default_fault_profile, get_dialect
 
 
 @dataclass
@@ -56,18 +56,28 @@ class DifferentialOracle:
         bug_ids_b: tuple[str, ...] | None = None,
         emulate_release_under_test: bool = True,
         rng: random.Random | None = None,
+        backend_a: str = "inprocess",
+        backend_b: str = "inprocess",
     ):
+        """``backend_a``/``backend_b`` are execution-backend registry names
+        (``repro.backends``); the classic same-engine cross-*dialect*
+        comparison is the default, but either side can run on any adapter
+        (e.g. ``backend_b="sqlite"`` for a cross-*backend* comparison)."""
         self.dialect_a = dialect_a
         self.dialect_b = dialect_b
         self.bug_ids_a = bug_ids_a
         self.bug_ids_b = bug_ids_b
         self.emulate = emulate_release_under_test
         self.rng = rng or random.Random()
+        self.backend_a = backend_a
+        self.backend_b = backend_b
 
-    def _connect(self, dialect: str, bug_ids: tuple[str, ...] | None) -> SpatialDatabase:
-        if bug_ids is not None:
-            return connect(dialect, bug_ids=bug_ids)
-        return connect(dialect, emulate_release_under_test=self.emulate)
+    def _connect(
+        self, dialect: str, bug_ids: tuple[str, ...] | None, backend: str
+    ) -> BackendSession:
+        if bug_ids is None:
+            bug_ids = tuple(default_fault_profile(dialect)) if self.emulate else ()
+        return create_backend(backend, dialect=dialect, bug_ids=tuple(bug_ids)).open_session()
 
     def comparable_predicates(self) -> list[str]:
         """Predicates both dialects document (the only comparable ones)."""
@@ -81,8 +91,8 @@ class DifferentialOracle:
         comparable = set(self.comparable_predicates())
 
         try:
-            database_a = self._materialise(self.dialect_a, self.bug_ids_a, spec)
-            database_b = self._materialise(self.dialect_b, self.bug_ids_b, spec)
+            database_a = self._materialise(self.dialect_a, self.bug_ids_a, spec, self.backend_a)
+            database_b = self._materialise(self.dialect_b, self.bug_ids_b, spec, self.backend_b)
         except (EngineCrash, ReproError):
             outcome.errors_ignored += 1
             return outcome
@@ -113,8 +123,10 @@ class DifferentialOracle:
                 )
         return outcome
 
-    def _materialise(self, dialect, bug_ids, spec: DatabaseSpec) -> SpatialDatabase:
-        database = self._connect(dialect, bug_ids)
+    def _materialise(
+        self, dialect, bug_ids, spec: DatabaseSpec, backend: str
+    ) -> BackendSession:
+        database = self._connect(dialect, bug_ids, backend)
         for statement in spec.create_statements():
             database.execute(statement)
         return database

@@ -45,7 +45,22 @@ class IndexOutcome:
 class IndexToggleOracle:
     """Runs every query twice: with sequential scans and with index scans."""
 
-    def __init__(self, database_factory, rng: random.Random | None = None):
+    def __init__(self, database_factory=None, rng: random.Random | None = None, backend=None):
+        """Construct from a connection factory or a ``repro.backends``
+        backend.  A backend must declare planner-toggle support in its
+        capabilities — the seqscan/index switch is this oracle's entire
+        mechanism, and silently running both "paths" on a backend that
+        ignores ``SET enable_seqscan`` would report a vacuously clean
+        result."""
+        if database_factory is None:
+            if backend is None:
+                raise ValueError("IndexToggleOracle needs a database_factory or a backend")
+            if not backend.capabilities().supports_planner_toggles:
+                raise ValueError(
+                    f"backend {backend.name!r} has no seqscan/index planner toggle; "
+                    "the Index oracle cannot drive it"
+                )
+            database_factory = backend.open_session
         self.database_factory = database_factory
         self.rng = rng or random.Random()
 

@@ -49,7 +49,14 @@ class TLPOutcome:
 class TLPOracle:
     """Checks the ternary partitioning property on one system."""
 
-    def __init__(self, database_factory, rng: random.Random | None = None):
+    def __init__(self, database_factory=None, rng: random.Random | None = None, backend=None):
+        """Construct from a connection factory or a ``repro.backends``
+        backend (TLP only needs plain query execution, so any adapter
+        qualifies)."""
+        if database_factory is None:
+            if backend is None:
+                raise ValueError("TLPOracle needs a database_factory or a backend")
+            database_factory = backend.open_session
         self.database_factory = database_factory
         self.rng = rng or random.Random()
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.backends import available_backends, backend_description, create_backend
 from repro.core.campaign import CampaignConfig
 from repro.core.parallel import run_campaign
 from repro.engine.dialects import available_dialects, default_fault_profile, get_dialect
@@ -30,6 +31,28 @@ def build_argument_parser() -> argparse.ArgumentParser:
         choices=available_dialects(),
         default="postgis",
         help="emulated system under test (default: postgis)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="inprocess",
+        help="execution backend the campaign drives (default: inprocess)",
+    )
+    parser.add_argument(
+        "--cross-backend",
+        choices=available_backends(),
+        default=None,
+        metavar="BACKEND",
+        help=(
+            "enable the cross-backend differential mode: replay every "
+            "scenario query on a fault-free session of this backend and "
+            "report result divergences as findings"
+        ),
+    )
+    parser.add_argument(
+        "--list-backends",
+        action="store_true",
+        help="print the execution-backend catalog and exit",
     )
     parser.add_argument("--rounds", type=int, default=5, help="generation/validation rounds")
     parser.add_argument(
@@ -104,6 +127,17 @@ def _print_bug_catalog(dialect: str) -> None:
         print(f"  [{bug.kind:5s}] [{bug.status:11s}] {bug.bug_id}: {bug.summary}")
 
 
+def _print_backend_catalog(dialect: str) -> None:
+    print(f"Execution backend catalog (dialect: {dialect}):")
+    for name in available_backends():
+        capabilities = create_backend(name, dialect=dialect).capabilities()
+        print(f"  {name:10s} {backend_description(name)}")
+        print(f"             capabilities: {capabilities.summary()}")
+        for note in capabilities.notes:
+            print(f"             - {note}")
+    print("\nThe protocol and adapter guide live in docs/BACKENDS.md.")
+
+
 def _print_scenario_catalog(dialect: str) -> None:
     resolved = get_dialect(dialect)
     print(f"Metamorphic scenario catalog (dialect: {dialect}):")
@@ -122,11 +156,16 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_argument_parser()
     arguments = parser.parse_args(argv)
 
+    # The list flags are standalone: each prints its catalog and exits 0
+    # without requiring (or validating) any of the campaign flags.
     if arguments.list_bugs:
         _print_bug_catalog(arguments.dialect)
         return 0
     if arguments.list_scenarios:
         _print_scenario_catalog(arguments.dialect)
+        return 0
+    if arguments.list_backends:
+        _print_backend_catalog(arguments.dialect)
         return 0
 
     if arguments.rounds < 0:
@@ -163,6 +202,8 @@ def main(argv: list[str] | None = None) -> int:
 
     config = CampaignConfig(
         dialect=arguments.dialect,
+        backend=arguments.backend,
+        compare_backend=arguments.cross_backend,
         emulate_release_under_test=not arguments.clean,
         geometry_count=arguments.geometries,
         table_count=arguments.tables,
@@ -180,10 +221,11 @@ def main(argv: list[str] | None = None) -> int:
         result = run_campaign(config, rounds=arguments.rounds)
 
     print(result.summary())
-    # Only label the counters as fast-path output when the fast path ran;
-    # with --no-fast-path the remaining traffic is the seed's unconditional
-    # layers (relate WKT memo, ST_Contains routing) and would mislead.
-    if result.cache_stats and result.config.fast_path:
+    # Only label the counters as fast-path output when the fast path ran on
+    # the in-process engine; with --no-fast-path (or an external backend)
+    # the remaining traffic is the seed's unconditional layers (relate WKT
+    # memo, ST_Contains routing) and would mislead.
+    if result.cache_stats and result.config.fast_path and result.config.backend == "inprocess":
         prepared_hits = result.cache_stats.get("prepared_hits", 0)
         prepared_misses = result.cache_stats.get("prepared_misses", 0)
         relate_hits = result.cache_stats.get("relate_hits", 0)
@@ -210,11 +252,28 @@ def main(argv: list[str] | None = None) -> int:
         print("\nCrashes:")
         for crash in result.crashes:
             print(f"  - {crash.statement}: {crash.message}")
+    if result.config.compare_backend is not None:
+        unique = result.unique_divergence_signatures
+        skipped = ""
+        if result.reference_errors_ignored:
+            # a reference that cannot run the statements is the Section 5.3
+            # inapplicability blind spot — surface it, or a vacuous
+            # comparison reads like a clean engine.
+            skipped = f" ({result.reference_errors_ignored} reference errors ignored)"
+        print(
+            f"\nCross-backend differential ({result.config.backend} vs "
+            f"{result.config.compare_backend}): {result.divergence_queries} queries "
+            f"compared, {len(result.divergences)} divergences, "
+            f"{len(unique)} unique{skipped}"
+        )
+        for divergence in result.divergences:
+            print(f"  - {divergence.describe()}")
     if result.unique_bug_ids:
         print("\nUnique injected bugs detected (ground truth):")
         for bug_id in result.unique_bug_ids:
             print(f"  - {bug_id}")
-    return 0 if not (result.discrepancies or result.crashes) else 1
+    findings = result.discrepancies or result.crashes or result.divergences
+    return 0 if not findings else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

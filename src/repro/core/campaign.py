@@ -24,6 +24,7 @@ import time
 from collections import Counter
 from dataclasses import dataclass, field, replace
 
+from repro.backends import Backend, BackendDivergence, create_backend
 from repro.core.dedup import DeduplicationResult, Deduplicator
 from repro.core.generator import GeneratorConfig, GeometryAwareGenerator
 from repro.core.oracle import AEIOracle, CrashReport, Discrepancy
@@ -48,6 +49,16 @@ class CampaignConfig:
 
     #: Emulated system under test (one of ``repro.engine.dialects``).
     dialect: str = "postgis"
+    #: Execution backend the campaign drives (a ``repro.backends`` registry
+    #: name).  Backends are created from this *name* plus the other config
+    #: fields, never stored here, which keeps the config picklable across
+    #: the parallel orchestrator's process boundary.
+    backend: str = "inprocess"
+    #: When set, enables the cross-backend differential mode: every scenario
+    #: query is replayed on a fixed-profile (fault-free) session of this
+    #: backend and result divergences are reported as findings alongside the
+    #: affine-equivalence violations.
+    compare_backend: str | None = None
     #: Explicit injected-bug profile; ``None`` selects the dialect's default
     #: release emulation.
     bug_ids: tuple[str, ...] | None = None
@@ -123,6 +134,15 @@ class CampaignResult:
     discrepancies: list[Discrepancy] = field(default_factory=list)
     #: Every crash-bug candidate observed, pre-dedup.
     crashes: list[CrashReport] = field(default_factory=list)
+    #: Every cross-backend divergence observed (the differential finding
+    #: class; empty unless ``config.compare_backend`` is set).
+    divergences: list[BackendDivergence] = field(default_factory=list)
+    #: Scenario queries replayed on the reference backend.
+    divergence_queries: int = 0
+    #: Reference-side errors the differential mode ignored — the
+    #: inapplicability blind spot of Section 5.3.  A comparison where this
+    #: rivals ``divergence_queries`` is vacuous, not clean.
+    reference_errors_ignored: int = 0
     #: Deduplicated ground-truth bug ids, in order of first detection.
     unique_bug_ids: list[str] = field(default_factory=list)
     #: ``(elapsed seconds, cumulative unique bugs)`` pairs for Figure 8(a),
@@ -150,6 +170,18 @@ class CampaignResult:
         """Number of deduplicated ground-truth bugs found."""
         return len(self.unique_bug_ids)
 
+    @property
+    def unique_divergence_signatures(self) -> list[str]:
+        """Deduplicated cross-backend divergence identities, in first-seen
+        order (ground-truth bug ids when the primary backend recorded
+        triggers, scenario+label signatures otherwise)."""
+        signatures: list[str] = []
+        for divergence in self.divergences:
+            signature = divergence.signature()
+            if signature not in signatures:
+                signatures.append(signature)
+        return signatures
+
     def summary(self) -> str:
         """A one-line human-readable digest of the run."""
         sharding = ""
@@ -158,10 +190,17 @@ class CampaignResult:
         scenarios = ""
         if self.queries_by_scenario:
             scenarios = f" across {len(self.queries_by_scenario)} scenario(s)"
+        divergences = ""
+        if self.config.compare_backend is not None:
+            divergences = (
+                f", {len(self.divergences)} divergences "
+                f"(vs {self.config.compare_backend})"
+            )
         return (
             f"{self.config.dialect}: {self.rounds} rounds, {self.queries_run} queries"
             f"{scenarios}, "
-            f"{len(self.discrepancies)} discrepancies, {len(self.crashes)} crashes, "
+            f"{len(self.discrepancies)} discrepancies, {len(self.crashes)} crashes"
+            f"{divergences}, "
             f"{self.unique_bug_count} unique bugs, "
             f"{self.sdbms_seconds:.3f}s in SDBMS / {self.total_seconds:.3f}s total"
             f"{sharding}"
@@ -224,6 +263,11 @@ class CampaignResult:
             errors_ignored=left.errors_ignored + right.errors_ignored,
             discrepancies=left.discrepancies + right.discrepancies,
             crashes=left.crashes + right.crashes,
+            divergences=left.divergences + right.divergences,
+            divergence_queries=left.divergence_queries + right.divergence_queries,
+            reference_errors_ignored=(
+                left.reference_errors_ignored + right.reference_errors_ignored
+            ),
             unique_bug_ids=list(combined.unique_bug_ids),
             unique_bug_timeline=[(seconds, index + 1) for index, seconds in enumerate(timeline)],
             first_detection_seconds=dict(combined.first_detection_seconds),
@@ -274,6 +318,33 @@ class TestingCampaign:
         #: rounds completed over the instance's lifetime; makes repeated
         #: ``run()`` calls continue the round stream instead of replaying it.
         self.rounds_completed = 0
+        #: the execution backend, rebuilt from the (picklable) config in
+        #: whichever process this campaign instance lives.
+        self.backend: Backend = create_backend(
+            self.config.backend,
+            dialect=self.config.dialect,
+            bug_ids=self._bug_ids(),
+            fast_path=self.config.fast_path,
+        )
+        if self._bug_ids() and not self.backend.capabilities().supports_fault_injection:
+            # A release emulation needs the fault layer; running it on a
+            # backend that cannot inject the bugs would silently campaign
+            # against the fixed engine and read like a clean release.
+            raise ValueError(
+                f"backend {self.config.backend!r} does not support fault "
+                "injection; run it with emulate_release_under_test=False "
+                "(--clean) or an empty bug profile"
+            )
+        #: the cross-backend reference, always running the *fixed* engine
+        #: (no injected faults) so divergences witness seeded bugs.
+        self.reference_backend: Backend | None = None
+        if self.config.compare_backend is not None:
+            self.reference_backend = create_backend(
+                self.config.compare_backend,
+                dialect=self.config.dialect,
+                bug_ids=(),
+                fast_path=self.config.fast_path,
+            )
 
     # ------------------------------------------------------------- plumbing
     def _bug_ids(self) -> tuple[str, ...]:
@@ -283,13 +354,15 @@ class TestingCampaign:
             return tuple(default_fault_profile(self.config.dialect))
         return ()
 
-    def new_connection(self) -> SpatialDatabase:
-        """A fresh connection to the system under test."""
-        return connect(
-            self.config.dialect,
-            bug_ids=self._bug_ids(),
-            fast_path=self.config.fast_path,
-        )
+    def new_connection(self):
+        """A fresh session on the configured execution backend.
+
+        For the default ``inprocess`` backend this is exactly the
+        :func:`repro.engine.database.connect` call the pre-protocol campaign
+        made (the backend-equivalence suite pins that down); other backends
+        return their own session type satisfying the same protocol.
+        """
+        return self.backend.open_session()
 
     # ------------------------------------------------------------------ run
     def run(
@@ -361,7 +434,13 @@ class TestingCampaign:
             sdbms_connections.append(connection)
             return connection
 
-        oracle = AEIOracle(tracked_factory, rng=rng, fast_path=self.config.fast_path)
+        oracle = AEIOracle(
+            tracked_factory,
+            rng=rng,
+            fast_path=self.config.fast_path,
+            capabilities=self.backend.capabilities(),
+            reference_backend=self.reference_backend,
+        )
         global_caches_before = self._global_cache_stats()
         try:
             spec = generator.generate()
@@ -398,7 +477,15 @@ class TestingCampaign:
         for crash in outcome.crashes:
             result.crashes.append(crash)
             self.deduplicator.observe_crash(crash, elapsed)
+        result.divergence_queries += outcome.divergence_queries
+        result.reference_errors_ignored += outcome.reference_errors_ignored
+        for divergence in outcome.divergences:
+            result.divergences.append(divergence)
+            self.deduplicator.observe_divergence(divergence, elapsed)
         result.sdbms_seconds += sum(c.stats.seconds_in_engine for c in sdbms_connections)
+        # the reference backend is an SDBMS too: its engine time joins the
+        # Figure 7 split rather than silently inflating the tester's share.
+        result.sdbms_seconds += outcome.reference_seconds
         self._collect_cache_stats(result, sdbms_connections, global_caches_before)
 
     @staticmethod

@@ -101,18 +101,37 @@ class Deduplicator:
     def __init__(self):
         self.result = DeduplicationResult()
 
-    def observe_discrepancy(self, discrepancy: Discrepancy, elapsed_seconds: float) -> list[str]:
-        """Record a discrepancy; returns the newly-discovered bug ids."""
+    def _observe(
+        self, bug_ids: tuple[str, ...], signature: str, elapsed_seconds: float
+    ) -> list[str]:
+        """Shared bookkeeping: fold one finding's identities into the result."""
         new_ids: list[str] = []
-        for bug_id in ground_truth_identity(discrepancy):
+        for bug_id in bug_ids:
             if bug_id not in self.result.unique_bug_ids:
                 self.result.unique_bug_ids.append(bug_id)
                 self.result.first_detection_seconds[bug_id] = elapsed_seconds
                 new_ids.append(bug_id)
-        signature = signature_identity(discrepancy)
         if signature not in self.result.unique_signatures:
             self.result.unique_signatures.append(signature)
         return new_ids
+
+    def observe_discrepancy(self, discrepancy: Discrepancy, elapsed_seconds: float) -> list[str]:
+        """Record a discrepancy; returns the newly-discovered bug ids."""
+        return self._observe(
+            ground_truth_identity(discrepancy), signature_identity(discrepancy), elapsed_seconds
+        )
+
+    def observe_divergence(self, divergence, elapsed_seconds: float) -> list[str]:
+        """Record a cross-backend divergence; returns newly-discovered ids.
+
+        Divergences carry the injected-bug ids the *primary* backend
+        triggered while producing its side of the comparison, so they join
+        the same ground-truth identity space as AEI discrepancies (ids
+        sorted, exactly as :func:`ground_truth_identity` does); their
+        syntactic fallback is :meth:`BackendDivergence.signature`.
+        """
+        bug_ids = tuple(sorted(set(getattr(divergence, "triggered_bug_ids", ()))))
+        return self._observe(bug_ids, divergence.signature(), elapsed_seconds)
 
     def observe_crash(self, crash: CrashReport, elapsed_seconds: float) -> list[str]:
         """Record a crash; returns the newly-discovered bug ids."""

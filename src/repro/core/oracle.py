@@ -19,6 +19,15 @@ oracle
 Semantic errors raised by the SDBMS (invalid geometries) are ignored, and
 crashes are converted into :class:`CrashReport` records, mirroring how the
 paper's campaign distinguishes logic bugs from crash bugs.
+
+The oracle talks to the system under test through the backend protocol
+(:mod:`repro.backends`): constructed from a ``Backend`` (or a bare session
+factory, treated as the in-process engine), it resolves scenarios against
+the backend's :class:`~repro.backends.base.Capabilities` descriptor, and —
+when given a ``reference_backend`` — additionally replays every scenario
+query on a second engine and reports cross-backend
+:class:`~repro.backends.differential.BackendDivergence` findings alongside
+the affine-equivalence violations.
 """
 
 from __future__ import annotations
@@ -29,6 +38,8 @@ from typing import Any
 
 from repro.errors import EngineCrash, ReproError, SemanticGeometryError
 from repro.geometry import load_wkt
+from repro.backends.base import Backend, Capabilities
+from repro.backends.differential import BackendDivergence, CrossBackendComparator
 from repro.core.affine import AffineTransformation
 from repro.core.canonical import canonicalize
 from repro.core.generator import DatabaseSpec
@@ -99,6 +110,15 @@ class OracleOutcome:
     #: queries executed per scenario name (capability- and admissibility-
     #: gated scenarios simply never appear).
     queries_by_scenario: dict[str, int] = field(default_factory=dict)
+    #: cross-backend findings (only populated with a reference backend).
+    divergences: list[BackendDivergence] = field(default_factory=list)
+    #: scenario queries replayed on the reference backend.
+    divergence_queries: int = 0
+    #: reference-side errors the differential mode ignored (Section 5.3's
+    #: inapplicability blind spot), kept apart from the AEI error counter.
+    reference_errors_ignored: int = 0
+    #: engine time spent inside the reference backend.
+    reference_seconds: float = 0.0
 
 
 def allocate_query_budget(
@@ -128,14 +148,28 @@ class AEIOracle:
 
     def __init__(
         self,
-        database_factory,
+        database_factory=None,
         rng: random.Random | None = None,
         canonicalize_followup: bool = True,
         fast_path: bool = True,
+        backend: Backend | None = None,
+        capabilities: Capabilities | None = None,
+        reference_backend: Backend | None = None,
     ):
         """``database_factory`` returns a *fresh* connection to the system
         under test each time it is called (the oracle needs one SDB1 plus
-        one SDB2 per transformation-family group).
+        one SDB2 per transformation-family group).  Alternatively pass a
+        ``backend`` — its ``open_session`` becomes the factory and its
+        capability descriptor gates the scenario selection; a bare factory
+        keeps working and is treated as the in-process engine.
+
+        ``reference_backend`` enables the cross-backend differential mode:
+        every scenario query executed against the primary connection is
+        replayed on a session of the reference backend holding the same
+        SDB1, and post-normalization result differences are reported as
+        :class:`~repro.backends.differential.BackendDivergence` findings.
+        The comparator consumes no randomness, so enabling it does not
+        perturb the AEI round stream.
 
         With ``fast_path`` on, every materialised database gets STR
         bulk-loaded R-tree indexes on its geometry columns right after
@@ -145,7 +179,16 @@ class AEIOracle:
         self-check suite or when driving the Index baseline oracle, whose
         seqscan/index toggling must stay the only index machinery in play.
         """
+        if database_factory is None:
+            if backend is None:
+                raise ValueError("AEIOracle needs a database_factory or a backend")
+            database_factory = backend.open_session
         self.database_factory = database_factory
+        self.backend = backend
+        self.capabilities = capabilities or (
+            backend.capabilities() if backend is not None else None
+        )
+        self.reference_backend = reference_backend
         self.rng = rng or random.Random()
         self.canonicalize_followup = canonicalize_followup
         self.fast_path = fast_path
@@ -186,7 +229,11 @@ class AEIOracle:
         database = self.database_factory()
         for statement in spec.create_statements(include_ids=True):
             database.execute(statement)
-        if self.fast_path and getattr(database, "fast_path", False):
+        if (
+            self.fast_path
+            and getattr(database, "fast_path", False)
+            and (self.capabilities is None or self.capabilities.supports_auto_indexes)
+        ):
             database.build_auto_indexes()
         return database
 
@@ -224,7 +271,8 @@ class AEIOracle:
             outcome.errors_ignored += 1
             return outcome
 
-        active = resolve_scenarios(scenarios, original.dialect)
+        capabilities = self.capabilities or Capabilities.from_dialect(original.dialect)
+        active = resolve_scenarios(scenarios, capabilities)
         if transformation is not None:
             active = [s for s in active if s.admits_transformation(transformation)]
         if not active:
@@ -238,6 +286,13 @@ class AEIOracle:
         budget_of = {id(scenario): budget for scenario, budget in zip(active, budgets)}
         groups = self._group_scenarios(active, shared_transformation=transformation is not None)
         original_statements = spec.create_statements(include_ids=True)
+
+        comparator = None
+        if self.reference_backend is not None:
+            comparator = CrossBackendComparator(
+                self.reference_backend, primary_name=capabilities.backend
+            )
+            comparator.materialise(original_statements)
 
         for (family, canonicalize_spec), members in groups.items():
             if all(budget_of[id(scenario)] <= 0 for scenario in members):
@@ -269,6 +324,7 @@ class AEIOracle:
                 followup_wkt=lambda wkt, t=group_transformation, c=(
                     canonicalize_spec and self.canonicalize_followup
                 ): self._followup_wkt(wkt, t, c),
+                capabilities=capabilities,
             )
             followup_statements = followup_spec.create_statements(include_ids=True)
             for scenario in members:
@@ -285,7 +341,13 @@ class AEIOracle:
                     followup,
                     original_statements,
                     followup_statements,
+                    comparator,
                 )
+        if comparator is not None:
+            stats = comparator.finish()
+            outcome.divergence_queries = stats.queries_compared
+            outcome.reference_errors_ignored = stats.errors_ignored
+            outcome.reference_seconds = stats.reference_seconds
         return outcome
 
     # -------------------------------------------------------------- internals
@@ -322,6 +384,7 @@ class AEIOracle:
         followup: SpatialDatabase,
         original_statements: list[str],
         followup_statements: list[str],
+        comparator: CrossBackendComparator | None = None,
     ) -> None:
         queries = scenario.build_queries(spec, context, budget)
         for query in queries:
@@ -357,6 +420,14 @@ class AEIOracle:
             except ReproError:
                 outcome.errors_ignored += 1
                 continue
+            if comparator is not None:
+                divergence = comparator.compare(
+                    query,
+                    result_original,
+                    tuple(dict.fromkeys(original.fault_plan.triggered[before_original:])),
+                )
+                if divergence is not None:
+                    outcome.divergences.append(divergence)
             expected = scenario.expected_followup(
                 query, result_original, context.transformation
             )

@@ -22,6 +22,12 @@ Design:
   results carry a ``queries_by_scenario`` breakdown), and re-bases every
   shard's unique-bugs-over-time series onto the orchestrator's shared wall
   clock.
+* **Picklable-by-spec backends.**  The config crosses the process boundary
+  carrying only the backend *names* (``backend``/``compare_backend``) plus
+  plain-data options; every worker re-creates its own
+  :class:`~repro.backends.base.Backend` from that spec inside
+  ``TestingCampaign.__init__``, so live connections, SQLite handles and
+  UDF closures never need to pickle.
 * **Graceful degradation.**  With ``workers=1`` — or when the platform
   refuses to give us a process pool (restricted sandboxes without working
   semaphores) — the shards run in-process, preserving the exact merged

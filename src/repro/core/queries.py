@@ -29,12 +29,15 @@ from repro.engine.dialects import Dialect
 DISTANCE_PREDICATES = ("st_dwithin", "st_dfullywithin")
 
 
-def invariant_predicates(dialect: Dialect) -> list[str]:
-    """The dialect's topological predicates that are affine-invariant.
+def invariant_predicates(dialect) -> list[str]:
+    """The catalog's topological predicates that are affine-invariant.
 
-    This is the admissible predicate set of any scenario running under
-    *general* affine transformations; the distance predicates it excludes
-    are only usable by scenarios that transform the threshold too.
+    ``dialect`` is anything exposing ``topological_predicates()`` — a
+    :class:`Dialect` or a backend :class:`~repro.backends.base.Capabilities`
+    descriptor.  This is the admissible predicate set of any scenario
+    running under *general* affine transformations; the distance predicates
+    it excludes are only usable by scenarios that transform the threshold
+    too.
     """
     return [
         predicate

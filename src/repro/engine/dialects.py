@@ -247,9 +247,15 @@ _DIALECTS = {d.name: d for d in (POSTGIS, DUCKDB_SPATIAL, MYSQL, SQLSERVER)}
 
 def get_dialect(name: str) -> Dialect:
     """Look up a dialect by name (``postgis``, ``duckdb_spatial``, ``mysql``,
-    ``sqlserver``)."""
+    ``sqlserver``).
+
+    Lookup is case-insensitive and whitespace-tolerant, matching how
+    :func:`default_fault_profile` normalises the same names — ``"PostGIS"``
+    from a config file must select the same emulation its fault profile is
+    computed for.
+    """
     try:
-        return _DIALECTS[name.lower()]
+        return _DIALECTS[name.strip().lower()]
     except KeyError:
         raise KeyError(
             f"unknown dialect {name!r}; available: {', '.join(sorted(_DIALECTS))}"
@@ -268,7 +274,7 @@ def default_fault_profile(dialect_name: str) -> list[str]:
     mirroring how the paper's shared-library bugs produced consistent but
     incorrect results in both systems.
     """
-    name = dialect_name.lower()
+    name = dialect_name.strip().lower()
     profile: list[str] = []
     for bug in faults.BUG_CATALOG:
         if bug.component == faults.COMPONENT_GEOS and name in ("postgis", "duckdb_spatial"):

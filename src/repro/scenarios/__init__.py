@@ -85,14 +85,21 @@ def get_scenario(name: str) -> Scenario:
         ) from None
 
 
-def applicable_scenarios(dialect: Dialect) -> list[Scenario]:
-    """The scenarios whose capability requirements the dialect satisfies."""
+def applicable_scenarios(dialect) -> list[Scenario]:
+    """The scenarios whose capability requirements the catalog satisfies.
+
+    ``dialect`` may be a :class:`~repro.engine.dialects.Dialect` or a
+    backend :class:`~repro.backends.base.Capabilities` descriptor.
+    """
     return [scenario for scenario in all_scenarios() if scenario.is_applicable(dialect)]
 
 
-def resolve_scenarios(names, dialect: Dialect) -> list[Scenario]:
+def resolve_scenarios(names, dialect) -> list[Scenario]:
     """Turn a user-facing scenario selection into scenario instances.
 
+    ``dialect`` is the catalog consulted for applicability — a
+    :class:`~repro.engine.dialects.Dialect` or a backend
+    :class:`~repro.backends.base.Capabilities` descriptor.
     ``None`` (and the special token ``"all"``) selects every scenario
     applicable to the dialect — the campaign default, where capability
     gating silently narrows the set.  Explicit names are honoured in order

@@ -33,7 +33,10 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.backends.base import Capabilities
 
 from repro.core.affine import (
     AffineTransformation,
@@ -134,6 +137,17 @@ class ScenarioContext:
     #: (canonicalize, then transform) so literals embedded in follow-up SQL
     #: go through exactly the same derivation as the stored geometries.
     followup_wkt: Callable[[str], str] = field(default=lambda wkt: wkt)
+    #: what the executing backend can do; scenarios consult this instead of
+    #: the dialect registry so query shapes gate identically on every
+    #: adapter.  Defaults to the in-process engine's full-featured
+    #: descriptor over ``dialect``.
+    capabilities: "Capabilities | None" = None
+
+    def __post_init__(self) -> None:
+        if self.capabilities is None:
+            from repro.backends.base import Capabilities
+
+            self.capabilities = Capabilities.from_dialect(self.dialect)
 
 
 class Scenario:
@@ -163,8 +177,14 @@ class Scenario:
     paper_anchor: str = ""
 
     # -------------------------------------------------------------- gating
-    def is_applicable(self, dialect: Dialect) -> bool:
-        """Capability gating: can this scenario run against the dialect?"""
+    def is_applicable(self, dialect) -> bool:
+        """Capability gating: can this scenario run against the backend?
+
+        ``dialect`` is anything exposing the catalog surface — a
+        :class:`~repro.engine.dialects.Dialect` or a backend's
+        :class:`~repro.backends.base.Capabilities` descriptor (the two are
+        duck-compatible by design; the oracle always passes capabilities).
+        """
         return all(dialect.supports_function(name) for name in self.requires_functions)
 
     def admits_transformation(self, transformation: AffineTransformation) -> bool:

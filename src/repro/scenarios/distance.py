@@ -48,7 +48,7 @@ class DistanceJoinScenario(Scenario):
         return scale == int(scale)
 
     def build_queries(self, spec: DatabaseSpec, context: ScenarioContext, count: int) -> list[ScenarioQuery]:
-        predicates = [p for p in DISTANCE_PREDICATES if context.dialect.supports_function(p)]
+        predicates = [p for p in DISTANCE_PREDICATES if context.capabilities.supports_function(p)]
         tables = spec.table_names()
         scale = context.transformation.length_scale
         queries = []

@@ -34,7 +34,7 @@ class AttributeFilterScenario(Scenario):
         return bool(invariant_predicates(dialect))
 
     def build_queries(self, spec: DatabaseSpec, context: ScenarioContext, count: int) -> list[ScenarioQuery]:
-        predicates = invariant_predicates(context.dialect)
+        predicates = invariant_predicates(context.capabilities)
         tables = spec.table_names()
         literals = spec.all_wkts()
         queries = []

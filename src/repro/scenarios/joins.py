@@ -45,7 +45,7 @@ class JoinChainScenario(Scenario):
         return bool(invariant_predicates(dialect))
 
     def build_queries(self, spec: DatabaseSpec, context: ScenarioContext, count: int) -> list[ScenarioQuery]:
-        predicates = invariant_predicates(context.dialect)
+        predicates = invariant_predicates(context.capabilities)
         tables = spec.table_names()
         queries = []
         for _ in range(count):

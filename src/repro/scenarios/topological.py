@@ -26,7 +26,7 @@ class TopologicalJoinScenario(Scenario):
         return bool(invariant_predicates(dialect))
 
     def build_queries(self, spec: DatabaseSpec, context: ScenarioContext, count: int) -> list[ScenarioQuery]:
-        predicates = invariant_predicates(context.dialect)
+        predicates = invariant_predicates(context.capabilities)
         tables = spec.table_names()
         queries = []
         for _ in range(count):

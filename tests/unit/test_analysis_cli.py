@@ -97,6 +97,48 @@ class TestCLI:
         output = capsys.readouterr().out
         assert "postgis-covers-precision-loss" in output
 
+    def test_list_scenarios_is_standalone(self, capsys):
+        # the list flags need none of the campaign flags and exit 0
+        assert main(["--list-scenarios"]) == 0
+        output = capsys.readouterr().out
+        assert "topological-join" in output
+        assert "docs/SCENARIOS.md" in output
+
+    def test_list_backends_is_standalone(self, capsys):
+        assert main(["--list-backends"]) == 0
+        output = capsys.readouterr().out
+        assert "inprocess" in output
+        assert "sqlite" in output
+        assert "docs/BACKENDS.md" in output
+
+    def test_list_flags_ignore_invalid_campaign_flags(self, capsys):
+        # catalogs print even when campaign flags would fail validation
+        assert main(["--list-scenarios", "--rounds", "-3"]) == 0
+        capsys.readouterr()
+        assert main(["--list-backends", "--workers", "0"]) == 0
+        capsys.readouterr()
+
+    def test_cross_backend_smoke_run(self, capsys):
+        exit_code = main(
+            [
+                "--backend", "inprocess", "--cross-backend", "sqlite",
+                "--rounds", "2", "--geometries", "5", "--queries", "8", "--seed", "7",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert "Cross-backend differential (inprocess vs sqlite)" in output
+        assert exit_code in (0, 1)
+
+    def test_sqlite_backend_smoke_run(self, capsys):
+        exit_code = main(
+            [
+                "--backend", "sqlite",
+                "--rounds", "1", "--geometries", "4", "--queries", "6", "--seed", "3",
+            ]
+        )
+        assert "rounds" in capsys.readouterr().out
+        assert exit_code in (0, 1)
+
     def test_clean_run_finds_nothing(self, capsys):
         exit_code = main(
             ["--dialect", "mysql", "--clean", "--rounds", "1", "--geometries", "3", "--queries", "3", "--seed", "3"]

@@ -27,6 +27,19 @@ class TestDialects:
     def test_available_dialects(self):
         assert available_dialects() == ["duckdb_spatial", "mysql", "postgis", "sqlserver"]
 
+    def test_get_dialect_is_case_insensitive(self):
+        # default_fault_profile lowercases its dialect name; get_dialect
+        # must normalise identically or "PostGIS" would select an engine
+        # whose fault profile was computed for a different spelling.
+        reference = get_dialect("postgis")
+        for spelling in ("PostGIS", "POSTGIS", " postgis ", "Postgis"):
+            assert get_dialect(spelling) is reference
+        assert get_dialect("DuckDB_Spatial") is get_dialect("duckdb_spatial")
+
+    def test_fault_profile_matches_for_any_spelling(self):
+        assert default_fault_profile("PostGIS") == default_fault_profile("postgis")
+        assert default_fault_profile(" MYSQL ") == default_fault_profile("mysql")
+
     def test_unknown_dialect(self):
         with pytest.raises(KeyError):
             get_dialect("oracle_spatial")

@@ -1,0 +1,170 @@
+"""The SQLite adapter: translation quirks, error mapping, engine parity.
+
+The adapter's contract is that the *same* spatial semantics come out of a
+genuinely different query planner: every ST_* evaluation routes through the
+shared function registry (fault hooks included), while SQLite plans the
+joins, filters, ordering and aggregation.  These tests pin the translation
+layer the capabilities descriptor declares and the cross-engine agreement
+the differential oracle depends on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import SQLiteBackend, create_backend
+from repro.backends.sqlite import split_statements, translate_sql
+from repro.engine.dialects import default_fault_profile
+from repro.errors import EngineCrash, SemanticGeometryError, SQLExecutionError
+
+
+@pytest.fixture
+def session():
+    opened = SQLiteBackend(dialect="postgis").open_session()
+    yield opened
+    opened.close()
+
+
+def _load(session, rows, table="t1"):
+    session.execute(f"CREATE TABLE {table} (id int, g geometry)")
+    for row_id, wkt in enumerate(rows, start=1):
+        session.execute(f"INSERT INTO {table} (id, g) VALUES ({row_id}, '{wkt}')")
+
+
+class TestTranslation:
+    def test_geometry_cast_is_stripped(self):
+        assert (
+            translate_sql("SELECT COUNT(*) FROM t WHERE st_within(t.g, 'POINT(1 2)'::geometry)")
+            == "SELECT COUNT(*) FROM t WHERE st_within(t.g, 'POINT(1 2)')"
+        )
+
+    def test_unaliased_self_join_gets_an_alias(self):
+        translated = translate_sql(
+            "SELECT COUNT(*) FROM t1 JOIN t1 ON st_intersects(t1.g, t1.g)"
+        )
+        assert "FROM t1 AS _spatter_outer JOIN t1 ON" in translated
+
+    def test_distinct_tables_keep_their_join(self):
+        sql = "SELECT COUNT(*) FROM t1 JOIN t2 ON st_touches(t1.g, t2.g)"
+        assert translate_sql(sql) == sql
+
+    def test_order_by_terms_get_nulls_last(self):
+        translated = translate_sql(
+            "SELECT id FROM t ORDER BY st_distance(g, 'POINT(0 0)'::geometry), id LIMIT 3"
+        )
+        assert (
+            translated
+            == "SELECT id FROM t ORDER BY st_distance(g, 'POINT(0 0)') NULLS LAST, "
+            "id NULLS LAST LIMIT 3"
+        )
+
+    def test_subquery_order_by_is_translated_too(self):
+        translated = translate_sql(
+            "SELECT COUNT(*) FROM ta AS a JOIN (SELECT id, g FROM tb "
+            "ORDER BY id LIMIT 3) AS b ON st_intersects(a.g, b.g)"
+        )
+        assert "ORDER BY id NULLS LAST LIMIT 3" in translated
+
+    def test_order_by_inside_string_literal_is_untouched(self):
+        sql = "SELECT st_isvalid('POINT(1 2)') FROM t WHERE name = 'ORDER BY trap'"
+        assert translate_sql(sql) == sql
+
+    def test_split_statements_respects_quoted_semicolons(self):
+        statements = split_statements(
+            "INSERT INTO t (g) VALUES ('POINT(1 2)'); SELECT ';' FROM t; "
+        )
+        assert len(statements) == 2
+        assert statements[0].startswith("INSERT")
+        assert "';'" in statements[1]
+
+
+class TestExecution:
+    def test_counts_match_the_in_process_engine(self, session):
+        rows = [
+            "POINT(1 1)",
+            "LINESTRING(0 0, 2 2)",
+            "POLYGON((0 0, 3 0, 3 3, 0 3, 0 0))",
+        ]
+        _load(session, rows)
+        reference = create_backend("inprocess", dialect="postgis").open_session()
+        _load(reference, rows)
+        for predicate in ("st_intersects", "st_contains", "st_touches", "st_disjoint"):
+            sql = f"SELECT COUNT(*) FROM t1 JOIN t1 ON {predicate}(t1.g, t1.g)"
+            assert session.query_value(sql) == reference.query_value(sql), predicate
+
+    def test_knn_null_distance_sorts_like_postgresql(self, session):
+        # EMPTY geometries have NULL distance; PostgreSQL (and so the
+        # in-process engine) sorts NULL keys last in ascending order.
+        _load(session, ["POINT EMPTY", "POINT(1 1)", "POINT(5 5)"])
+        rows = session.query_rows(
+            "SELECT id FROM t1 ORDER BY st_distance(g, 'POINT(0 0)'::geometry), id LIMIT 3"
+        )
+        assert rows == [(2,), (3,), (1,)]
+
+    def test_aggregates_run_in_sqlite(self, session):
+        _load(session, ["POLYGON((0 0, 2 0, 2 2, 0 2, 0 0))", "POINT(1 1)"])
+        assert session.query_value("SELECT SUM(st_area(t1.g)) FROM t1") == 4.0
+
+    def test_scripts_split_and_report_statement_stats(self, session):
+        session.execute(
+            "CREATE TABLE t (id int, g geometry); "
+            "INSERT INTO t (id, g) VALUES (1, 'POINT(1 2)')"
+        )
+        assert session.query_value("SELECT COUNT(*) FROM t") == 1
+        assert session.stats.statements == 3
+        assert session.stats.seconds_in_engine > 0.0
+
+    def test_unknown_function_maps_to_sql_execution_error(self):
+        # MySQL's catalog lacks st_dfullywithin, so it is never registered.
+        mysql_session = SQLiteBackend(dialect="mysql").open_session()
+        try:
+            _load(mysql_session, ["POINT(0 0)"], table="t")
+            with pytest.raises(SQLExecutionError):
+                mysql_session.query_value(
+                    "SELECT COUNT(*) FROM t JOIN t ON st_dfullywithin(t.g, t.g, 3)"
+                )
+        finally:
+            mysql_session.close()
+
+    def test_semantic_errors_keep_their_type_across_the_udf_boundary(self):
+        strict = SQLiteBackend(dialect="duckdb_spatial").open_session()
+        try:
+            strict.execute("CREATE TABLE t (id int, g geometry)")
+            # bow-tie polygon: syntactically fine, semantically invalid
+            strict.execute(
+                "INSERT INTO t (id, g) VALUES (1, 'POLYGON((0 0, 2 2, 2 0, 0 2, 0 0))')"
+            )
+            with pytest.raises(SemanticGeometryError):
+                strict.query_value("SELECT st_area(g) FROM t")
+        finally:
+            strict.close()
+
+    def test_injected_crash_bugs_keep_their_bug_id(self):
+        crashing = create_backend(
+            "sqlite", dialect="postgis", bug_ids=("postgis-crash-dumprings-empty",)
+        ).open_session()
+        try:
+            crashing.execute("CREATE TABLE t (id int, g geometry)")
+            crashing.execute("INSERT INTO t (id, g) VALUES (1, 'POLYGON EMPTY')")
+            with pytest.raises(EngineCrash) as info:
+                crashing.query_value("SELECT st_astext(st_dumprings(g)) FROM t")
+            assert info.value.bug_id == "postgis-crash-dumprings-empty"
+            assert "postgis-crash-dumprings-empty" in crashing.fault_plan.triggered
+        finally:
+            crashing.close()
+
+    def test_injected_logic_bugs_fire_identically_on_both_backends(self):
+        # The wrong-definition ST_DFullyWithin bug evaluates through the
+        # same registry hook whichever planner drives it.
+        bug = ("postgis-dfullywithin-wrong-definition",)
+        rows = ["POINT(1 1)", "POINT(2 2)"]
+        sql = "SELECT COUNT(*) FROM t1 JOIN t1 ON st_dfullywithin(t1.g, t1.g, 10)"
+        results = {}
+        for backend_name in ("inprocess", "sqlite"):
+            opened = create_backend(backend_name, dialect="postgis", bug_ids=bug).open_session()
+            _load(opened, rows)
+            results[backend_name] = opened.query_value(sql)
+        assert results["inprocess"] == results["sqlite"]
+        clean = create_backend("sqlite", dialect="postgis").open_session()
+        _load(clean, rows)
+        assert clean.query_value(sql) != results["sqlite"]
