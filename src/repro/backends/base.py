@@ -63,6 +63,15 @@ class Capabilities:
     supports_planner_toggles: bool = True
     #: the backend's SQL parser accepts ``'...'::geometry`` literal casts.
     supports_geometry_cast: bool = True
+    #: the backend accepts ``FROM t JOIN t`` with a repeated unaliased table
+    #: name (collapsing it to one binding, like the in-process engine);
+    #: backends that reject the ambiguity make the IR renderer alias the
+    #: earlier occurrence instead.
+    supports_unaliased_self_join: bool = True
+    #: ascending ``ORDER BY`` places NULL keys last by default (the
+    #: PostgreSQL rule the in-process engine emulates); backends defaulting
+    #: to NULLS FIRST make the renderer spell ``NULLS LAST`` explicitly.
+    orders_nulls_last: bool = True
     #: free-form quirk notes, surfaced by ``--list-backends``.
     notes: tuple[str, ...] = ()
 
@@ -105,6 +114,10 @@ class Capabilities:
             flags.append("planner-toggles")
         if not self.supports_geometry_cast:
             flags.append("no-::geometry-cast")
+        if not self.supports_unaliased_self_join:
+            flags.append("aliased-self-joins")
+        if not self.orders_nulls_last:
+            flags.append("explicit-nulls-last")
         return f"{self.backend}({self.dialect.name}): {', '.join(flags) or 'minimal'}"
 
 

@@ -84,6 +84,9 @@ class CrossBackendComparator:
     def __init__(self, backend: Backend, primary_name: str):
         self.backend = backend
         self.primary_name = primary_name
+        #: the reference's quirk flags drive its own IR rendering — each
+        #: side of the comparison executes dialect-exact SQL from one plan.
+        self.capabilities = backend.capabilities()
         self.session: BackendSession | None = None
         self.stats = ComparatorStats()
 
@@ -119,7 +122,7 @@ class CrossBackendComparator:
         """Replay one query on the reference; a divergence or ``None``."""
         if self.session is None:
             return None
-        sql = query.sql_original
+        sql = query.render_original(self.capabilities)
         self.stats.queries_compared += 1
         try:
             if query.kind == "rows":
@@ -142,6 +145,8 @@ class CrossBackendComparator:
             backend_reference=self.backend.name,
             result_primary=shown_primary,
             result_reference=shown_reference,
-            sql=sql,
+            # reporting shows the canonical rendering; the reference-side
+            # execution used its own dialect-exact render of the same plan.
+            sql=query.sql_original,
             triggered_bug_ids=tuple(triggered_bug_ids),
         )

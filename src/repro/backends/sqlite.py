@@ -11,17 +11,14 @@ the point: campaigns driving this backend fuzz an actual external query
 planner rather than our own executor, and the cross-backend differential
 mode can hold the two executions against each other.
 
-Dialect quirks the translation layer bridges (declared in the backend's
-:class:`~repro.backends.base.Capabilities`):
-
-* ``'...'::geometry`` literal casts are PostgreSQL syntax; SQLite takes the
-  bare string literal (UDFs accept WKT text directly), so the cast is
-  stripped.
-* ``FROM t JOIN t ON p(t.g, t.g)`` is legal in the in-process engine (the
-  repeated name collapses to one binding, giving ``N*M`` join semantics)
-  but ambiguous to SQLite; aliasing the first occurrence reproduces the
-  same binding resolution, because the engine resolves references to the
-  *latest* occurrence just as the alias rewrite makes SQLite do.
+Dialect quirks are *declared*, not translated: the backend's
+:class:`~repro.backends.base.Capabilities` descriptor states that SQLite
+takes bare ``'...'`` WKT literals (no ``::geometry`` cast), rejects
+``FROM t JOIN t`` with a repeated unaliased table name, and sorts NULL keys
+first on ascending ``ORDER BY`` terms — and the query-IR renderer
+(:mod:`repro.core.qir`) emits dialect-exact SQL from those flags in one
+pass.  The regex translation layer that used to re-derive the same rules
+from already-rendered SQL strings is gone.
 
 Exceptions raised inside a UDF surface from ``sqlite3`` as an opaque
 ``OperationalError``; the session stashes the original exception around
@@ -32,7 +29,6 @@ adapter boundary.
 
 from __future__ import annotations
 
-import re
 import sqlite3
 import time
 from typing import Any
@@ -45,87 +41,6 @@ from repro.engine.faults import FaultPlan
 from repro.engine.registry import FunctionRegistry
 from repro.errors import ReproError, SQLExecutionError
 from repro.geometry.model import Geometry
-
-#: the PostgreSQL literal-cast suffix the scenario builders emit.
-_GEOMETRY_CAST = re.compile(r"::geometry\b", re.IGNORECASE)
-
-#: an unaliased self-join (``FROM t JOIN t ON``), ambiguous to SQLite.
-_SELF_JOIN = re.compile(r"\bFROM\s+(\w+)\s+JOIN\s+\1\s+ON\b", re.IGNORECASE)
-
-_ORDER_BY = re.compile(r"\bORDER\s+BY\b", re.IGNORECASE)
-
-#: keywords that terminate an ORDER BY term list at its own nesting level.
-_CLAUSE_TERMINATORS = ("LIMIT", "OFFSET")
-
-
-def translate_sql(sql: str) -> str:
-    """Bridge the engine-dialect quirks the capabilities descriptor declares."""
-    sql = _GEOMETRY_CAST.sub("", sql)
-    sql = _SELF_JOIN.sub(r"FROM \1 AS _spatter_outer JOIN \1 ON", sql)
-    return _with_nulls_last(sql)
-
-
-def _with_nulls_last(sql: str) -> str:
-    """Append ``NULLS LAST`` to every ascending ORDER BY term.
-
-    The in-process engine emulates PostgreSQL's default sort, which places
-    NULL keys *last*; SQLite's default places them first.  A KNN query over
-    a table containing an EMPTY geometry (whose ``ST_Distance`` is NULL)
-    would otherwise read as a divergence on a bug-free engine.  Only
-    ascending terms are generated by the scenario builders; a DESC term
-    would need ``NULLS FIRST`` instead and is left untouched.
-    """
-    # Rewrite right-to-left so earlier match offsets stay valid.
-    for match in reversed(list(_ORDER_BY.finditer(sql))):
-        if sql[: match.start()].count("'") % 2:
-            continue  # inside a string literal
-        insertions = _term_end_positions(sql, match.end())
-        for position in reversed(insertions):
-            if sql[:position].rstrip().upper().endswith(" DESC"):
-                continue
-            sql = sql[:position] + " NULLS LAST" + sql[position:]
-    return sql
-
-
-def _term_end_positions(sql: str, start: int) -> list[int]:
-    """End offsets of each top-level ORDER BY term starting at ``start``."""
-    positions: list[int] = []
-    depth = 0
-    in_string = False
-    last_solid = None
-    index = start
-    while index < len(sql):
-        character = sql[index]
-        if character == "'":
-            in_string = not in_string
-        elif not in_string:
-            if character == "(":
-                depth += 1
-            elif character == ")":
-                if depth == 0:
-                    break  # the ORDER BY lived inside a subquery
-                depth -= 1
-            elif character == "," and depth == 0:
-                if last_solid is not None:
-                    positions.append(last_solid + 1)
-                last_solid = None
-                index += 1
-                continue
-            elif character == ";" and depth == 0:
-                break
-            elif depth == 0 and character.isalpha():
-                word = re.match(r"[A-Za-z_]+", sql[index:]).group(0)
-                if word.upper() in _CLAUSE_TERMINATORS:
-                    break
-                last_solid = index + len(word) - 1
-                index += len(word)
-                continue
-        if not character.isspace():
-            last_solid = index
-        index += 1
-    if last_solid is not None:
-        positions.append(last_solid + 1)
-    return positions
 
 
 def split_statements(sql: str) -> list[str]:
@@ -185,7 +100,7 @@ class SQLiteSession:
         result = BackendResultSet(command="EMPTY")
         started = time.perf_counter()
         try:
-            for statement in split_statements(translate_sql(sql)):
+            for statement in split_statements(sql):
                 self.stats.statements += 1
                 self._pending_error = None
                 try:
@@ -262,9 +177,12 @@ class SQLiteBackend(Backend):
             supports_auto_indexes=False,
             supports_planner_toggles=False,
             supports_geometry_cast=False,
+            supports_unaliased_self_join=False,
+            orders_nulls_last=False,
             notes=(
                 "geometries stored as WKT TEXT; ST_* registered as deterministic UDFs",
                 "joins/aggregation/ordering planned by SQLite itself",
+                "SQL rendered by the query IR's SQLite-flavoured renderer (docs/QUERY_IR.md)",
             ),
         )
 

@@ -72,12 +72,10 @@ class DifferentialOracle:
         self.backend_a = backend_a
         self.backend_b = backend_b
 
-    def _connect(
-        self, dialect: str, bug_ids: tuple[str, ...] | None, backend: str
-    ) -> BackendSession:
+    def _backend(self, dialect: str, bug_ids: tuple[str, ...] | None, backend: str):
         if bug_ids is None:
             bug_ids = tuple(default_fault_profile(dialect)) if self.emulate else ()
-        return create_backend(backend, dialect=dialect, bug_ids=tuple(bug_ids)).open_session()
+        return create_backend(backend, dialect=dialect, bug_ids=tuple(bug_ids))
 
     def comparable_predicates(self) -> list[str]:
         """Predicates both dialects document (the only comparable ones)."""
@@ -90,9 +88,13 @@ class DifferentialOracle:
         outcome = DifferentialOutcome()
         comparable = set(self.comparable_predicates())
 
+        backend_a = self._backend(self.dialect_a, self.bug_ids_a, self.backend_a)
+        backend_b = self._backend(self.dialect_b, self.bug_ids_b, self.backend_b)
+        capabilities_a = backend_a.capabilities()
+        capabilities_b = backend_b.capabilities()
         try:
-            database_a = self._materialise(self.dialect_a, self.bug_ids_a, spec, self.backend_a)
-            database_b = self._materialise(self.dialect_b, self.bug_ids_b, spec, self.backend_b)
+            database_a = self._materialise(backend_a, spec)
+            database_b = self._materialise(backend_b, spec)
         except (EngineCrash, ReproError):
             outcome.errors_ignored += 1
             return outcome
@@ -106,8 +108,9 @@ class DifferentialOracle:
                 continue
             outcome.queries_run += 1
             try:
-                count_a = database_a.query_value(query.sql())
-                count_b = database_b.query_value(query.sql())
+                # One query plan, rendered dialect-exactly for each system.
+                count_a = database_a.query_value(query.render(capabilities_a))
+                count_b = database_b.query_value(query.render(capabilities_b))
             except (EngineCrash, ReproError):
                 outcome.errors_ignored += 1
                 continue
@@ -123,10 +126,8 @@ class DifferentialOracle:
                 )
         return outcome
 
-    def _materialise(
-        self, dialect, bug_ids, spec: DatabaseSpec, backend: str
-    ) -> BackendSession:
-        database = self._connect(dialect, bug_ids, backend)
+    def _materialise(self, backend, spec: DatabaseSpec) -> BackendSession:
+        database = backend.open_session()
         for statement in spec.create_statements():
             database.execute(statement)
         return database

@@ -21,6 +21,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.errors import EngineCrash, ReproError
+from repro.backends.base import Capabilities
 from repro.core.generator import DatabaseSpec
 from repro.core.queries import QueryTemplate, TopologicalQuery
 from repro.engine.database import SpatialDatabase
@@ -103,11 +104,15 @@ class IndexToggleOracle:
         self, database: SpatialDatabase, query: TopologicalQuery
     ) -> IndexFinding | None:
         """One comparison; returns a finding when the two paths disagree."""
+        # The oracle only drives planner-toggle backends (the in-process
+        # engine), but the SQL still goes through the IR renderer so every
+        # query producer shares one rendering path.
+        sql = query.render(Capabilities.from_dialect(database.dialect))
         try:
             database.execute("SET enable_seqscan = true")
-            count_seqscan = database.query_value(query.sql())
+            count_seqscan = database.query_value(sql)
             database.execute("SET enable_seqscan = false")
-            count_index = database.query_value(query.sql())
+            count_index = database.query_value(sql)
             database.execute("SET enable_seqscan = true")
         except (EngineCrash, ReproError):
             return None

@@ -15,15 +15,23 @@ For the spatial join template the partitioning looks like::
     null_part  = SELECT COUNT(*) FROM t1, t2 WHERE p(t1.g, t2.g) IS NULL
 
 and the oracle checks ``true_part + false_part + null_part == total``.
+
+The four partitioning queries are built as typed IR plans
+(:mod:`repro.core.qir`) derived from the template query's predicate — the
+original, its :class:`~repro.core.qir.Not` negation and its
+:class:`~repro.core.qir.IsNull` lift — and rendered per executing backend.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.errors import EngineCrash, ReproError
+from repro.backends.base import Capabilities
 from repro.core.generator import DatabaseSpec
+from repro.core.qir import IsNull, Not, Select, TableRef, count_query, predicate_call, render
 from repro.core.queries import QueryTemplate, TopologicalQuery
 from repro.engine.database import SpatialDatabase
 
@@ -53,11 +61,16 @@ class TLPOracle:
         """Construct from a connection factory or a ``repro.backends``
         backend (TLP only needs plain query execution, so any adapter
         qualifies)."""
+        capabilities = None
         if database_factory is None:
             if backend is None:
                 raise ValueError("TLPOracle needs a database_factory or a backend")
             database_factory = backend.open_session
+            capabilities = backend.capabilities()
         self.database_factory = database_factory
+        #: render target for the partition queries; a bare factory is the
+        #: in-process engine, whose capabilities the session dialect implies.
+        self.capabilities = capabilities
         self.rng = rng or random.Random()
 
     def _materialise(self, spec: DatabaseSpec) -> SpatialDatabase:
@@ -67,20 +80,28 @@ class TLPOracle:
         return database
 
     @staticmethod
-    def partition_queries(query: TopologicalQuery) -> dict[str, str]:
-        """The four COUNT queries of one TLP check."""
-        left = f"{query.table_a}.{query.geometry_column}"
-        right = f"{query.table_b}.{query.geometry_column}"
-        if query.uses_distance:
-            predicate = f"{query.predicate}({left}, {right}, {query.distance})"
-        else:
-            predicate = f"{query.predicate}({left}, {right})"
-        from_clause = f"FROM {query.table_a}, {query.table_b}"
+    def partition_irs(query: TopologicalQuery) -> dict[str, Select]:
+        """The four COUNT query plans of one TLP check."""
+        predicate = predicate_call(
+            query.predicate,
+            query.table_a,
+            query.table_b,
+            column=query.geometry_column,
+            distance=query.distance if query.uses_distance else None,
+        )
+        sources = (TableRef(query.table_a), TableRef(query.table_b))
         return {
-            "total": f"SELECT COUNT(*) {from_clause}",
-            "true": f"SELECT COUNT(*) {from_clause} WHERE {predicate}",
-            "false": f"SELECT COUNT(*) {from_clause} WHERE NOT {predicate}",
-            "null": f"SELECT COUNT(*) {from_clause} WHERE {predicate} IS NULL",
+            "total": count_query(sources),
+            "true": count_query(sources, where=predicate),
+            "false": count_query(sources, where=Not(predicate)),
+            "null": count_query(sources, where=IsNull(predicate)),
+        }
+
+    @classmethod
+    def partition_queries(cls, query: TopologicalQuery, target: Any = None) -> dict[str, str]:
+        """The four COUNT queries rendered for one backend (default: canonical)."""
+        return {
+            name: render(ir, target) for name, ir in cls.partition_irs(query).items()
         }
 
     def check(self, spec: DatabaseSpec, query_count: int = 10) -> TLPOutcome:
@@ -105,7 +126,8 @@ class TLPOracle:
         self, database: SpatialDatabase, query: TopologicalQuery
     ) -> TLPFinding | None:
         """One TLP check; returns a finding when the partition sums disagree."""
-        queries = self.partition_queries(query)
+        target = self.capabilities or Capabilities.from_dialect(database.dialect)
+        queries = self.partition_queries(query, target)
         try:
             total = database.query_value(queries["total"])
             true_part = database.query_value(queries["true"])

@@ -117,6 +117,16 @@ def build_argument_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the injected bug catalog for the dialect and exit",
     )
+    parser.add_argument(
+        "--reduce",
+        action="store_true",
+        help=(
+            "minimize every discrepancy before printing it: IR-level query "
+            "shrinking (drop join arms, simplify predicates, shrink "
+            "literals) followed by row-level ddmin over the generated "
+            "database"
+        ),
+    )
     return parser
 
 
@@ -149,6 +159,48 @@ def _print_scenario_catalog(dialect: str) -> None:
             f"{scenario.title}{applicable}"
         )
     print("\nEach scenario is documented in docs/SCENARIOS.md.")
+
+
+def _print_reduced_discrepancies(result) -> None:
+    """Emit every discrepancy already minimized (the ``--reduce`` mode).
+
+    Each finding is re-validated through a fresh oracle on the campaign's
+    backend: the query plan is shrunk first (IR-level ddmin), then the
+    generated rows (row-level ddmin).  Row-list findings (KNN) have no
+    scalar re-check and are printed unreduced.
+    """
+    from repro.core.generator import DatabaseSpec
+    from repro.core.oracle import AEIOracle
+    from repro.core.reduce import TestCaseReducer
+
+    config = result.config
+    backend = create_backend(
+        config.backend,
+        dialect=config.dialect,
+        bug_ids=config.resolved_bug_ids(),
+        fast_path=config.fast_path,
+    )
+    for discrepancy in result.discrepancies:
+        if getattr(discrepancy.query, "kind", "scalar") != "scalar":
+            print(f"  - {discrepancy.describe()}  [row-list query: not reduced]")
+            continue
+        scenario = None
+        try:
+            scenario = get_scenario(discrepancy.scenario)
+        except KeyError:
+            pass
+        oracle = AEIOracle(backend=backend, fast_path=config.fast_path)
+        reducer = TestCaseReducer(oracle, scenario=scenario)
+        spec = DatabaseSpec.from_statements(discrepancy.original_statements)
+        case = reducer.minimize(spec, discrepancy.query, discrepancy.transformation)
+        print(f"  - {case.query.describe()} returned {case.count_original} / {case.count_followup}")
+        print(
+            f"    minimized: {case.removed_geometries} of {spec.geometry_count()} "
+            f"geometries removed, {case.simplified_query_steps} query "
+            f"simplification step(s) ({discrepancy.transformation.describe()})"
+        )
+        for statement in case.spec.create_statements(include_ids=True):
+            print(f"      {statement}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -245,9 +297,13 @@ def main(argv: list[str] | None = None) -> int:
             found = findings_by_scenario.get(name, 0)
             print(f"  {name:18s} {count:5d} queries, {found:3d} discrepancies")
     if result.discrepancies:
-        print("\nDiscrepancies:")
-        for discrepancy in result.discrepancies:
-            print(f"  - {discrepancy.describe()}")
+        if arguments.reduce:
+            print("\nDiscrepancies (minimized):")
+            _print_reduced_discrepancies(result)
+        else:
+            print("\nDiscrepancies:")
+            for discrepancy in result.discrepancies:
+                print(f"  - {discrepancy.describe()}")
     if result.crashes:
         print("\nCrashes:")
         for crash in result.crashes:

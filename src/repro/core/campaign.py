@@ -110,6 +110,20 @@ class CampaignConfig:
             return max(1, self.shards)
         return max(1, self.workers)
 
+    def resolved_bug_ids(self) -> tuple[str, ...]:
+        """The injected-bug profile this configuration runs with.
+
+        The single resolution rule shared by the campaign driver and the
+        CLI's ``--reduce`` re-validation: an explicit profile wins, the
+        release emulation selects the dialect's default faults, and a
+        clean run injects nothing.
+        """
+        if self.bug_ids is not None:
+            return tuple(self.bug_ids)
+        if self.emulate_release_under_test:
+            return tuple(default_fault_profile(self.dialect))
+        return ()
+
 
 @dataclass
 class CampaignResult:
@@ -348,11 +362,7 @@ class TestingCampaign:
 
     # ------------------------------------------------------------- plumbing
     def _bug_ids(self) -> tuple[str, ...]:
-        if self.config.bug_ids is not None:
-            return tuple(self.config.bug_ids)
-        if self.config.emulate_release_under_test:
-            return tuple(default_fault_profile(self.config.dialect))
-        return ()
+        return self.config.resolved_bug_ids()
 
     def new_connection(self):
         """A fresh session on the configured execution backend.

@@ -10,12 +10,17 @@ each case to a bug identity:
   paper's binary search over fix commits, available to us because the bugs
   are injected rather than historical;
 * **signature deduplication** is the fallback a tester without ground truth
-  would use: the scenario and query label under test plus the multiset of
-  geometry types in the reduced test case.  The scenario tag matters now
-  that several scenarios can exercise the same predicate — an
-  ``st_intersects`` miscount from the JOIN template and one from the
-  single-table filter travel through different engine paths and deserve
-  separate identities.
+  would use: the scenario and query label under test, the *structural
+  shape* of the failing query plan, plus the multiset of geometry types in
+  the reduced test case.  The scenario tag matters now that several
+  scenarios can exercise the same predicate — an ``st_intersects`` miscount
+  from the JOIN template and one from the single-table filter travel
+  through different engine paths and deserve separate identities.  The
+  shape component comes from the query IR
+  (:func:`repro.core.qir.structural_signature`): table names, aliases and
+  literal values are anonymised, so two cases that differ only in which
+  generated tables or constants they mention collapse to one bug identity —
+  deduplication by query structure rather than string equality.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ import re
 from dataclasses import dataclass, field
 
 from repro.core.oracle import CrashReport, Discrepancy
+from repro.core.qir import structural_signature
 from repro.geometry import load_wkt
 
 #: the quoted WKT literal of an INSERT produced by DatabaseSpec, with or
@@ -37,8 +43,26 @@ def ground_truth_identity(discrepancy: Discrepancy) -> tuple[str, ...]:
     return tuple(sorted(set(discrepancy.triggered_bug_ids)))
 
 
+def query_shape(query) -> str:
+    """The anonymised structural shape of a query, for signature building.
+
+    Queries carrying an IR report :func:`repro.core.qir.structural_signature`
+    of their SDB1 plan; legacy string-only queries degrade to an empty
+    shape, keeping old pickled findings deduplicatable.
+    """
+    ir = getattr(query, "ir_original", None)
+    if ir is None and hasattr(query, "ir"):
+        try:
+            ir = query.ir()
+        except Exception:  # noqa: BLE001 - shape building must not fail
+            ir = None
+    if ir is None:
+        return ""
+    return structural_signature(ir)
+
+
 def signature_identity(discrepancy: Discrepancy) -> str:
-    """A syntactic bug signature: scenario + label + geometry type multiset."""
+    """A syntactic bug signature: scenario + label + query shape + geometry types."""
     types: list[str] = []
     for statement in discrepancy.original_statements:
         if not statement.upper().startswith("INSERT"):
@@ -53,7 +77,8 @@ def signature_identity(discrepancy: Discrepancy) -> str:
         discrepancy.query, "predicate", "?"
     )
     scenario = getattr(discrepancy, "scenario", "topological-join")
-    return f"{scenario}|{label}|{'+'.join(sorted(types))}"
+    shape = query_shape(discrepancy.query)
+    return f"{scenario}|{label}|{shape}|{'+'.join(sorted(types))}"
 
 
 @dataclass

@@ -14,11 +14,20 @@ affine-equivalent SDB2).
 from __future__ import annotations
 
 import random
+import re
 from dataclasses import dataclass, field
 
 from repro.core.derive import Deriver
 from repro.core.shapes import RandomShapeGenerator, ShapeConfig
 from repro.engine.database import SpatialDatabase
+
+#: the statements create_statements() emits, for the round-trip parser.
+_CREATE_TABLE = re.compile(r"^CREATE\s+TABLE\s+(?P<table>\w+)\s*\(", re.IGNORECASE)
+_INSERT_ROW = re.compile(
+    r"^INSERT\s+INTO\s+(?P<table>\w+)\s*\([^)]*\)\s*"
+    r"VALUES\s*\((?:\d+\s*,\s*)?'(?P<wkt>.*)'\)\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
 
 
 @dataclass
@@ -66,6 +75,37 @@ class DatabaseSpec:
                         f"INSERT INTO {table} ({geometry_column}) VALUES ('{escaped}')"
                     )
         return statements
+
+    @classmethod
+    def from_statements(cls, statements: list[str]) -> "DatabaseSpec":
+        """Rebuild a spec from :meth:`create_statements` output.
+
+        Discrepancies carry the materialising statements rather than the
+        spec itself; the CLI's ``--reduce`` mode parses them back so the
+        reducer can re-materialise candidate databases.  Row order (and so
+        the stable ``id`` column) is preserved.  A statement outside the
+        two shapes ``create_statements`` emits raises: silently dropping it
+        would hand the reducer a truncated database and let a vanished
+        discrepancy masquerade as a minimized one.
+        """
+        spec = cls(tables={})
+        for statement in statements:
+            stripped = statement.strip()
+            if not stripped:
+                continue
+            created = _CREATE_TABLE.match(stripped)
+            if created:
+                spec.tables.setdefault(created.group("table"), [])
+                continue
+            inserted = _INSERT_ROW.match(stripped)
+            if inserted:
+                wkt = inserted.group("wkt").replace("''", "'")
+                spec.tables.setdefault(inserted.group("table"), []).append(wkt)
+                continue
+            raise ValueError(
+                f"unrecognised materialisation statement: {stripped[:80]!r}"
+            )
+        return spec
 
 
 @dataclass(frozen=True)

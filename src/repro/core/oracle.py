@@ -342,6 +342,7 @@ class AEIOracle:
                     original_statements,
                     followup_statements,
                     comparator,
+                    capabilities,
                 )
         if comparator is not None:
             stats = comparator.finish()
@@ -385,6 +386,7 @@ class AEIOracle:
         original_statements: list[str],
         followup_statements: list[str],
         comparator: CrossBackendComparator | None = None,
+        capabilities: Capabilities | None = None,
     ) -> None:
         queries = scenario.build_queries(spec, context, budget)
         for query in queries:
@@ -392,19 +394,23 @@ class AEIOracle:
             outcome.queries_by_scenario[scenario.name] = (
                 outcome.queries_by_scenario.get(scenario.name, 0) + 1
             )
+            # The IR renders once per executing backend: the same query plan
+            # becomes dialect-exact SQL for whatever adapter runs it.
+            sql_original = query.render_original(capabilities)
+            sql_followup = query.render_followup(capabilities)
             before_original = len(original.fault_plan.triggered)
             before_followup = len(followup.fault_plan.triggered)
             try:
                 if query.kind == "rows":
                     result_original: Any = tuple(
-                        tuple(row) for row in original.query_rows(query.sql_original)
+                        tuple(row) for row in original.query_rows(sql_original)
                     )
                     result_followup: Any = tuple(
-                        tuple(row) for row in followup.query_rows(query.sql_followup)
+                        tuple(row) for row in followup.query_rows(sql_followup)
                     )
                 else:
-                    result_original = original.query_value(query.sql_original)
-                    result_followup = followup.query_value(query.sql_followup)
+                    result_original = original.query_value(sql_original)
+                    result_followup = followup.query_value(sql_followup)
             except EngineCrash as crash:
                 outcome.crashes.append(
                     CrashReport(

@@ -1,0 +1,541 @@
+"""The typed query IR: one structured query plan, rendered per backend.
+
+The paper's oracle hinges on running *the same* query template over SDB1
+and SDB2 with only the literals transformed (Figure 5).  Historically the
+reproduction built that template as ad-hoc SQL f-strings in every scenario
+and baseline, and the SQLite adapter then un-parsed the dialect quirks back
+out of the strings with regexes.  This module makes the template a
+first-class value instead — the move PQS makes with its typed expression
+AST (Rigger & Su, ICSE 2020) and SQLaser with clause-level query models:
+
+* every query producer builds a small tree of **frozen dataclasses**
+  (:class:`Select`, :class:`Join`, :class:`FunctionCall`, typed literals
+  including geometry-WKT literals);
+* the AEI transformation pipeline rewrites the tree **structurally**
+  (:func:`rewrite_literals`) rather than by string substitution, so a
+  follow-up query is derived from the original the same way a follow-up
+  database is derived from SDB1;
+* one renderer per backend dialect turns the tree into SQL, driven by the
+  quirk flags of :class:`~repro.backends.base.Capabilities`
+  (:class:`RenderStyle`): ``'...'::geometry`` literal casts, self-join
+  aliasing, explicit ``NULLS LAST`` on ascending ``ORDER BY`` terms — the
+  rules the SQLite adapter's deleted ``translate_sql`` regex layer used to
+  re-derive from strings;
+* reduction (:mod:`repro.core.reduce`) shrinks failing queries at the AST
+  level, and deduplication (:mod:`repro.core.dedup`) keys bug signatures on
+  the tree's :func:`structural_signature` instead of string equality.
+
+Every node is immutable and built from plain data, so IR trees pickle
+across the parallel orchestrator's process boundary exactly like the SQL
+strings they replace.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Union
+
+# ---------------------------------------------------------------------------
+# Expression nodes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Column:
+    """A column reference, optionally qualified (``t.g`` or bare ``g``)."""
+
+    name: str
+    table: str | None = None
+
+
+@dataclass(frozen=True)
+class IntLiteral:
+    """An integer literal (distance thresholds; coordinates stay in WKT)."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class GeometryLiteral:
+    """A geometry constant carried as WKT.
+
+    Rendering decides between PostgreSQL's ``'...'::geometry`` cast and the
+    bare string literal, per the target's capabilities; the transformation
+    pipeline rewrites the ``wkt`` payload structurally via
+    :func:`rewrite_literals` instead of substituting text into SQL.
+    """
+
+    wkt: str
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    """A (predicate or scalar) function call, e.g. ``st_covers(a.g, b.g)``."""
+
+    name: str
+    args: tuple["Expression", ...]
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """An aggregate call: ``COUNT(*)`` (argument ``None``) or ``SUM(expr)``."""
+
+    function: str
+    argument: "Expression | None" = None
+
+
+@dataclass(frozen=True)
+class Not:
+    """Logical negation of a predicate (the TLP FALSE partition)."""
+
+    operand: "Expression"
+
+
+@dataclass(frozen=True)
+class IsNull:
+    """``expr IS NULL`` (the TLP NULL partition)."""
+
+    operand: "Expression"
+
+
+Expression = Union[Column, IntLiteral, GeometryLiteral, FunctionCall, Aggregate, Not, IsNull]
+
+
+# ---------------------------------------------------------------------------
+# Query nodes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A table in a FROM chain, optionally aliased (``t1`` / ``ta AS a``)."""
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        """The name join conditions refer to this source by."""
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class SubquerySource:
+    """A derived table: ``(SELECT ...) AS alias`` (always aliased)."""
+
+    query: "Select"
+    alias: str
+
+    @property
+    def binding(self) -> str:
+        return self.alias
+
+
+Source = Union[TableRef, SubquerySource]
+
+
+@dataclass(frozen=True)
+class Join:
+    """One ``JOIN <source> ON <condition>`` arm."""
+
+    source: Source
+    condition: Expression
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ``ORDER BY`` term (ascending unless stated otherwise)."""
+
+    expression: Expression
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class Select:
+    """One SELECT statement: the only statement shape the oracle validates.
+
+    ``sources`` are the comma-separated FROM items (the TLP partitioning
+    uses the classic ``FROM t1, t2`` cross join), ``joins`` the explicit
+    ``JOIN ... ON`` arms appended after them.
+    """
+
+    projection: tuple[Expression, ...]
+    sources: tuple[Source, ...]
+    joins: tuple[Join, ...] = ()
+    where: Expression | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+
+
+Node = Union[Expression, Source, Join, OrderItem, Select]
+
+
+# ---------------------------------------------------------------------------
+# Convenience builders (the vocabulary every query producer shares)
+# ---------------------------------------------------------------------------
+
+
+def count_star() -> Aggregate:
+    return Aggregate("COUNT")
+
+
+def count_query(
+    sources: tuple[Source, ...],
+    joins: tuple[Join, ...] = (),
+    where: Expression | None = None,
+) -> Select:
+    """``SELECT COUNT(*) ...`` — the shape of every counting scenario."""
+    return Select(projection=(count_star(),), sources=sources, joins=joins, where=where)
+
+
+def predicate_call(predicate: str, left: Source | str, right: Source | str,
+                   column: str = "g", distance: int | None = None) -> FunctionCall:
+    """A topological/distance predicate over two bindings' geometry columns."""
+    left_name = left if isinstance(left, str) else left.binding
+    right_name = right if isinstance(right, str) else right.binding
+    args: tuple[Expression, ...] = (Column(column, left_name), Column(column, right_name))
+    if distance is not None:
+        args = args + (IntLiteral(distance),)
+    return FunctionCall(predicate, args)
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+#: the alias given to the earlier occurrence of an unaliased self-join when
+#: the target cannot collapse repeated table bindings (kept from the deleted
+#: regex layer so rendered SQL is byte-stable across the refactor).
+SELF_JOIN_ALIAS = "_spatter_outer"
+
+
+@dataclass(frozen=True)
+class RenderStyle:
+    """The dialect quirks a renderer honours, as declared by a backend.
+
+    The flags mirror :class:`~repro.backends.base.Capabilities`; a backend
+    adapter never translates SQL — it *declares* its quirks and the renderer
+    emits dialect-exact SQL in one pass.
+    """
+
+    #: the target parses PostgreSQL ``'...'::geometry`` literal casts.
+    geometry_casts: bool = True
+    #: the target collapses ``FROM t JOIN t`` to one binding (the in-process
+    #: engine's latest-occurrence resolution); targets that reject the
+    #: ambiguity get the earlier occurrence aliased instead.
+    unaliased_self_joins: bool = True
+    #: the target sorts NULL keys last on ascending ORDER BY terms (the
+    #: PostgreSQL default); targets that default to NULLS FIRST get an
+    #: explicit ``NULLS LAST`` appended to every ascending term.
+    nulls_last_by_default: bool = True
+
+    @classmethod
+    def for_target(cls, target: Any = None) -> "RenderStyle":
+        """Resolve a render target into a style.
+
+        ``target`` may be ``None`` (the canonical PostgreSQL-flavoured
+        style every query also uses for reporting), a ``RenderStyle``, or
+        anything quacking like a backend ``Capabilities`` descriptor.  A
+        bare :class:`~repro.engine.dialects.Dialect` resolves to the
+        canonical style: dialect catalogs describe functions, while the
+        quirks are a property of the executing backend.
+        """
+        if target is None:
+            return cls()
+        if isinstance(target, cls):
+            return target
+        return cls(
+            geometry_casts=getattr(target, "supports_geometry_cast", True),
+            unaliased_self_joins=getattr(target, "supports_unaliased_self_join", True),
+            nulls_last_by_default=getattr(target, "orders_nulls_last", True),
+        )
+
+
+def escape_string(text: str) -> str:
+    """SQL single-quote escaping (the only escape the WKT payloads need)."""
+    return text.replace("'", "''")
+
+
+def render(node: Node, target: Any = None) -> str:
+    """Render an IR node as SQL for the given target (see ``RenderStyle``)."""
+    style = RenderStyle.for_target(target)
+    if isinstance(node, Select):
+        return _render_select(node, style)
+    return _render_expression(node, style)
+
+
+def _render_expression(node: Expression, style: RenderStyle) -> str:
+    if isinstance(node, Column):
+        return f"{node.table}.{node.name}" if node.table else node.name
+    if isinstance(node, IntLiteral):
+        return str(node.value)
+    if isinstance(node, GeometryLiteral):
+        literal = f"'{escape_string(node.wkt)}'"
+        return f"{literal}::geometry" if style.geometry_casts else literal
+    if isinstance(node, FunctionCall):
+        arguments = ", ".join(_render_expression(a, style) for a in node.args)
+        return f"{node.name}({arguments})"
+    if isinstance(node, Aggregate):
+        if node.argument is None:
+            return f"{node.function}(*)"
+        return f"{node.function}({_render_expression(node.argument, style)})"
+    if isinstance(node, Not):
+        return f"NOT {_render_operand(node.operand, style)}"
+    if isinstance(node, IsNull):
+        return f"{_render_operand(node.operand, style)} IS NULL"
+    raise TypeError(f"not an IR expression: {node!r}")
+
+
+def _render_operand(operand: Expression, style: RenderStyle) -> str:
+    """An operand of NOT / IS NULL, parenthesised when composition needs it.
+
+    Function calls and literals are syntactically atomic; a nested
+    ``Not``/``IsNull`` is not — ``NOT p(...) IS NULL`` would parse as
+    ``NOT (p(...) IS NULL)`` rather than the intended composition.
+    """
+    rendered = _render_expression(operand, style)
+    if isinstance(operand, (Not, IsNull)):
+        return f"({rendered})"
+    return rendered
+
+
+def _render_source(source: Source, style: RenderStyle, forced_alias: str | None = None) -> str:
+    if isinstance(source, TableRef):
+        alias = source.alias or forced_alias
+        return f"{source.name} AS {alias}" if alias else source.name
+    if isinstance(source, SubquerySource):
+        return f"({_render_select(source.query, style)}) AS {source.alias}"
+    raise TypeError(f"not an IR source: {source!r}")
+
+
+def _self_join_aliases(select: Select, style: RenderStyle) -> dict[int, str]:
+    """Forced aliases for repeated unaliased table names, by chain position.
+
+    The in-process engine resolves a repeated table name to its *latest*
+    occurrence (the repeated name collapses to one binding with N*M join
+    semantics); a target that rejects the ambiguity gets every earlier
+    occurrence aliased away, which reproduces exactly that binding
+    resolution — the condition's unqualified references keep resolving to
+    the last, unaliased occurrence.
+    """
+    if style.unaliased_self_joins:
+        return {}
+    chain: list[Source] = list(select.sources) + [join.source for join in select.joins]
+    last_position: dict[str, int] = {}
+    for position, source in enumerate(chain):
+        if isinstance(source, TableRef) and source.alias is None:
+            last_position[source.name] = position
+    forced: dict[int, str] = {}
+    suffix = 0
+    for position, source in enumerate(chain):
+        if not isinstance(source, TableRef) or source.alias is not None:
+            continue
+        if last_position[source.name] != position:
+            forced[position] = SELF_JOIN_ALIAS if suffix == 0 else f"{SELF_JOIN_ALIAS}{suffix}"
+            suffix += 1
+    return forced
+
+
+def _render_select(select: Select, style: RenderStyle) -> str:
+    projection = ", ".join(_render_expression(item, style) for item in select.projection)
+    forced = _self_join_aliases(select, style)
+    from_items = [
+        _render_source(source, style, forced.get(position))
+        for position, source in enumerate(select.sources)
+    ]
+    parts = [f"SELECT {projection} FROM {', '.join(from_items)}"]
+    offset = len(select.sources)
+    for position, join in enumerate(select.joins, start=offset):
+        rendered = _render_source(join.source, style, forced.get(position))
+        parts.append(f"JOIN {rendered} ON {_render_expression(join.condition, style)}")
+    if select.where is not None:
+        parts.append(f"WHERE {_render_expression(select.where, style)}")
+    if select.order_by:
+        terms = []
+        for item in select.order_by:
+            term = _render_expression(item.expression, style)
+            # Mirror the PostgreSQL defaults on targets that invert them:
+            # ascending puts NULL keys last, descending puts them first.
+            if not item.ascending:
+                term += " DESC"
+                if not style.nulls_last_by_default:
+                    term += " NULLS FIRST"
+            elif not style.nulls_last_by_default:
+                term += " NULLS LAST"
+            terms.append(term)
+        parts.append(f"ORDER BY {', '.join(terms)}")
+    if select.limit is not None:
+        parts.append(f"LIMIT {select.limit}")
+    return " ".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Structural traversal and rewriting
+# ---------------------------------------------------------------------------
+
+_IR_TYPES = (
+    Column,
+    IntLiteral,
+    GeometryLiteral,
+    FunctionCall,
+    Aggregate,
+    Not,
+    IsNull,
+    TableRef,
+    SubquerySource,
+    Join,
+    OrderItem,
+    Select,
+)
+
+
+def transform(node: Node, fn: Callable[[Node], Node]) -> Node:
+    """Rebuild an IR tree bottom-up, applying ``fn`` to every node.
+
+    ``fn`` receives each (already rebuilt) node and returns its replacement
+    — the identity for nodes it does not care about.  Dataclass fields are
+    walked generically, so new node kinds participate without touching this
+    function.
+    """
+    rebuilt_fields: dict[str, Any] = {}
+    changed = False
+    for field in dataclasses.fields(node):
+        value = getattr(node, field.name)
+        if isinstance(value, _IR_TYPES):
+            new_value: Any = transform(value, fn)
+        elif isinstance(value, tuple):
+            new_value = tuple(
+                transform(item, fn) if isinstance(item, _IR_TYPES) else item for item in value
+            )
+        else:
+            new_value = value
+        if new_value is not value and new_value != value:
+            changed = True
+        rebuilt_fields[field.name] = new_value
+    rebuilt = dataclasses.replace(node, **rebuilt_fields) if changed else node
+    return fn(rebuilt)
+
+
+def walk(node: Node) -> Iterator[Node]:
+    """Every node of an IR tree, depth-first, parents before children."""
+    yield node
+    for field in dataclasses.fields(node):
+        value = getattr(node, field.name)
+        if isinstance(value, _IR_TYPES):
+            yield from walk(value)
+        elif isinstance(value, tuple):
+            for item in value:
+                if isinstance(item, _IR_TYPES):
+                    yield from walk(item)
+
+
+def rewrite_literals(
+    node: Node,
+    geometry: Callable[[str], str] | None = None,
+    integer: Callable[[int], int] | None = None,
+) -> Node:
+    """The structural form of the oracle's follow-up rewriting.
+
+    Applies ``geometry`` to every geometry literal's WKT and ``integer`` to
+    every integer literal's value, returning a new tree.  This is how a
+    scenario derives its SDB2 query from the SDB1 query: the same
+    canonicalize-then-transform pipeline the stored geometries go through
+    is applied to the query's embedded constants — structurally, never by
+    substituting text into SQL.
+    """
+
+    def rewrite(n: Node) -> Node:
+        if geometry is not None and isinstance(n, GeometryLiteral):
+            return GeometryLiteral(geometry(n.wkt))
+        if integer is not None and isinstance(n, IntLiteral):
+            return IntLiteral(integer(n.value))
+        return n
+
+    return transform(node, rewrite)
+
+
+def literals(node: Node) -> list[IntLiteral | GeometryLiteral]:
+    """Every literal of a tree in deterministic walk order.
+
+    Two trees derived from one another by :func:`rewrite_literals` share
+    their structure, so position *i* here names the *same* literal site in
+    both — which is what lets the reducer shrink an (original, follow-up)
+    literal pair in lockstep.
+    """
+    return [n for n in walk(node) if isinstance(n, (IntLiteral, GeometryLiteral))]
+
+
+def replace_literal(node: Node, index: int, replacement: IntLiteral | GeometryLiteral) -> Node:
+    """Replace the ``index``-th literal (in :func:`literals` order).
+
+    Literals are leaves, so their visit order under the bottom-up
+    :func:`transform` matches the document order :func:`literals` reports.
+    """
+    if not 0 <= index < len(literals(node)):
+        raise IndexError(f"literal index {index} out of range")
+    state = {"next": 0}
+
+    def rewrite(n: Node) -> Node:
+        if isinstance(n, (IntLiteral, GeometryLiteral)):
+            position = state["next"]
+            state["next"] += 1
+            if position == index:
+                return replacement
+        return n
+
+    return transform(node, rewrite)
+
+
+# ---------------------------------------------------------------------------
+# Structural signatures (deduplication by query shape)
+# ---------------------------------------------------------------------------
+
+
+def structural_signature(node: Node) -> str:
+    """A compact shape fingerprint: node kinds and function names only.
+
+    Table names, aliases and literal *values* are anonymised, so two
+    findings whose queries differ only in which generated tables or
+    constants they mention collapse to one signature — deduplication by
+    query structure rather than string equality.  Function names stay
+    (case-folded): an ``st_intersects`` miscount and an ``st_covers``
+    miscount are different bugs.
+    """
+    if isinstance(node, Select):
+        from_shape = ",".join(structural_signature(s) for s in node.sources)
+        join_shape = "".join(
+            f"+join({structural_signature(j.source)} on {structural_signature(j.condition)})"
+            for j in node.joins
+        )
+        where_shape = f" where {structural_signature(node.where)}" if node.where else ""
+        order_shape = (
+            " order " + ",".join(structural_signature(i.expression) for i in node.order_by)
+            if node.order_by
+            else ""
+        )
+        limit_shape = " limit" if node.limit is not None else ""
+        projection = ",".join(structural_signature(p) for p in node.projection)
+        return f"select({projection} from {from_shape}{join_shape}{where_shape}{order_shape}{limit_shape})"
+    if isinstance(node, TableRef):
+        return "t"
+    if isinstance(node, SubquerySource):
+        return f"sub[{structural_signature(node.query)}]"
+    if isinstance(node, Column):
+        return "col"
+    if isinstance(node, IntLiteral):
+        return "int"
+    if isinstance(node, GeometryLiteral):
+        return "geom"
+    if isinstance(node, FunctionCall):
+        arguments = ",".join(structural_signature(a) for a in node.args)
+        return f"{node.name.lower()}({arguments})"
+    if isinstance(node, Aggregate):
+        if node.argument is None:
+            return f"{node.function.lower()}(*)"
+        return f"{node.function.lower()}({structural_signature(node.argument)})"
+    if isinstance(node, Not):
+        return f"not({structural_signature(node.operand)})"
+    if isinstance(node, IsNull):
+        return f"isnull({structural_signature(node.operand)})"
+    raise TypeError(f"not an IR node: {node!r}")

@@ -22,7 +22,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Any
 
+from repro.core.qir import Join, Select, TableRef, count_query, predicate_call, render
 from repro.engine.dialects import Dialect
 
 #: predicates whose result depends on absolute distances.
@@ -60,17 +62,26 @@ class TopologicalQuery:
     def uses_distance(self) -> bool:
         return self.predicate in DISTANCE_PREDICATES
 
-    def sql(self) -> str:
-        """The COUNT query against the join of the two tables."""
-        left = f"{self.table_a}.{self.geometry_column}"
-        right = f"{self.table_b}.{self.geometry_column}"
-        if self.uses_distance:
-            condition = f"{self.predicate}({left}, {right}, {self.distance})"
-        else:
-            condition = f"{self.predicate}({left}, {right})"
-        return (
-            f"SELECT COUNT(*) FROM {self.table_a} JOIN {self.table_b} ON {condition}"
+    def ir(self) -> Select:
+        """The query as a typed IR tree (the template's canonical form)."""
+        condition = predicate_call(
+            self.predicate,
+            self.table_a,
+            self.table_b,
+            column=self.geometry_column,
+            distance=self.distance if self.uses_distance else None,
         )
+        return count_query(
+            (TableRef(self.table_a),), joins=(Join(TableRef(self.table_b), condition),)
+        )
+
+    def render(self, target: Any = None) -> str:
+        """The COUNT query rendered for one backend's dialect quirks."""
+        return render(self.ir(), target)
+
+    def sql(self) -> str:
+        """The canonical (PostgreSQL-flavoured) rendering of the template."""
+        return self.render()
 
     def followup_sql(self) -> str:
         """The SDB2 statement (identical for non-distance predicates).

@@ -3,19 +3,39 @@
 Before reporting, the paper reduces each discrepancy-inducing pair of
 statement sequences automatically (citing Zeller & Hildebrandt's
 delta-debugging) and then manually.  This module implements the automatic
-part: it repeatedly removes geometries from the generated database while the
-discrepancy persists, yielding the minimal spec that still triggers the
-differing counts.
+part along two axes:
+
+* **row-level ddmin** (:meth:`TestCaseReducer.reduce`): repeatedly remove
+  geometries from the generated database while the discrepancy persists,
+  yielding the minimal spec that still triggers the differing counts;
+* **IR-level ddmin** (:meth:`TestCaseReducer.reduce_query`): shrink the
+  failing *query plan* itself — drop trailing join arms, drop the WHERE
+  predicate, shrink integer thresholds, and collapse embedded geometry
+  literals to single points — while the discrepancy persists.  Query
+  simplifications apply to the original and follow-up plans in lockstep
+  (via :func:`repro.core.qir.replace_literal`'s shared literal order), so
+  every candidate is still a well-formed AEI pair.
+
+:meth:`TestCaseReducer.minimize` chains both passes (query first, then
+rows), which is what the CLI's ``--reduce`` flag emits.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Iterator
 
 from repro.errors import EngineCrash, ReproError
 from repro.core.affine import AffineTransformation
 from repro.core.generator import DatabaseSpec
+from repro.core.qir import (
+    GeometryLiteral,
+    IntLiteral,
+    Select,
+    literals,
+    replace_literal,
+)
 
 
 @dataclass
@@ -27,10 +47,13 @@ class ReducedCase:
     count_original: Any
     count_followup: Any
     removed_geometries: int
+    #: IR simplification steps applied to the query (0 when the query was
+    #: already minimal or carried no IR).
+    simplified_query_steps: int = 0
 
 
 class TestCaseReducer:
-    """ddmin-style reduction over the rows of a generated database.
+    """ddmin-style reduction over the rows and the query of a failing case.
 
     Works on any scalar scenario query: the query's SDB1 statement runs on
     the candidate spec, the SDB2 statement (possibly carrying transformed
@@ -51,6 +74,25 @@ class TestCaseReducer:
         self.oracle = oracle
         self.max_rounds = max_rounds
         self.scenario = scenario
+        #: transformation of the case being reduced (set by reduce_query;
+        #: geometry-literal shrinking derives follow-up literals from it).
+        self._transformation: AffineTransformation | None = None
+
+    # ----------------------------------------------------------------- checks
+    def _render_pair(self, query: Any) -> tuple[str, str]:
+        """Both statements of the pair, rendered for the oracle's backend."""
+        capabilities = self.oracle.capabilities
+        if hasattr(query, "render_original"):
+            return query.render_original(capabilities), query.render_followup(capabilities)
+        # Legacy TopologicalQuery surface: followup_sql() is the SDB2
+        # statement (and raises for distance queries, whose follow-up needs
+        # a scaled threshold this object cannot produce).
+        followup = query.followup_sql() if hasattr(query, "followup_sql") else None
+        original = query.render(capabilities) if hasattr(query, "render") else query.sql()
+        if followup is None or followup == query.sql():
+            # same plan on both sides: reuse the dialect-exact render
+            followup = original
+        return original, followup
 
     def _still_fails(
         self,
@@ -65,12 +107,12 @@ class TestCaseReducer:
         followup_spec = self.oracle.build_followup_spec(
             spec, transformation, canonicalize_spec=canonicalize_spec
         )
-        followup_sql = getattr(query, "followup_sql", query.sql)()
+        sql_original, sql_followup = self._render_pair(query)
         try:
             original = self.oracle.materialise(spec)
             followup = self.oracle.materialise(followup_spec)
-            count_original = original.query_value(query.sql())
-            count_followup = followup.query_value(followup_sql)
+            count_original = original.query_value(sql_original)
+            count_followup = followup.query_value(sql_followup)
         except (EngineCrash, ReproError):
             return False, 0, 0
         if self.scenario is not None:
@@ -82,6 +124,7 @@ class TestCaseReducer:
             fails = count_original != count_followup
         return fails, count_original, count_followup
 
+    # ------------------------------------------------------------- row ddmin
     def reduce(
         self,
         spec: DatabaseSpec,
@@ -127,3 +170,134 @@ class TestCaseReducer:
             if not shrunk:
                 break
         return ReducedCase(current, query, count_original, count_followup, removed)
+
+    # -------------------------------------------------------------- IR ddmin
+    def _query_candidates(self, query: Any) -> Iterator[Any]:
+        """Simplification candidates: structurally smaller AEI query pairs.
+
+        Every candidate rewrites ``ir_original`` and ``ir_followup`` in
+        lockstep, so the pair stays a valid metamorphic check; candidates
+        that no longer reproduce the discrepancy are simply rejected by the
+        caller's re-run.
+        """
+        ir: Select | None = getattr(query, "ir_original", None)
+        followup: Select | None = getattr(query, "ir_followup", None)
+        if ir is None or followup is None:
+            return
+        rebuild = type(query).from_ir
+
+        def candidate(new_ir: Select, new_followup: Select) -> Any:
+            return rebuild(
+                query.scenario, query.label, new_ir, new_followup, kind=query.kind
+            )
+
+        # Drop the trailing join arm (a 3-way chain becomes a 2-way join);
+        # later arms may reference earlier bindings but never vice versa,
+        # so dropping from the tail keeps the plan well-formed.
+        if ir.joins:
+            yield candidate(
+                dataclasses.replace(ir, joins=ir.joins[:-1]),
+                dataclasses.replace(followup, joins=followup.joins[:-1]),
+            )
+        # Drop the WHERE predicate entirely (COUNT over the bare scan is
+        # still affine-invariant — it usually stops failing, which just
+        # rejects the candidate).
+        if ir.where is not None:
+            yield candidate(
+                dataclasses.replace(ir, where=None),
+                dataclasses.replace(followup, where=None),
+            )
+        # Shrink literals pairwise.  rewrite_literals-derived pairs share
+        # their structure, so literal position i names the same site in
+        # both trees.
+        original_literals = literals(ir)
+        followup_literals = literals(followup)
+        if len(original_literals) != len(followup_literals):
+            return  # not a rewrite-derived pair; leave literals alone
+        for index, (first, second) in enumerate(zip(original_literals, followup_literals)):
+            if isinstance(first, IntLiteral) and isinstance(second, IntLiteral):
+                # Preserve the pair's scale ratio (the distance scenario's
+                # integer threshold scaling) while shrinking toward 1.
+                if first.value in (0, 1) or second.value % first.value:
+                    continue
+                ratio = second.value // first.value
+                yield candidate(
+                    replace_literal(ir, index, IntLiteral(1)),
+                    replace_literal(followup, index, IntLiteral(ratio)),
+                )
+            elif isinstance(first, GeometryLiteral) and isinstance(second, GeometryLiteral):
+                simplified = _simplify_wkt(first.wkt)
+                if simplified is None or simplified == first.wkt:
+                    continue
+                yield candidate(
+                    replace_literal(ir, index, GeometryLiteral(simplified)),
+                    replace_literal(
+                        followup, index, GeometryLiteral(self._followup_literal(simplified))
+                    ),
+                )
+
+    def _followup_literal(self, wkt: str) -> str:
+        """A replacement literal through the oracle's follow-up pipeline."""
+        canonicalize_spec = self.oracle.canonicalize_followup
+        if self.scenario is not None and not self.scenario.canonicalize_followup:
+            canonicalize_spec = False
+        return self.oracle._followup_wkt(wkt, self._transformation, canonicalize_spec)
+
+    def reduce_query(
+        self,
+        spec: DatabaseSpec,
+        query: Any,
+        transformation: AffineTransformation,
+    ) -> tuple[Any, int]:
+        """Shrink the failing query plan while the discrepancy persists.
+
+        Returns the (possibly unchanged) query and the number of accepted
+        simplification steps.  Queries without IR pass through untouched.
+        """
+        self._transformation = transformation
+        current = query
+        steps = 0
+        progressed = True
+        while progressed:
+            progressed = False
+            for candidate in self._query_candidates(current):
+                if self._still_fails(spec, candidate, transformation)[0]:
+                    current = candidate
+                    steps += 1
+                    progressed = True
+                    break
+        return current, steps
+
+    # ------------------------------------------------------------- combined
+    def minimize(
+        self,
+        spec: DatabaseSpec,
+        query: Any,
+        transformation: AffineTransformation,
+    ) -> ReducedCase:
+        """Query-level then row-level reduction: the ``--reduce`` pipeline.
+
+        Simplifying the query first makes every row-ddmin re-run cheaper
+        (fewer join arms and predicates to evaluate per candidate spec).
+        """
+        reduced_query, steps = self.reduce_query(spec, query, transformation)
+        case = self.reduce(spec, reduced_query, transformation)
+        case.simplified_query_steps = steps
+        return case
+
+
+def _simplify_wkt(wkt: str) -> str | None:
+    """The smallest meaningful shrink of a geometry literal: its first point."""
+    try:
+        from repro.geometry import load_wkt
+        from repro.geometry.model import Point
+
+        geometry = load_wkt(wkt)
+    except Exception:  # noqa: BLE001 - unparsable literals stay as they are
+        return None
+    if geometry.geom_type == "POINT":
+        return None
+    coordinates = list(geometry.coordinates())
+    if not coordinates:
+        return None
+    return Point(coordinates[0]).wkt

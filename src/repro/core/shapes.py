@@ -93,7 +93,16 @@ class RandomShapeGenerator:
             ring.append(self.random_coordinate())
         holes = []
         if self._flip(0.15):
-            holes.append([self.random_coordinate() for _ in range(3)])
+            # Three random coordinates can land as [A, B, A]: "already
+            # closed" with only three points, which Polygon rejects.  One
+            # extra draw un-closes (or lengthens) the ring; it happens only
+            # in that exact, previously-crashing case, so every other draw
+            # keeps its historical random stream (other degenerate holes,
+            # like [A, A, B], were always accepted and still are).
+            hole = [self.random_coordinate() for _ in range(3)]
+            if hole[0] == hole[-1]:
+                hole.append(self.random_coordinate())
+            holes.append(hole)
         return Polygon(ring, holes)
 
     def random_multipoint(self) -> MultiPoint:

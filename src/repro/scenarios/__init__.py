@@ -20,7 +20,7 @@ from repro.scenarios.base import (
 from repro.scenarios.distance import DistanceJoinScenario
 from repro.scenarios.filters import AttributeFilterScenario
 from repro.scenarios.joins import JoinChainScenario
-from repro.scenarios.knn import KNNScenario, knn_sql
+from repro.scenarios.knn import KNNScenario, knn_ir, knn_sql
 from repro.scenarios.metrics import MetricAreaScenario, MetricLengthScenario
 from repro.scenarios.topological import TopologicalJoinScenario
 
@@ -32,6 +32,7 @@ __all__ = [
     "all_scenarios",
     "applicable_scenarios",
     "get_scenario",
+    "knn_ir",
     "knn_sql",
     "register_scenario",
     "resolve_scenarios",

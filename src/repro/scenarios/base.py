@@ -45,6 +45,7 @@ from repro.core.affine import (
     similarity_affine_transformation,
 )
 from repro.core.generator import DatabaseSpec
+from repro.core.qir import Select, render
 from repro.engine.dialects import Dialect
 
 
@@ -88,10 +89,15 @@ _SAMPLERS: dict[TransformationFamily, Callable[[random.Random], AffineTransforma
 
 @dataclass(frozen=True)
 class ScenarioQuery:
-    """One instantiated scenario query: the SQL for both sides of an AEI pair.
+    """One instantiated scenario query: both sides of an AEI pair.
 
-    Plain data (no callables) so discrepancies embedding it pickle across
-    the parallel orchestrator's process boundary.
+    The query is a typed IR value (:mod:`repro.core.qir`); the SQL fields
+    hold its canonical PostgreSQL-flavoured rendering for reporting and
+    deduplication, while execution renders the IR per executing backend via
+    :meth:`render_original`/:meth:`render_followup`.  Everything here is
+    plain data (frozen dataclasses, no callables), so discrepancies
+    embedding a query pickle across the parallel orchestrator's process
+    boundary.
     """
 
     #: registry name of the scenario that built the query.
@@ -99,13 +105,51 @@ class ScenarioQuery:
     #: signature-relevant label (predicate, metric, ``k``...) used by
     #: deduplication and reporting.
     label: str
-    #: SQL executed against the original database (SDB1).
+    #: canonical rendering of the SDB1 query (reporting/dedup surface).
     sql_original: str
-    #: SQL executed against the follow-up database (SDB2); differs from
-    #: ``sql_original`` when a literal or threshold is transformed.
+    #: canonical rendering of the SDB2 query; differs from ``sql_original``
+    #: when a literal or threshold is transformed.
     sql_followup: str
     #: ``"scalar"`` (single value) or ``"rows"`` (ordered row list).
     kind: str = "scalar"
+    #: the SDB1 query plan; ``None`` only for hand-built legacy instances.
+    ir_original: Select | None = None
+    #: the SDB2 query plan (the SDB1 plan with literals structurally
+    #: rewritten through the follow-up pipeline).
+    ir_followup: Select | None = None
+
+    @classmethod
+    def from_ir(
+        cls,
+        scenario: str,
+        label: str,
+        ir_original: Select,
+        ir_followup: Select | None = None,
+        kind: str = "scalar",
+    ) -> "ScenarioQuery":
+        """Build a query from its IR; the SQL fields are canonical renders."""
+        followup = ir_followup if ir_followup is not None else ir_original
+        return cls(
+            scenario=scenario,
+            label=label,
+            sql_original=render(ir_original),
+            sql_followup=render(followup),
+            kind=kind,
+            ir_original=ir_original,
+            ir_followup=followup,
+        )
+
+    def render_original(self, target=None) -> str:
+        """The SDB1 statement rendered for one backend's dialect quirks."""
+        if self.ir_original is None:
+            return self.sql_original
+        return render(self.ir_original, target)
+
+    def render_followup(self, target=None) -> str:
+        """The SDB2 statement rendered for one backend's dialect quirks."""
+        if self.ir_followup is None:
+            return self.sql_followup
+        return render(self.ir_followup, target)
 
     def sql(self) -> str:
         """The SDB1 statement (the historical single-SQL surface)."""

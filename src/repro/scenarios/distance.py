@@ -19,6 +19,7 @@ scaled threshold stays exact.
 from __future__ import annotations
 
 from repro.core.generator import DatabaseSpec
+from repro.core.qir import rewrite_literals
 from repro.core.queries import DISTANCE_PREDICATES, TopologicalQuery
 from repro.scenarios.base import Scenario, ScenarioContext, ScenarioQuery, TransformationFamily
 
@@ -57,19 +58,11 @@ class DistanceJoinScenario(Scenario):
             table_a = context.rng.choice(tables)
             table_b = context.rng.choice(tables)
             distance = context.rng.randint(1, 20)
+            ir = TopologicalQuery(table_a, table_b, predicate, distance=distance).ir()
             # admits_transformation guarantees an integer scale, keeping the
-            # scaled threshold (and so the follow-up comparison) exact.
-            threshold = distance * int(scale)
-            queries.append(
-                ScenarioQuery(
-                    scenario=self.name,
-                    label=predicate,
-                    sql_original=TopologicalQuery(
-                        table_a, table_b, predicate, distance=distance
-                    ).sql(),
-                    sql_followup=TopologicalQuery(
-                        table_a, table_b, predicate, distance=threshold
-                    ).sql(),
-                )
-            )
+            # scaled threshold (and so the follow-up comparison) exact; the
+            # SDB2 plan is the SDB1 plan with the threshold literal rewritten
+            # structurally, the query-side analogue of transforming the data.
+            followup_ir = rewrite_literals(ir, integer=lambda value: value * int(scale))
+            queries.append(ScenarioQuery.from_ir(self.name, predicate, ir, followup_ir))
         return queries

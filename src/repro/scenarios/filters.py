@@ -20,6 +20,15 @@ so index-side bugs that never show up in join plans become reachable.
 from __future__ import annotations
 
 from repro.core.generator import DatabaseSpec
+from repro.core.qir import (
+    Column,
+    FunctionCall,
+    GeometryLiteral,
+    Select,
+    TableRef,
+    count_query,
+    rewrite_literals,
+)
 from repro.core.queries import invariant_predicates
 from repro.scenarios.base import Scenario, ScenarioContext, ScenarioQuery, TransformationFamily
 
@@ -42,21 +51,16 @@ class AttributeFilterScenario(Scenario):
             predicate = context.rng.choice(predicates)
             table = context.rng.choice(tables)
             literal = context.rng.choice(literals)
-            followup_literal = context.followup_wkt(literal)
-            queries.append(
-                ScenarioQuery(
-                    scenario=self.name,
-                    label=predicate,
-                    sql_original=self._sql(table, predicate, literal),
-                    sql_followup=self._sql(table, predicate, followup_literal),
-                )
-            )
+            ir = self._ir(table, predicate, literal)
+            # The SDB2 plan rewrites the embedded constant through the same
+            # canonicalize-then-transform pipeline the stored rows take.
+            followup_ir = rewrite_literals(ir, geometry=context.followup_wkt)
+            queries.append(ScenarioQuery.from_ir(self.name, predicate, ir, followup_ir))
         return queries
 
     @staticmethod
-    def _sql(table: str, predicate: str, literal_wkt: str) -> str:
-        escaped = literal_wkt.replace("'", "''")
-        return (
-            f"SELECT COUNT(*) FROM {table} "
-            f"WHERE {predicate}({table}.g, '{escaped}'::geometry)"
+    def _ir(table: str, predicate: str, literal_wkt: str) -> Select:
+        condition = FunctionCall(
+            predicate, (Column("g", table), GeometryLiteral(literal_wkt))
         )
+        return count_query((TableRef(table),), where=condition)

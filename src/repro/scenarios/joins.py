@@ -28,6 +28,16 @@ pairwise volume stays the reference JOIN scenario's job.
 from __future__ import annotations
 
 from repro.core.generator import DatabaseSpec
+from repro.core.qir import (
+    Column,
+    Join,
+    OrderItem,
+    Select,
+    SubquerySource,
+    TableRef,
+    count_query,
+    predicate_call,
+)
 from repro.core.queries import invariant_predicates
 from repro.scenarios.base import Scenario, ScenarioContext, ScenarioQuery, TransformationFamily
 
@@ -54,19 +64,22 @@ class JoinChainScenario(Scenario):
             table_c = context.rng.choice(tables)
             first = context.rng.choice(predicates)
             second = context.rng.choice(predicates)
-            sql = (
-                f"SELECT COUNT(*) FROM {table_a} AS a "
-                f"JOIN (SELECT id, g FROM {table_b} ORDER BY id "
-                f"LIMIT {self.hop_cap}) AS b ON {first}(a.g, b.g) "
-                f"JOIN (SELECT id, g FROM {table_c} ORDER BY id "
-                f"LIMIT {self.hop_cap}) AS c ON {second}(b.g, c.g)"
+            ir = count_query(
+                (TableRef(table_a, alias="a"),),
+                joins=(
+                    Join(self._hop(table_b, "b"), predicate_call(first, "a", "b")),
+                    Join(self._hop(table_c, "c"), predicate_call(second, "b", "c")),
+                ),
             )
-            queries.append(
-                ScenarioQuery(
-                    scenario=self.name,
-                    label=f"{first}+{second}",
-                    sql_original=sql,
-                    sql_followup=sql,
-                )
-            )
+            queries.append(ScenarioQuery.from_ir(self.name, f"{first}+{second}", ir))
         return queries
+
+    def _hop(self, table: str, alias: str) -> SubquerySource:
+        """One capped derived-table hop: ``(SELECT id, g FROM t ORDER BY id LIMIT cap)``."""
+        inner = Select(
+            projection=(Column("id"), Column("g")),
+            sources=(TableRef(table),),
+            order_by=(OrderItem(Column("id")),),
+            limit=self.hop_cap,
+        )
+        return SubquerySource(inner, alias)

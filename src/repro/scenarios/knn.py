@@ -20,16 +20,33 @@ the count scenarios.
 from __future__ import annotations
 
 from repro.core.generator import DatabaseSpec
+from repro.core.qir import (
+    Column,
+    FunctionCall,
+    GeometryLiteral,
+    OrderItem,
+    Select,
+    TableRef,
+    render,
+    rewrite_literals,
+)
 from repro.scenarios.base import Scenario, ScenarioContext, ScenarioQuery, TransformationFamily
 
 
-def knn_sql(table: str, query_point_wkt: str, k: int) -> str:
+def knn_ir(table: str, query_point_wkt: str, k: int) -> Select:
     """The KNN query template: order by distance to the query point."""
-    escaped = query_point_wkt.replace("'", "''")
-    return (
-        f"SELECT id FROM {table} "
-        f"ORDER BY ST_Distance(g, '{escaped}'::geometry), id LIMIT {k}"
+    distance = FunctionCall("ST_Distance", (Column("g"), GeometryLiteral(query_point_wkt)))
+    return Select(
+        projection=(Column("id"),),
+        sources=(TableRef(table),),
+        order_by=(OrderItem(distance), OrderItem(Column("id"))),
+        limit=k,
     )
+
+
+def knn_sql(table: str, query_point_wkt: str, k: int) -> str:
+    """Canonical rendering of :func:`knn_ir` (kept for existing callers)."""
+    return render(knn_ir(table, query_point_wkt, k))
 
 
 class KNNScenario(Scenario):
@@ -51,14 +68,11 @@ class KNNScenario(Scenario):
             y = context.rng.randint(-10, 10)
             k = context.rng.randint(*self.k_range)
             point = f"POINT({x} {y})"
-            transformed_point = context.followup_wkt(point)
+            ir = knn_ir(table, point, k)
+            # The SDB2 plan moves the query point through the follow-up
+            # pipeline alongside the data, rewriting the literal in place.
+            followup_ir = rewrite_literals(ir, geometry=context.followup_wkt)
             queries.append(
-                ScenarioQuery(
-                    scenario=self.name,
-                    label=f"k={k}",
-                    sql_original=knn_sql(table, point, k),
-                    sql_followup=knn_sql(table, transformed_point, k),
-                    kind="rows",
-                )
+                ScenarioQuery.from_ir(self.name, f"k={k}", ir, followup_ir, kind="rows")
             )
         return queries

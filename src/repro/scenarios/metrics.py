@@ -32,6 +32,7 @@ from typing import Any
 
 from repro.core.affine import AffineTransformation
 from repro.core.generator import DatabaseSpec
+from repro.core.qir import Aggregate, Column, FunctionCall, Select, TableRef
 from repro.scenarios.base import Scenario, ScenarioContext, ScenarioQuery, TransformationFamily
 
 #: relative tolerance for float comparisons; the inputs are small integer
@@ -54,15 +55,11 @@ class _MetricScenario(Scenario):
         queries = []
         for _ in range(count):
             table = context.rng.choice(tables)
-            sql = f"SELECT SUM({self.metric_function}({table}.g)) FROM {table}"
-            queries.append(
-                ScenarioQuery(
-                    scenario=self.name,
-                    label=self.metric_function,
-                    sql_original=sql,
-                    sql_followup=sql,
-                )
+            measure = FunctionCall(self.metric_function, (Column("g", table),))
+            ir = Select(
+                projection=(Aggregate("SUM", measure),), sources=(TableRef(table),)
             )
+            queries.append(ScenarioQuery.from_ir(self.name, self.metric_function, ir))
         return queries
 
     def expected_followup(self, query: ScenarioQuery, original: Any, transformation: AffineTransformation) -> Any:

@@ -33,13 +33,8 @@ class TopologicalJoinScenario(Scenario):
             predicate = context.rng.choice(predicates)
             table_a = context.rng.choice(tables)
             table_b = context.rng.choice(tables)
-            sql = TopologicalQuery(table_a, table_b, predicate).sql()
-            queries.append(
-                ScenarioQuery(
-                    scenario=self.name,
-                    label=predicate,
-                    sql_original=sql,
-                    sql_followup=sql,
-                )
-            )
+            # A topological query embeds no literals, so the SDB2 plan is
+            # the SDB1 plan unchanged.
+            ir = TopologicalQuery(table_a, table_b, predicate).ir()
+            queries.append(ScenarioQuery.from_ir(self.name, predicate, ir))
         return queries

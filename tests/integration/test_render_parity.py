@@ -1,0 +1,136 @@
+"""Render parity: IR-rendered SQL reproduces the pre-refactor campaigns.
+
+The typed query IR replaced ad-hoc SQL f-strings in every scenario and
+baseline, and the SQLite adapter's regex translation layer.  These tests
+pin the refactor down from two directions:
+
+* **string parity** — for each query shape, the renderer's output equals
+  the exact strings the f-string builders (and, for SQLite, the regex
+  translator) used to produce;
+* **campaign parity** — on 3 fixed seeds and both execution backends, an
+  IR-rendered campaign produces a finding-for-finding identical stream
+  (queries per scenario, discrepancy descriptions, crashes, ground-truth
+  unique bugs) to the pre-refactor code, whose output is frozen in
+  ``tests/data/render_parity_golden.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import random
+
+import pytest
+
+from repro.backends import SQLiteBackend, create_backend
+from repro.core.campaign import CampaignConfig, TestingCampaign
+from repro.core.generator import DatabaseSpec
+from repro.core.affine import AffineTransformation
+from repro.core.queries import TopologicalQuery
+from repro.scenarios import ScenarioContext, get_scenario
+from repro.engine.dialects import get_dialect
+
+GOLDEN_PATH = pathlib.Path(__file__).parent.parent / "data" / "render_parity_golden.json"
+SEEDS = (3, 11, 2025)
+BACKENDS = ("inprocess", "sqlite")
+
+SQLITE = SQLiteBackend(dialect="postgis").capabilities()
+INPROCESS = create_backend("inprocess", dialect="postgis").capabilities()
+
+
+def _spec() -> DatabaseSpec:
+    return DatabaseSpec(
+        tables={
+            "t1": ["POLYGON((0 0,4 0,4 4,0 4,0 0))", "POINT(1 1)"],
+            "t2": ["POINT(2 2)", "LINESTRING(0 0,4 4)"],
+        }
+    )
+
+
+def _context(seed: int) -> ScenarioContext:
+    return ScenarioContext(
+        dialect=get_dialect("postgis"),
+        rng=random.Random(seed),
+        transformation=AffineTransformation.from_parts(2, 0, 0, 2, 1, 1),
+        capabilities=INPROCESS,
+    )
+
+
+class TestStringParity:
+    """Rendered SQL is byte-identical to the legacy f-string output."""
+
+    def test_topological_join_template(self):
+        query = TopologicalQuery("t1", "t2", "st_covers")
+        legacy = "SELECT COUNT(*) FROM t1 JOIN t2 ON st_covers(t1.g, t2.g)"
+        assert query.sql() == legacy
+        assert query.render(INPROCESS) == legacy
+        assert query.render(SQLITE) == legacy  # no quirks triggered
+
+    def test_self_join_matches_the_regex_translators_output(self):
+        query = TopologicalQuery("t1", "t1", "st_intersects")
+        assert (
+            query.render(SQLITE)
+            == "SELECT COUNT(*) FROM t1 AS _spatter_outer JOIN t1 ON "
+            "st_intersects(t1.g, t1.g)"
+        )
+
+    def test_every_scenario_reproduces_its_legacy_sql(self):
+        """One drawn query per scenario, against hand-checked legacy forms."""
+        spec = _spec()
+        for scenario_name, fragments in {
+            "topological-join": ("SELECT COUNT(*) FROM t", " JOIN t"),
+            "attribute-filter": ("WHERE ", "'::geometry)"),
+            "join-chain": (" AS a ", "ORDER BY id LIMIT 3) AS b ON ", ") AS c ON "),
+            "distance-join": ("st_d", ", "),
+            "knn": ("ORDER BY ST_Distance(g, '", "'::geometry), id LIMIT "),
+            "metric-area": ("SELECT SUM(st_area(", ".g)) FROM ",),
+            "metric-length": ("SELECT SUM(st_length(", ".g)) FROM ",),
+        }.items():
+            scenario = get_scenario(scenario_name)
+            queries = scenario.build_queries(spec, _context(7), 3)
+            assert queries, scenario_name
+            for query in queries:
+                # the canonical render is the reporting surface and must
+                # carry every legacy fragment of the scenario's shape
+                for fragment in fragments:
+                    assert fragment in query.sql_original, (scenario_name, fragment)
+                # the IR round-trips: canonical render equals the stored SQL
+                assert query.render_original(None) == query.sql_original
+                assert query.render_followup(None) == query.sql_followup
+
+    def test_knn_sqlite_render_matches_the_regex_translators_output(self):
+        scenario = get_scenario("knn")
+        queries = scenario.build_queries(_spec(), _context(11), 2)
+        for query in queries:
+            rendered = query.render_original(SQLITE)
+            assert "::geometry" not in rendered
+            assert rendered.count("NULLS LAST") == 2  # distance term + id tiebreak
+            assert rendered.index("NULLS LAST") < rendered.index("LIMIT")
+
+    def test_join_chain_sqlite_render_translates_subqueries(self):
+        scenario = get_scenario("join-chain")
+        queries = scenario.build_queries(_spec(), _context(13), 2)
+        for query in queries:
+            rendered = query.render_original(SQLITE)
+            assert rendered.count("ORDER BY id NULLS LAST LIMIT 3") == 2
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_campaign_stream_matches_the_pre_refactor_golden(backend, seed):
+    golden = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))[f"{backend}|{seed}"]
+    config = CampaignConfig(
+        dialect="postgis",
+        backend=backend,
+        seed=seed,
+        geometry_count=6,
+        table_count=2,
+        queries_per_round=14,
+    )
+    result = TestingCampaign(config).run(rounds=3)
+    assert result.queries_run == golden["queries_run"]
+    assert result.queries_by_scenario == golden["queries_by_scenario"]
+    assert result.errors_ignored == golden["errors_ignored"]
+    assert [d.describe() for d in result.discrepancies] == golden["discrepancies"]
+    assert [c.statement + "|" + (c.bug_id or "") for c in result.crashes] == golden["crashes"]
+    assert result.unique_bug_ids == golden["unique_bug_ids"]

@@ -153,3 +153,21 @@ class TestCLI:
         output = capsys.readouterr().out
         assert "unique bugs" in output
         assert exit_code in (0, 1)
+
+    def test_reduce_flag_round_trips_minimized_findings(self, capsys):
+        # seed 7 yields one scalar discrepancy (reduced) and one KNN
+        # row-list discrepancy (reported unreduced) in 3 rounds.
+        exit_code = main(
+            [
+                "--dialect", "postgis", "--rounds", "3", "--geometries", "6",
+                "--queries", "8", "--seed", "7", "--reduce",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 1
+        assert "Discrepancies (minimized):" in output
+        assert "geometries removed" in output
+        assert "query simplification step(s)" in output
+        # the minimized spec is emitted as runnable statements
+        assert "CREATE TABLE" in output and "INSERT INTO" in output
+        assert "[row-list query: not reduced]" in output

@@ -1,0 +1,224 @@
+"""Unit tests for the typed query IR and its per-backend renderers."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.backends import SQLiteBackend, create_backend
+from repro.core.qir import (
+    Aggregate,
+    Column,
+    FunctionCall,
+    GeometryLiteral,
+    IntLiteral,
+    IsNull,
+    Join,
+    Not,
+    OrderItem,
+    RenderStyle,
+    Select,
+    SubquerySource,
+    TableRef,
+    count_query,
+    literals,
+    predicate_call,
+    render,
+    replace_literal,
+    rewrite_literals,
+    structural_signature,
+    transform,
+    walk,
+)
+
+SQLITE = SQLiteBackend(dialect="postgis").capabilities()
+INPROCESS = create_backend("inprocess", dialect="postgis").capabilities()
+
+
+def join_template(table_a="t1", table_b="t2", predicate="st_covers"):
+    return count_query(
+        (TableRef(table_a),),
+        joins=(Join(TableRef(table_b), predicate_call(predicate, table_a, table_b)),),
+    )
+
+
+class TestRendering:
+    def test_canonical_render_matches_the_paper_template(self):
+        assert (
+            render(join_template())
+            == "SELECT COUNT(*) FROM t1 JOIN t2 ON st_covers(t1.g, t2.g)"
+        )
+
+    def test_render_target_defaults_are_equivalent(self):
+        ir = join_template()
+        assert render(ir) == render(ir, INPROCESS) == render(ir, RenderStyle())
+
+    def test_geometry_literal_cast_follows_capabilities(self):
+        ir = count_query(
+            (TableRef("t"),),
+            where=FunctionCall("st_within", (Column("g", "t"), GeometryLiteral("POINT(1 2)"))),
+        )
+        assert "'POINT(1 2)'::geometry" in render(ir, INPROCESS)
+        assert "'POINT(1 2)')" in render(ir, SQLITE)
+        assert "::geometry" not in render(ir, SQLITE)
+
+    def test_quote_escaping_in_geometry_literals(self):
+        ir = GeometryLiteral("POINT(1 2)'); DROP TABLE t; --")
+        rendered = render(ir, SQLITE)
+        assert rendered == "'POINT(1 2)''); DROP TABLE t; --'"
+
+    def test_self_join_aliased_only_where_needed(self):
+        self_join = join_template("t1", "t1", "st_intersects")
+        assert (
+            render(self_join, SQLITE)
+            == "SELECT COUNT(*) FROM t1 AS _spatter_outer JOIN t1 ON st_intersects(t1.g, t1.g)"
+        )
+        # the in-process engine collapses repeated names itself
+        assert "AS _spatter_outer" not in render(self_join, INPROCESS)
+        # distinct tables never need the alias
+        assert "AS" not in render(join_template("t1", "t2"), SQLITE)
+
+    def test_comma_cross_self_join_is_aliased_too(self):
+        ir = count_query((TableRef("t1"), TableRef("t1")))
+        assert render(ir, SQLITE) == "SELECT COUNT(*) FROM t1 AS _spatter_outer, t1"
+
+    def test_null_ordering_mirrors_postgresql_defaults(self):
+        ir = Select(
+            projection=(Column("id"),),
+            sources=(TableRef("t"),),
+            order_by=(OrderItem(Column("a")), OrderItem(Column("b"), ascending=False)),
+        )
+        # PostgreSQL: ASC puts NULLs last, DESC puts them first — spelled
+        # out explicitly on targets whose defaults are inverted.
+        assert (
+            render(ir, SQLITE)
+            == "SELECT id FROM t ORDER BY a NULLS LAST, b DESC NULLS FIRST"
+        )
+        assert render(ir, INPROCESS) == "SELECT id FROM t ORDER BY a, b DESC"
+
+    def test_subquery_sources_render_inline(self):
+        inner = Select(
+            projection=(Column("id"), Column("g")),
+            sources=(TableRef("tb"),),
+            order_by=(OrderItem(Column("id")),),
+            limit=3,
+        )
+        ir = count_query(
+            (TableRef("ta", alias="a"),),
+            joins=(Join(SubquerySource(inner, "b"), predicate_call("st_touches", "a", "b")),),
+        )
+        assert render(ir) == (
+            "SELECT COUNT(*) FROM ta AS a JOIN (SELECT id, g FROM tb ORDER BY id "
+            "LIMIT 3) AS b ON st_touches(a.g, b.g)"
+        )
+        assert "ORDER BY id NULLS LAST LIMIT 3" in render(ir, SQLITE)
+
+    def test_tlp_partitions_render(self):
+        base = FunctionCall("st_within", (Column("g", "t1"), Column("g", "t2")))
+        sources = (TableRef("t1"), TableRef("t2"))
+        assert render(count_query(sources)) == "SELECT COUNT(*) FROM t1, t2"
+        assert (
+            render(count_query(sources, where=Not(base)))
+            == "SELECT COUNT(*) FROM t1, t2 WHERE NOT st_within(t1.g, t2.g)"
+        )
+        assert (
+            render(count_query(sources, where=IsNull(base)))
+            == "SELECT COUNT(*) FROM t1, t2 WHERE st_within(t1.g, t2.g) IS NULL"
+        )
+
+    def test_composed_not_isnull_parenthesise(self):
+        base = FunctionCall("st_within", (Column("g", "t1"), Column("g", "t2")))
+        # (NOT p) IS NULL and NOT (p IS NULL) must not render identically
+        assert render(IsNull(Not(base))) == "(NOT st_within(t1.g, t2.g)) IS NULL"
+        assert render(Not(IsNull(base))) == "NOT (st_within(t1.g, t2.g) IS NULL)"
+
+    def test_aggregate_with_argument(self):
+        ir = Select(
+            projection=(Aggregate("SUM", FunctionCall("st_area", (Column("g", "t1"),))),),
+            sources=(TableRef("t1"),),
+        )
+        assert render(ir) == "SELECT SUM(st_area(t1.g)) FROM t1"
+
+
+class TestStructure:
+    def test_nodes_are_frozen_and_picklable(self):
+        ir = join_template()
+        with pytest.raises(Exception):
+            ir.limit = 5  # type: ignore[misc]
+        assert pickle.loads(pickle.dumps(ir)) == ir
+
+    def test_walk_visits_every_node(self):
+        ir = join_template()
+        kinds = {type(node).__name__ for node in walk(ir)}
+        assert {"Select", "TableRef", "Join", "FunctionCall", "Column", "Aggregate"} <= kinds
+
+    def test_rewrite_literals_is_structural(self):
+        ir = count_query(
+            (TableRef("t"),),
+            where=FunctionCall(
+                "st_dwithin",
+                (Column("g", "t"), GeometryLiteral("POINT(1 2)"), IntLiteral(5)),
+            ),
+        )
+        rewritten = rewrite_literals(
+            ir, geometry=lambda wkt: "POINT(9 9)", integer=lambda value: value * 3
+        )
+        assert "st_dwithin(t.g, 'POINT(9 9)'::geometry, 15)" in render(rewritten)
+        # the original tree is untouched (frozen value semantics)
+        assert "POINT(1 2)" in render(ir)
+
+    def test_rewrite_preserves_literal_order_for_pairing(self):
+        ir = count_query(
+            (TableRef("t"),),
+            where=FunctionCall(
+                "st_dwithin",
+                (Column("g", "t"), GeometryLiteral("POINT(1 2)"), IntLiteral(5)),
+            ),
+        )
+        followup = rewrite_literals(ir, integer=lambda value: value * 2)
+        assert len(literals(ir)) == len(literals(followup)) == 2
+        assert literals(followup)[1] == IntLiteral(10)
+
+    def test_replace_literal_by_position(self):
+        ir = predicate_call("st_dwithin", "t1", "t2", distance=5)
+        replaced = replace_literal(ir, 0, IntLiteral(1))
+        assert render(replaced) == "st_dwithin(t1.g, t2.g, 1)"
+        with pytest.raises(IndexError):
+            replace_literal(ir, 3, IntLiteral(1))
+
+    def test_transform_identity_returns_equal_tree(self):
+        ir = join_template()
+        assert transform(ir, lambda node: node) == ir
+
+
+class TestStructuralSignature:
+    def test_tables_and_literal_values_are_anonymised(self):
+        first = count_query(
+            (TableRef("t1"),),
+            where=FunctionCall("st_within", (Column("g", "t1"), GeometryLiteral("POINT(1 2)"))),
+        )
+        second = count_query(
+            (TableRef("zz"),),
+            where=FunctionCall(
+                "st_within",
+                (Column("g", "zz"), GeometryLiteral("POLYGON((0 0,1 0,1 1,0 0))")),
+            ),
+        )
+        assert structural_signature(first) == structural_signature(second)
+
+    def test_function_names_discriminate(self):
+        assert structural_signature(join_template(predicate="st_covers")) != (
+            structural_signature(join_template(predicate="st_intersects"))
+        )
+
+    def test_shape_discriminates_join_arity(self):
+        two_way = join_template()
+        three_way = count_query(
+            (TableRef("t1"),),
+            joins=(
+                Join(TableRef("t2"), predicate_call("st_covers", "t1", "t2")),
+                Join(TableRef("t3"), predicate_call("st_covers", "t2", "t3")),
+            ),
+        )
+        assert structural_signature(two_way) != structural_signature(three_way)

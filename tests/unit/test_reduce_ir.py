@@ -1,0 +1,177 @@
+"""IR-level ddmin: shrinking the failing query plan itself."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.affine import AffineTransformation
+from repro.core.generator import DatabaseSpec
+from repro.core.oracle import AEIOracle
+from repro.core.qir import GeometryLiteral, IntLiteral, literals
+from repro.core.reduce import TestCaseReducer, _simplify_wkt
+from repro.engine.database import connect
+from repro.scenarios import ScenarioContext, get_scenario
+from repro.engine.dialects import get_dialect
+
+
+IDENTITY = AffineTransformation.from_parts(1, 0, 0, 1, 0, 0)
+TRANSLATE = AffineTransformation.from_parts(1, 0, 0, 1, 3, 5)
+
+
+def _oracle(bug_ids=()):
+    return AEIOracle(lambda: connect("postgis", bug_ids=list(bug_ids)))
+
+
+def _context(rng_seed=0, transformation=TRANSLATE, oracle=None):
+    oracle = oracle or _oracle()
+    return ScenarioContext(
+        dialect=get_dialect("postgis"),
+        rng=random.Random(rng_seed),
+        transformation=transformation,
+        followup_wkt=lambda wkt: oracle._followup_wkt(wkt, transformation, True),
+    )
+
+
+class TestQueryCandidates:
+    def test_join_chain_candidates_drop_the_trailing_arm(self):
+        spec = DatabaseSpec(tables={"t1": ["POINT(1 1)"], "t2": ["POINT(2 2)"]})
+        scenario = get_scenario("join-chain")
+        query = scenario.build_queries(spec, _context(), 1)[0]
+        reducer = TestCaseReducer(_oracle(), scenario=scenario)
+        reducer._transformation = TRANSLATE
+        candidates = list(reducer._query_candidates(query))
+        assert candidates
+        assert len(candidates[0].ir_original.joins) == len(query.ir_original.joins) - 1
+
+    def test_filter_candidates_drop_where_and_shrink_the_literal(self):
+        spec = DatabaseSpec(
+            tables={"t1": ["POLYGON((0 0,4 0,4 4,0 4,0 0))", "POINT(1 1)"]}
+        )
+        scenario = get_scenario("attribute-filter")
+        queries = [
+            q
+            for q in scenario.build_queries(spec, _context(), 8)
+            if "POLYGON" in q.sql_original
+        ]
+        assert queries
+        reducer = TestCaseReducer(_oracle(), scenario=scenario)
+        reducer._transformation = TRANSLATE
+        candidates = list(reducer._query_candidates(queries[0]))
+        assert any(c.ir_original.where is None for c in candidates)
+        shrunk = [
+            c
+            for c in candidates
+            if c.ir_original.where is not None and "POINT(" in c.sql_original
+        ]
+        assert shrunk, "geometry literal should shrink to its first point"
+        # the follow-up literal goes through the same transformation pipeline
+        follow = literals(shrunk[0].ir_followup)[0]
+        assert isinstance(follow, GeometryLiteral)
+        assert follow.wkt == shrunk[0].render_followup(None).split("'")[1]
+
+    def test_distance_candidates_keep_the_threshold_ratio(self):
+        spec = DatabaseSpec(tables={"t1": ["POINT(1 1)"], "t2": ["POINT(2 2)"]})
+        scenario = get_scenario("distance-join")
+        scale_two = AffineTransformation.from_parts(2, 0, 0, 2, 0, 0)
+        query = scenario.build_queries(
+            spec, _context(transformation=scale_two), 1
+        )[0]
+        reducer = TestCaseReducer(_oracle(), scenario=scenario)
+        reducer._transformation = scale_two
+        int_candidates = [
+            c
+            for c in reducer._query_candidates(query)
+            if any(isinstance(l, IntLiteral) for l in literals(c.ir_original))
+        ]
+        if int_candidates:  # absent when the drawn threshold is already 1
+            candidate = int_candidates[0]
+            original = [l for l in literals(candidate.ir_original) if isinstance(l, IntLiteral)]
+            followup = [l for l in literals(candidate.ir_followup) if isinstance(l, IntLiteral)]
+            assert original[0].value == 1
+            assert followup[0].value == 2  # the similarity's length scale
+
+    def test_queries_without_ir_pass_through(self):
+        reducer = TestCaseReducer(_oracle())
+        reducer._transformation = IDENTITY
+
+        class Legacy:
+            ir_original = None
+            ir_followup = None
+
+        assert list(reducer._query_candidates(Legacy())) == []
+
+
+class TestMinimize:
+    def test_minimize_keeps_the_discrepancy_and_counts_steps(self):
+        # The covers precision-loss bug with the Listing 1/2 pair.
+        oracle = AEIOracle(
+            lambda: connect("postgis", bug_ids=["postgis-covers-precision-loss"]),
+            random.Random(0),
+        )
+        spec = DatabaseSpec(
+            tables={
+                "t1": ["LINESTRING(0 1,2 0)", "POINT(5 5)"],
+                "t2": ["POINT(0.2 0.9)", "POINT(7 7)"],
+            }
+        )
+        transformation = AffineTransformation.from_parts(1, 0, 0, 1, 0, -1)
+        scenario = get_scenario("topological-join")
+        query = None
+        for candidate in scenario.build_queries(spec, _context(5, transformation), 40):
+            if candidate.label == "st_covers" and "t1 JOIN t2" in candidate.sql_original:
+                query = candidate
+                break
+        assert query is not None
+        reducer = TestCaseReducer(AEIOracle(
+            lambda: connect("postgis", bug_ids=["postgis-covers-precision-loss"])
+        ), scenario=scenario)
+        failing, *_ = reducer._still_fails(spec, query, transformation)
+        assert failing, "the seeded bug must reproduce before reduction"
+        case = reducer.minimize(spec, query, transformation)
+        assert case.removed_geometries >= 2
+        assert case.spec.geometry_count() <= 2
+        # whatever was reduced away, the minimized case still fails
+        still_failing, *_ = reducer._still_fails(case.spec, case.query, transformation)
+        assert still_failing
+
+
+class TestSpecRoundTrip:
+    """The ``--reduce`` pipeline rebuilds specs from discrepancy statements."""
+
+    def test_from_statements_round_trips_create_statements(self):
+        spec = DatabaseSpec(
+            tables={
+                "t1": ["POINT(1 1)", "LINESTRING(0 0,2 2)"],
+                "t2": ["POLYGON((0 0,3 0,3 3,0 3,0 0))"],
+            }
+        )
+        for include_ids in (False, True):
+            rebuilt = DatabaseSpec.from_statements(
+                spec.create_statements(include_ids=include_ids)
+            )
+            assert rebuilt.tables == spec.tables
+
+    def test_quoted_wkt_survives_the_round_trip(self):
+        spec = DatabaseSpec(tables={"t1": ["POINT(1 1)"]})
+        statements = spec.create_statements(include_ids=True)
+        assert DatabaseSpec.from_statements(statements).tables["t1"] == ["POINT(1 1)"]
+
+    def test_unrecognised_statements_fail_loudly(self):
+        # silently dropping a statement would minimize against a truncated
+        # database and report a vanished discrepancy as "minimized"
+        with pytest.raises(ValueError):
+            DatabaseSpec.from_statements(["DROP TABLE t1"])
+
+
+class TestSimplifyWkt:
+    def test_polygon_shrinks_to_its_first_vertex(self):
+        assert _simplify_wkt("POLYGON((0 0,4 0,4 4,0 4,0 0))") == "POINT(0 0)"
+
+    def test_point_is_already_minimal(self):
+        assert _simplify_wkt("POINT(1 2)") is None
+
+    def test_empty_and_garbage_are_left_alone(self):
+        assert _simplify_wkt("POINT EMPTY") is None
+        assert _simplify_wkt("not wkt at all") is None

@@ -1,0 +1,68 @@
+"""The degenerate polygon-hole fix (GeometryTypeError in long campaigns).
+
+Duration-budget parallel campaigns crashed once they reached a round whose
+random polygon drew a hole as three coordinates with the first and last
+equal: such a ring is "already closed" with only three points and
+``Polygon`` rejects it.  The exterior ring always had a distinctness guard;
+the hole now has the same one.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.campaign import CampaignConfig, TestingCampaign
+from repro.core.shapes import RandomShapeGenerator, ShapeConfig
+
+
+class ScriptedRandom(random.Random):
+    """Feeds scripted values to the generator, then benign defaults."""
+
+    def __init__(self, randoms, ints):
+        super().__init__(0)
+        self._randoms = list(randoms)
+        self._ints = list(ints)
+
+    def random(self):
+        return self._randoms.pop(0) if self._randoms else 0.9
+
+    def randint(self, low, high):
+        value = self._ints.pop(0) if self._ints else low
+        return min(max(value, low), high)
+
+
+class TestDegenerateHole:
+    def test_already_closed_three_point_hole_is_repaired(self):
+        # flips: not EMPTY (0.9), then grow a hole (0.1 < 0.15)
+        # ints: ring point count 3; ring (0,0) (1,0) (0,1); hole (2,2) (3,3) (2,2)
+        rng = ScriptedRandom(
+            randoms=[0.9, 0.1],
+            ints=[3, 0, 0, 1, 0, 0, 1, 2, 2, 3, 3, 2, 2, 4, 4],
+        )
+        polygon = RandomShapeGenerator(rng, ShapeConfig()).random_polygon()
+        assert polygon.holes, "the scripted draw must produce a hole"
+        for hole in polygon.holes:
+            assert len(hole) >= 4
+            assert hole[0] == hole[-1]
+
+    def test_many_seeds_never_raise(self):
+        produced_hole = False
+        for seed in range(400):
+            generator = RandomShapeGenerator(random.Random(seed))
+            polygon = generator.random_polygon()
+            produced_hole = produced_hole or bool(polygon.holes)
+        assert produced_hole, "the sweep must exercise the hole branch"
+
+
+class TestParallelCampaignSmoke:
+    def test_previously_crashing_duration_round_runs_clean(self):
+        # examples/parallel_campaign.py's duration-budget runs died with
+        # GeometryTypeError once they reached global round 17 of seed 2024;
+        # replay exactly that round via the shard stream.
+        config = CampaignConfig(
+            dialect="postgis", seed=2024, geometry_count=8, queries_per_round=12
+        )
+        campaign = TestingCampaign(config, shard_index=17, shard_count=60)
+        result = campaign.run(rounds=1)
+        assert result.rounds == 1
+        assert result.crashes == []

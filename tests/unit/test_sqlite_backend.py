@@ -1,11 +1,13 @@
-"""The SQLite adapter: translation quirks, error mapping, engine parity.
+"""The SQLite adapter: declared dialect quirks, error mapping, engine parity.
 
 The adapter's contract is that the *same* spatial semantics come out of a
 genuinely different query planner: every ST_* evaluation routes through the
 shared function registry (fault hooks included), while SQLite plans the
-joins, filters, ordering and aggregation.  These tests pin the translation
-layer the capabilities descriptor declares and the cross-engine agreement
-the differential oracle depends on.
+joins, filters, ordering and aggregation.  The adapter no longer translates
+SQL — it *declares* its quirks in the capabilities descriptor and the query
+IR's renderer (:mod:`repro.core.qir`) emits dialect-exact SQL from them;
+these tests pin those declared quirks and the cross-engine agreement the
+differential oracle depends on.
 """
 
 from __future__ import annotations
@@ -13,9 +15,14 @@ from __future__ import annotations
 import pytest
 
 from repro.backends import SQLiteBackend, create_backend
-from repro.backends.sqlite import split_statements, translate_sql
+from repro.backends.sqlite import split_statements
+from repro.core.qir import render
+from repro.core.queries import TopologicalQuery
 from repro.engine.dialects import default_fault_profile
 from repro.errors import EngineCrash, SemanticGeometryError, SQLExecutionError
+from repro.scenarios.filters import AttributeFilterScenario
+from repro.scenarios.joins import JoinChainScenario
+from repro.scenarios.knn import knn_ir
 
 
 @pytest.fixture
@@ -31,43 +38,44 @@ def _load(session, rows, table="t1"):
         session.execute(f"INSERT INTO {table} (id, g) VALUES ({row_id}, '{wkt}')")
 
 
-class TestTranslation:
-    def test_geometry_cast_is_stripped(self):
+class TestDeclaredQuirks:
+    """The renderer, driven by the adapter's capabilities, speaks SQLite."""
+
+    CAPABILITIES = SQLiteBackend(dialect="postgis").capabilities()
+
+    def test_capabilities_declare_the_quirks(self):
+        assert not self.CAPABILITIES.supports_geometry_cast
+        assert not self.CAPABILITIES.supports_unaliased_self_join
+        assert not self.CAPABILITIES.orders_nulls_last
+
+    def test_geometry_literals_render_without_the_cast(self):
+        ir = AttributeFilterScenario._ir("t", "st_within", "POINT(1 2)")
         assert (
-            translate_sql("SELECT COUNT(*) FROM t WHERE st_within(t.g, 'POINT(1 2)'::geometry)")
+            render(ir, self.CAPABILITIES)
             == "SELECT COUNT(*) FROM t WHERE st_within(t.g, 'POINT(1 2)')"
         )
+        assert "::geometry" in render(ir)  # the canonical render keeps it
 
     def test_unaliased_self_join_gets_an_alias(self):
-        translated = translate_sql(
-            "SELECT COUNT(*) FROM t1 JOIN t1 ON st_intersects(t1.g, t1.g)"
-        )
-        assert "FROM t1 AS _spatter_outer JOIN t1 ON" in translated
+        sql = TopologicalQuery("t1", "t1", "st_intersects").render(self.CAPABILITIES)
+        assert "FROM t1 AS _spatter_outer JOIN t1 ON" in sql
 
     def test_distinct_tables_keep_their_join(self):
-        sql = "SELECT COUNT(*) FROM t1 JOIN t2 ON st_touches(t1.g, t2.g)"
-        assert translate_sql(sql) == sql
+        sql = TopologicalQuery("t1", "t2", "st_touches").render(self.CAPABILITIES)
+        assert sql == "SELECT COUNT(*) FROM t1 JOIN t2 ON st_touches(t1.g, t2.g)"
 
     def test_order_by_terms_get_nulls_last(self):
-        translated = translate_sql(
-            "SELECT id FROM t ORDER BY st_distance(g, 'POINT(0 0)'::geometry), id LIMIT 3"
-        )
+        sql = render(knn_ir("t", "POINT(0 0)", 3), self.CAPABILITIES)
         assert (
-            translated
-            == "SELECT id FROM t ORDER BY st_distance(g, 'POINT(0 0)') NULLS LAST, "
+            sql
+            == "SELECT id FROM t ORDER BY ST_Distance(g, 'POINT(0 0)') NULLS LAST, "
             "id NULLS LAST LIMIT 3"
         )
 
-    def test_subquery_order_by_is_translated_too(self):
-        translated = translate_sql(
-            "SELECT COUNT(*) FROM ta AS a JOIN (SELECT id, g FROM tb "
-            "ORDER BY id LIMIT 3) AS b ON st_intersects(a.g, b.g)"
-        )
-        assert "ORDER BY id NULLS LAST LIMIT 3" in translated
-
-    def test_order_by_inside_string_literal_is_untouched(self):
-        sql = "SELECT st_isvalid('POINT(1 2)') FROM t WHERE name = 'ORDER BY trap'"
-        assert translate_sql(sql) == sql
+    def test_subquery_order_by_is_rendered_too(self):
+        hop = JoinChainScenario()._hop("tb", "b")
+        sql = render(hop.query, self.CAPABILITIES)
+        assert sql == "SELECT id, g FROM tb ORDER BY id NULLS LAST LIMIT 3"
 
     def test_split_statements_respects_quoted_semicolons(self):
         statements = split_statements(
@@ -88,16 +96,19 @@ class TestExecution:
         _load(session, rows)
         reference = create_backend("inprocess", dialect="postgis").open_session()
         _load(reference, rows)
+        inprocess = create_backend("inprocess", dialect="postgis").capabilities()
         for predicate in ("st_intersects", "st_contains", "st_touches", "st_disjoint"):
-            sql = f"SELECT COUNT(*) FROM t1 JOIN t1 ON {predicate}(t1.g, t1.g)"
-            assert session.query_value(sql) == reference.query_value(sql), predicate
+            query = TopologicalQuery("t1", "t1", predicate)
+            assert session.query_value(
+                query.render(TestDeclaredQuirks.CAPABILITIES)
+            ) == reference.query_value(query.render(inprocess)), predicate
 
     def test_knn_null_distance_sorts_like_postgresql(self, session):
         # EMPTY geometries have NULL distance; PostgreSQL (and so the
         # in-process engine) sorts NULL keys last in ascending order.
         _load(session, ["POINT EMPTY", "POINT(1 1)", "POINT(5 5)"])
         rows = session.query_rows(
-            "SELECT id FROM t1 ORDER BY st_distance(g, 'POINT(0 0)'::geometry), id LIMIT 3"
+            render(knn_ir("t1", "POINT(0 0)", 3), TestDeclaredQuirks.CAPABILITIES)
         )
         assert rows == [(2,), (3,), (1,)]
 
@@ -119,9 +130,12 @@ class TestExecution:
         mysql_session = SQLiteBackend(dialect="mysql").open_session()
         try:
             _load(mysql_session, ["POINT(0 0)"], table="t")
+            mysql_capabilities = SQLiteBackend(dialect="mysql").capabilities()
             with pytest.raises(SQLExecutionError):
                 mysql_session.query_value(
-                    "SELECT COUNT(*) FROM t JOIN t ON st_dfullywithin(t.g, t.g, 3)"
+                    TopologicalQuery("t", "t", "st_dfullywithin", distance=3).render(
+                        mysql_capabilities
+                    )
                 )
         finally:
             mysql_session.close()
@@ -158,13 +172,15 @@ class TestExecution:
         # same registry hook whichever planner drives it.
         bug = ("postgis-dfullywithin-wrong-definition",)
         rows = ["POINT(1 1)", "POINT(2 2)"]
-        sql = "SELECT COUNT(*) FROM t1 JOIN t1 ON st_dfullywithin(t1.g, t1.g, 10)"
+        query = TopologicalQuery("t1", "t1", "st_dfullywithin", distance=10)
         results = {}
         for backend_name in ("inprocess", "sqlite"):
-            opened = create_backend(backend_name, dialect="postgis", bug_ids=bug).open_session()
+            backend = create_backend(backend_name, dialect="postgis", bug_ids=bug)
+            opened = backend.open_session()
             _load(opened, rows)
-            results[backend_name] = opened.query_value(sql)
+            results[backend_name] = opened.query_value(query.render(backend.capabilities()))
         assert results["inprocess"] == results["sqlite"]
-        clean = create_backend("sqlite", dialect="postgis").open_session()
-        _load(clean, rows)
-        assert clean.query_value(sql) != results["sqlite"]
+        clean = create_backend("sqlite", dialect="postgis")
+        clean_session = clean.open_session()
+        _load(clean_session, rows)
+        assert clean_session.query_value(query.render(clean.capabilities())) != results["sqlite"]
