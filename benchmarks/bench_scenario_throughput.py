@@ -30,6 +30,14 @@ the wire) will join.  The benchmark asserts the adapters' semantic
 contract: same campaign, same observable discrepancy stream, whatever
 engine plans the queries (ground-truth attribution may differ — fault
 hooks fire in the planner's evaluation order).
+
+Since the vectorized batch execution core landed, the same two join-heavy
+scenarios also run with ``vectorized=False`` (numpy geometry kernels and
+the batch-operator SELECT pipeline both off, fast path still on), and the
+JSON report carries a ``vectorized`` axis (off = "before", on = "after").
+The benchmark asserts the batch core's declared contract: at least 5x
+rounds/s on ``topological-join`` and ``join-chain`` with a bug yield and
+discrepancy stream identical to the scalar interpreter.
 """
 
 from __future__ import annotations
@@ -49,6 +57,10 @@ BASE = dict(dialect="postgis", seed=2025, geometry_count=6, queries_per_round=14
 #: declared ≥2x targets).
 FAST_PATH_TARGETS = ("topological-join", "join-chain")
 
+#: the same scenarios, measured with the vectorized batch core on and off
+#: (the batch core's declared ≥5x targets).
+VECTORIZED_TARGETS = FAST_PATH_TARGETS
+
 #: execution backends the full-registry campaign is measured on — the new
 #: axis of the backend protocol: the same rounds, planned by a different
 #: engine.  ``inprocess`` equals the "all" row; ``sqlite`` is the adapter.
@@ -56,10 +68,19 @@ BACKENDS = ("inprocess", "sqlite")
 
 
 def _run_one(
-    scenarios: tuple[str, ...] | None, fast_path: bool = True, backend: str = "inprocess"
+    scenarios: tuple[str, ...] | None,
+    fast_path: bool = True,
+    backend: str = "inprocess",
+    vectorized: bool = True,
 ) -> dict:
     clear_process_caches()
-    config = CampaignConfig(**BASE, scenarios=scenarios, fast_path=fast_path, backend=backend)
+    config = CampaignConfig(
+        **BASE,
+        scenarios=scenarios,
+        fast_path=fast_path,
+        backend=backend,
+        vectorized=vectorized,
+    )
     result = TestingCampaign(config).run(rounds=ROUNDS)
     return {
         "result": result,
@@ -73,6 +94,8 @@ def _run_all() -> dict[str, dict]:
     outcomes["all"] = _run_one(None)
     for name in FAST_PATH_TARGETS:
         outcomes[f"{name} [no fast path]"] = _run_one((name,), fast_path=False)
+    for name in VECTORIZED_TARGETS:
+        outcomes[f"{name} [no vectorized]"] = _run_one((name,), vectorized=False)
     for backend in BACKENDS[1:]:
         outcomes[f"all [backend={backend}]"] = _run_one(None, backend=backend)
     return outcomes
@@ -98,10 +121,22 @@ def _write_json(outcomes: dict[str, dict]) -> None:
             name: row(outcomes[f"{name} [no fast path]"]) for name in FAST_PATH_TARGETS
         },
         "fast_path_on_after": {name: row(outcomes[name]) for name in FAST_PATH_TARGETS},
+        # The batch execution core's axis: the same join-heavy rows with the
+        # numpy kernels and the batch-operator pipeline off ("before") and
+        # on ("after" — the default rows rerun under their canonical names).
+        "vectorized": {
+            "off_before": {
+                name: row(outcomes[f"{name} [no vectorized]"])
+                for name in VECTORIZED_TARGETS
+            },
+            "on_after": {name: row(outcomes[name]) for name in VECTORIZED_TARGETS},
+        },
         "all_scenarios_fast_path_on": {
             name: row(outcome)
             for name, outcome in outcomes.items()
-            if "[no fast path]" not in name and "[backend=" not in name
+            if "[no fast path]" not in name
+            and "[no vectorized]" not in name
+            and "[backend=" not in name
         },
         # per-backend rounds/s of the full-registry campaign: the backend
         # protocol's throughput axis ("inprocess" is the "all" row rerun
@@ -146,6 +181,12 @@ def test_scenario_throughput(benchmark):
         speedup = fast / slow if slow else float("inf")
         lines.append(f"fast-path speedup on {name}: {speedup:.2f}x")
 
+    for name in VECTORIZED_TARGETS:
+        batch = outcomes[name]["rounds_per_second"]
+        scalar = outcomes[f"{name} [no vectorized]"]["rounds_per_second"]
+        speedup = batch / scalar if scalar else float("inf")
+        lines.append(f"vectorized speedup on {name}: {speedup:.2f}x")
+
     for backend in BACKENDS[1:]:
         backend_row = outcomes[f"all [backend={backend}]"]
         lines.append(
@@ -156,7 +197,10 @@ def test_scenario_throughput(benchmark):
     exclusive: dict[str, set] = {
         name: set(outcome["result"].unique_bug_ids)
         for name, outcome in outcomes.items()
-        if name != "all" and "[no fast path]" not in name and "[backend=" not in name
+        if name != "all"
+        and "[no fast path]" not in name
+        and "[no vectorized]" not in name
+        and "[backend=" not in name
     }
     for name, bugs in sorted(exclusive.items()):
         others = set().union(*(b for n, b in exclusive.items() if n != name))
@@ -185,6 +229,19 @@ def test_scenario_throughput(benchmark):
         assert set(fast["result"].unique_bug_ids) == set(slow["result"].unique_bug_ids), name
         assert [d.describe() for d in fast["result"].discrepancies] == [
             d.describe() for d in slow["result"].discrepancies
+        ], name
+    # Batch-core contract: >= 5x rounds/s on the join-heavy scenarios with
+    # the identical bug yield and discrepancy stream as the scalar
+    # interpreter (the batch-vs-scalar oracle, restated as a perf floor).
+    for name in VECTORIZED_TARGETS:
+        batch = outcomes[name]
+        scalar = outcomes[f"{name} [no vectorized]"]
+        assert batch["rounds_per_second"] >= 5 * scalar["rounds_per_second"], name
+        assert set(batch["result"].unique_bug_ids) == set(
+            scalar["result"].unique_bug_ids
+        ), name
+        assert [d.describe() for d in batch["result"].discrepancies] == [
+            d.describe() for d in scalar["result"].discrepancies
         ], name
     # Backend contract: the adapter swaps the planner, not the semantics —
     # the same campaign finds the same *observable* discrepancy stream on

@@ -7,12 +7,13 @@ only helps when the test case actually exercises the index — which is why it
 can in principle find the two index-related bugs but nothing else.
 
 Connections handed to this oracle should be opened with
-``connect(..., fast_path=False)``: its whole point is to compare the two
-scan paths of the *seed* execution engine, so the fast-path layer's own
-envelope prefilters and auto-built indexes must stay out of the picture.
+``connect(..., fast_path=False, vectorized=False)``: its whole point is to
+compare the two scan paths of the *seed* execution engine, so the
+fast-path layer's envelope prefilters and auto-built indexes — and the
+batch executor's columnar pipelines — must stay out of the picture.
 (``IndexToggleOracle`` enforces this defensively by switching any
-fast-path-enabled connection its factory returns back to the reference
-execution mode.)
+fast-path- or vectorization-enabled connection its factory returns back to
+the reference execution mode.)
 """
 
 from __future__ import annotations
@@ -74,6 +75,11 @@ class IndexToggleOracle:
             database.fast_path = False
             database.executor.fast_path = False
             database.registry.fast_path = False
+        if getattr(database, "vectorized", False):
+            # Same reasoning for the batch executor: both scan paths must be
+            # the seed engine's row-at-a-time plans, not batch pipelines.
+            database.vectorized = False
+            database.executor.vectorized = False
         for statement in spec.create_statements():
             database.execute(statement)
         for table in spec.table_names():

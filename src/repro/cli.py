@@ -113,6 +113,15 @@ def build_argument_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--no-vectorized",
+        action="store_true",
+        help=(
+            "disable the vectorized batch execution core (numpy geometry "
+            "kernels and the batch-operator SELECT pipeline); the scalar "
+            "reference side of the batch-vs-scalar equivalence suite"
+        ),
+    )
+    parser.add_argument(
         "--list-bugs",
         action="store_true",
         help="print the injected bug catalog for the dialect and exit",
@@ -179,6 +188,7 @@ def _print_reduced_discrepancies(result) -> None:
         dialect=config.dialect,
         bug_ids=config.resolved_bug_ids(),
         fast_path=config.fast_path,
+        vectorized=config.vectorized,
     )
     for discrepancy in result.discrepancies:
         if getattr(discrepancy.query, "kind", "scalar") != "scalar":
@@ -262,6 +272,7 @@ def main(argv: list[str] | None = None) -> int:
         queries_per_round=arguments.queries,
         use_derivative_strategy=not arguments.random_shape_only,
         fast_path=not arguments.no_fast_path,
+        vectorized=not arguments.no_vectorized,
         seed=arguments.seed,
         workers=arguments.workers,
         shards=arguments.shards,

@@ -90,6 +90,14 @@ class CampaignConfig:
     #: ST_Contains prepared routing — are not gated; results are identical
     #: in both modes either way, which the equivalence suite asserts.)
     fast_path: bool = True
+    #: ``True`` enables the vectorized batch execution core: the numpy
+    #: geometry kernels (:mod:`repro.geometry.columnar`) and the plan-level
+    #: batch compiler (:mod:`repro.engine.vectorized`) that lowers SELECTs
+    #: into scan → batch-prefilter → residual-exact-predicate pipelines.
+    #: ``False`` (the CLI's ``--no-vectorized``) runs the scalar
+    #: row-at-a-time reference path; the batch-vs-scalar equivalence suite
+    #: holds the two modes finding-for-finding identical.
+    vectorized: bool = True
     #: Master seed; combined with the global round index via
     #: :func:`round_rng`, so ``seed`` + total rounds fully determine a run.
     seed: int = 0
@@ -339,6 +347,7 @@ class TestingCampaign:
             dialect=self.config.dialect,
             bug_ids=self._bug_ids(),
             fast_path=self.config.fast_path,
+            vectorized=self.config.vectorized,
         )
         if self._bug_ids() and not self.backend.capabilities().supports_fault_injection:
             # A release emulation needs the fault layer; running it on a
@@ -358,6 +367,7 @@ class TestingCampaign:
                 dialect=self.config.dialect,
                 bug_ids=(),
                 fast_path=self.config.fast_path,
+                vectorized=self.config.vectorized,
             )
 
     # ------------------------------------------------------------- plumbing
@@ -399,9 +409,14 @@ class TestingCampaign:
         # The integer clearance kernel is process-global (it lives below the
         # per-connection layers); scope it to this run so fast-path-off
         # campaigns measure the seed execution end to end.
+        from repro.geometry.columnar import set_vectorized_kernels
         from repro.topology.noding import set_fast_clearance
 
         previous_clearance = set_fast_clearance(self.config.fast_path)
+        # The numpy geometry kernels are process-global like the clearance
+        # kernel; scope them to this run so --no-vectorized campaigns run
+        # the scalar reference geometry code end to end.
+        previous_vectorized = set_vectorized_kernels(self.config.vectorized)
         try:
             while True:
                 elapsed = time.perf_counter() - started
@@ -412,6 +427,7 @@ class TestingCampaign:
                 self._run_round(result, started)
         finally:
             set_fast_clearance(previous_clearance)
+            set_vectorized_kernels(previous_vectorized)
 
         result.total_seconds = time.perf_counter() - started
         result.unique_bug_ids = list(self.deduplicator.result.unique_bug_ids)

@@ -76,6 +76,10 @@ class Table:
         #: possibly fault-corrupted — indexes keep their semantics.  The
         #: value is ``None`` for columns probed and found unsuitable.
         self.auto_indexes: dict[str, SpatialIndex | None] = {}
+        #: columnar envelope arrays for the batch executor, memoized per
+        #: geometry column with the same lifecycle (and the same suitability
+        #: verdicts) as ``auto_indexes``; ``None`` marks an unsuitable column.
+        self.envelope_blocks: dict[str, Any] = {}
         self._next_rowid = 0
 
     def column_names(self) -> list[str]:
@@ -105,8 +109,9 @@ class Table:
         self._next_rowid += 1
         self.rows.append(row)
         self._index_row(row, drop_empty_from_index)
-        # Auto indexes are rebuilt lazily on the next probe.
+        # Auto indexes and columnar blocks are rebuilt lazily on the next probe.
         self.auto_indexes.clear()
+        self.envelope_blocks.clear()
         return row["__rowid__"]
 
     def _index_row(self, row: dict[str, Any], drop_empty: bool) -> None:
@@ -194,6 +199,30 @@ class Table:
                 )
         self.auto_indexes[key] = index
         return index
+
+    def envelope_block(self, column: str):
+        """Columnar envelope arrays over a geometry column, built on first use.
+
+        The batch executor's positional counterpart of
+        :meth:`auto_spatial_index`: one outward-rounded float envelope per
+        row position (see :class:`repro.geometry.columnar.EnvelopeBlock`),
+        always faithful regardless of the fault plan — EMPTY rows stay
+        candidates, NULL rows are omitted.  Returns ``None`` — memoized
+        until the next insert — when the column is not a geometry column,
+        holds a non-geometry non-NULL value, or numpy is unavailable.
+        """
+        from repro.geometry.columnar import EnvelopeBlock
+
+        key = column.lower()
+        if key in self.envelope_blocks:
+            return self.envelope_blocks[key]
+        block = None
+        if self.has_column(key) and self.column(key).is_geometry:
+            values = [row.get(key) for row in self.rows]
+            if all(value is None or isinstance(value, Geometry) for value in values):
+                block = EnvelopeBlock(values)
+        self.envelope_blocks[key] = block
+        return block
 
     def row_by_id(self, rowid: int) -> dict[str, Any]:
         for row in self.rows:

@@ -46,12 +46,14 @@ class SpatialDatabase:
         fault_plan: FaultPlan | None = None,
         use_default_faults: bool = False,
         fast_path: bool = True,
+        vectorized: bool = True,
     ):
         self.dialect = get_dialect(dialect) if isinstance(dialect, str) else dialect
         if fault_plan is None and use_default_faults:
             fault_plan = FaultPlan.from_ids(default_fault_profile(self.dialect.name))
         self.fault_plan = fault_plan or FaultPlan.none()
         self.fast_path = fast_path
+        self.vectorized = vectorized
         self.prepared_cache = PreparedGeometryCache(
             buggy_collection_repeat=any(
                 bug.mechanism == "prepared_collection_false" for bug in self.fault_plan.active_bugs
@@ -61,7 +63,9 @@ class SpatialDatabase:
             self.dialect, self.fault_plan, self.prepared_cache, fast_path=fast_path
         )
         self.state = SpatialDatabaseState()
-        self.executor = Executor(self.state, self.registry, self.fault_plan, fast_path=fast_path)
+        self.executor = Executor(
+            self.state, self.registry, self.fault_plan, fast_path=fast_path, vectorized=vectorized
+        )
         self.stats = ExecutionStats()
 
     # ------------------------------------------------------------------ API
@@ -135,7 +139,10 @@ class SpatialDatabase:
     def clone_empty(self) -> "SpatialDatabase":
         """A new database with the same dialect and fault profile, no data."""
         return SpatialDatabase(
-            self.dialect, FaultPlan(self.fault_plan.active_bugs), fast_path=self.fast_path
+            self.dialect,
+            FaultPlan(self.fault_plan.active_bugs),
+            fast_path=self.fast_path,
+            vectorized=self.vectorized,
         )
 
 
@@ -144,6 +151,7 @@ def connect(
     bug_ids: Iterable[str] | None = None,
     emulate_release_under_test: bool = False,
     fast_path: bool = True,
+    vectorized: bool = True,
 ) -> SpatialDatabase:
     """Open an emulated SDBMS connection.
 
@@ -154,11 +162,16 @@ def connect(
     ``fast_path=False`` disables the execution fast-path layer (prepared
     caching beyond ST_Contains and automatic envelope prefilters) — the
     reference configuration for the differential self-checks and for the
-    Index baseline oracle.
+    Index baseline oracle.  ``vectorized=False`` additionally routes every
+    SELECT through the scalar row-at-a-time interpreter instead of the
+    batch-operator pipeline.
     """
     if bug_ids is not None:
         plan = FaultPlan.from_ids(bug_ids)
-        return SpatialDatabase(dialect, plan, fast_path=fast_path)
+        return SpatialDatabase(dialect, plan, fast_path=fast_path, vectorized=vectorized)
     return SpatialDatabase(
-        dialect, use_default_faults=emulate_release_under_test, fast_path=fast_path
+        dialect,
+        use_default_faults=emulate_release_under_test,
+        fast_path=fast_path,
+        vectorized=vectorized,
     )

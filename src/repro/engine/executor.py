@@ -32,6 +32,7 @@ from repro.engine.catalog import Column, Table
 from repro.engine.faults import MECH_INDEX_DROPS_EMPTY, FaultPlan
 from repro.engine.prepared import INDEXABLE_PREDICATES
 from repro.engine.registry import FunctionRegistry
+from repro.engine.vectorized import compile_select
 
 #: aggregate functions the projection layer evaluates itself (never routed
 #: through the spatial function registry).
@@ -71,11 +72,13 @@ class Executor:
         registry: FunctionRegistry,
         fault_plan: FaultPlan,
         fast_path: bool = True,
+        vectorized: bool = True,
     ):
         self.database = database
         self.registry = registry
         self.fault_plan = fault_plan
         self.fast_path = fast_path
+        self.vectorized = vectorized
 
     # ------------------------------------------------------------ statements
     def execute(self, statement: ast.Statement) -> ResultSet:
@@ -160,6 +163,10 @@ class Executor:
 
     # ---------------------------------------------------------------- select
     def _execute_select(self, statement: ast.Select) -> ResultSet:
+        if self.vectorized:
+            plan = compile_select(self, statement)
+            if plan is not None:
+                return plan.execute()
         bindings_rows = self._resolve_from(statement)
         qualifying: list[dict[str, dict[str, Any]]] = []
         for environment in bindings_rows:
@@ -168,7 +175,12 @@ class Executor:
                 if verdict is not True:
                     continue
             qualifying.append(environment)
+        return self._finalize_select(statement, qualifying)
 
+    def _finalize_select(
+        self, statement: ast.Select, qualifying: list[dict[str, dict[str, Any]]]
+    ) -> ResultSet:
+        """Shared projection/aggregation tail of both execution paths."""
         if self._is_aggregate(statement):
             return self._project_aggregate(statement, qualifying)
         return self._project_rows(statement, qualifying)
@@ -235,8 +247,11 @@ class Executor:
         evaluation could neither raise (strict validation, EMPTY-element
         rejection, unsupported feature errors, crash faults) nor record a
         fault trigger the oracle's deduplication keys on — so it is gated on
-        a permissive dialect and on no active bug influencing the predicate
-        (see :meth:`FaultPlan.influences_function`).
+        a permissive dialect and on no active bug influencing the predicate's
+        *evaluation* (see :meth:`FaultPlan.influences_evaluation`; bugs whose
+        mechanism can never alter an evaluation — inert placeholders and the
+        user-index-only EMPTY-dropping bug — do not disable the prefilter,
+        even when their ``functions`` tuple names the probe predicate).
         """
         if not self.fast_path:
             return False
@@ -248,7 +263,7 @@ class Executor:
                 return False
         elif not dialect.supports_operator(name):
             return False
-        return not self.fault_plan.influences_function(name)
+        return not self.fault_plan.influences_evaluation(name)
 
     def _maybe_filter_with_index(self, statement, item, binding, rows):
         """Index-filter a single-table scan whose WHERE compares a geometry

@@ -111,6 +111,14 @@ MECH_WITHIN_LARGE_COORDS = "within_large_coords"
 MECH_FUNCTION_CRASH = "function_crash"
 MECH_NONE = "no_behaviour"
 
+# Mechanisms that never alter the evaluation of a function call: MECH_NONE is
+# a recorded-but-inert placeholder and MECH_INDEX_DROPS_EMPTY only corrupts
+# user-created spatial indexes (the executor consults it exclusively in
+# ``_drop_empty_from_index``; auto-built prefilter indexes always keep EMPTY
+# rows).  ``FaultPlan.influences_evaluation`` skips these so the prefilter
+# gate does not disable itself for faults it cannot interact with.
+NON_EVALUATION_MECHANISMS = (MECH_NONE, MECH_INDEX_DROPS_EMPTY)
+
 
 # --------------------------------------------------------------------------
 # The catalog.  Counts per component/status/kind match the paper's Tables 2-3:
@@ -489,6 +497,30 @@ class FaultPlan:
         """
         name = function_name.lower()
         for bug in self.active_bugs:
+            if bug.functions:
+                if name in bug.functions:
+                    return True
+            elif bug.kind == CRASH:
+                return True
+        return False
+
+    def influences_evaluation(self, function_name: str) -> bool:
+        """Like :meth:`influences_function`, but restricted to bugs that can
+        perturb the *evaluation* of the function.
+
+        Bugs whose mechanism never touches evaluation results are excluded:
+        ``MECH_NONE`` bugs are recorded-but-inert placeholders, and
+        ``MECH_INDEX_DROPS_EMPTY`` corrupts only user-created spatial indexes
+        — the executor consults it solely in ``_drop_empty_from_index`` while
+        auto-built prefilter indexes always retain EMPTY rows.  The prefilter
+        gate therefore may keep using the R-tree when the only fault matching
+        a predicate is one of these: skipping a candidate evaluation cannot
+        change a result nor suppress a trigger.
+        """
+        name = function_name.lower()
+        for bug in self.active_bugs:
+            if bug.mechanism in NON_EVALUATION_MECHANISMS:
+                continue
             if bug.functions:
                 if name in bug.functions:
                     return True

@@ -39,6 +39,12 @@ from repro.geometry.model import (
     Point,
     Polygon,
 )
+from repro.geometry.columnar import (
+    PointColumns,
+    RingLocator,
+    SegmentsLocator,
+    vectorized_kernels_enabled,
+)
 from repro.geometry.primitives import point_in_ring, point_on_segment
 
 INTERIOR = "I"
@@ -66,6 +72,14 @@ class _Component:
 
     def locate(self, point: Coordinate) -> str:
         raise NotImplementedError
+
+    def locate_many(
+        self, points: Sequence[Coordinate], columns: PointColumns | None = None
+    ) -> list[str]:
+        """Batch :meth:`locate`; subclasses may vectorize (reusing the shared
+        float ``columns`` of the batch), results must be point-for-point
+        identical to the scalar locator."""
+        return [self.locate(point) for point in points]
 
     def segments(self) -> list[Segment]:
         """Line segments contributed to the noding step (may be empty)."""
@@ -95,6 +109,19 @@ class PointsComponent(_Component):
     def locate(self, point: Coordinate) -> str:
         return INTERIOR if point in self.coordinates else EXTERIOR
 
+    def locate_many(
+        self, points: Sequence[Coordinate], columns: PointColumns | None = None
+    ) -> list[str]:
+        mask = columns.face_interior if columns is not None else None
+        if mask is None:
+            return [self.locate(point) for point in points]
+        # Face-interior points coincide with no arrangement node, hence with
+        # none of these coordinates (they are isolated points of the noding).
+        return [
+            EXTERIOR if mask[i] else self.locate(point)
+            for i, point in enumerate(points)
+        ]
+
     def isolated_points(self) -> list[Coordinate]:
         return list(self.coordinates)
 
@@ -119,6 +146,7 @@ class LinesComponent(_Component):
                 # A line collapsed to a single location behaves like a point.
                 self._degenerate_points.append(element.points[0])
         self.boundary_points = self._mod2_boundary(self.elements)
+        self._segments_locator: SegmentsLocator | None = None
 
     @staticmethod
     def _mod2_boundary(elements: Sequence[LineString]) -> set[Coordinate]:
@@ -146,6 +174,31 @@ class LinesComponent(_Component):
                 return INTERIOR
         return EXTERIOR
 
+    def locate_many(
+        self, points: Sequence[Coordinate], columns: PointColumns | None = None
+    ) -> list[str]:
+        if not vectorized_kernels_enabled() or not self._segments:
+            return [self.locate(point) for point in points]
+        if self._segments_locator is None:
+            self._segments_locator = SegmentsLocator(self._segments)
+        on_segment = self._segments_locator.contains_many(points, columns)
+        mask = columns.face_interior if columns is not None else None
+        results = []
+        for i, (point, hit) in enumerate(zip(points, on_segment)):
+            if mask is not None and mask[i]:
+                # Face-interior: on no segment, equal to no boundary or
+                # degenerate point (all of them are arrangement nodes).
+                results.append(EXTERIOR)
+            elif point in self.boundary_points:
+                results.append(BOUNDARY)
+            elif point in self._degenerate_points:
+                results.append(INTERIOR)
+            elif hit:
+                results.append(INTERIOR)
+            else:
+                results.append(EXTERIOR)
+        return results
+
     def segments(self) -> list[Segment]:
         return list(self._segments)
 
@@ -166,6 +219,7 @@ class AreasComponent(_Component):
                 for a, b in zip(ring, ring[1:]):
                     if a != b:
                         self._ring_segments.append((a, b))
+        self._ring_locators: list[tuple[RingLocator, list[RingLocator]]] | None = None
 
     @property
     def is_empty(self) -> bool:
@@ -195,6 +249,58 @@ class AreasComponent(_Component):
             if hole_location == "interior":
                 return EXTERIOR
         return INTERIOR
+
+    def locate_many(
+        self, points: Sequence[Coordinate], columns: PointColumns | None = None
+    ) -> list[str]:
+        if not vectorized_kernels_enabled() or not self.polygons:
+            return [self.locate(point) for point in points]
+        if self._ring_locators is None:
+            self._ring_locators = [
+                (RingLocator(p.exterior), [RingLocator(h) for h in p.holes])
+                for p in self.polygons
+            ]
+        if columns is None:
+            columns = PointColumns(points)
+        results = [EXTERIOR] * len(points)
+        # A BOUNDARY from any polygon is final; an INTERIOR keeps the point
+        # in play because a later polygon's boundary still takes priority
+        # (matching the scalar locator's early return on BOUNDARY only).
+        active = list(range(len(points)))
+        for exterior_locator, hole_locators in self._ring_locators:
+            if not active:
+                break
+            active_columns = columns.subset(active)
+            located = exterior_locator.locate_many(active_columns.points, active_columns)
+            still_active: list[int] = []
+            in_exterior_ring: list[int] = []
+            for index, location in zip(active, located):
+                if location == "boundary":
+                    results[index] = BOUNDARY
+                elif location == "interior":
+                    in_exterior_ring.append(index)
+                else:
+                    still_active.append(index)
+            for hole_locator in hole_locators:
+                if not in_exterior_ring:
+                    break
+                hole_columns = columns.subset(in_exterior_ring)
+                located = hole_locator.locate_many(hole_columns.points, hole_columns)
+                remaining: list[int] = []
+                for index, location in zip(in_exterior_ring, located):
+                    if location == "boundary":
+                        results[index] = BOUNDARY
+                    elif location == "interior":
+                        # Inside a hole: exterior of this polygon.
+                        still_active.append(index)
+                    else:
+                        remaining.append(index)
+                in_exterior_ring = remaining
+            for index in in_exterior_ring:
+                results[index] = INTERIOR
+                still_active.append(index)
+            active = [i for i in still_active if results[i] != BOUNDARY]
+        return results
 
     def segments(self) -> list[Segment]:
         return list(self._ring_segments)
@@ -255,6 +361,40 @@ class TopologyDescriptor:
         """Locate a point into interior / boundary / exterior of the geometry."""
         classes = [component.locate(point) for component in self.components]
         return combine_classes(classes, self.collection_strategy)
+
+    def locate_many(
+        self,
+        points: Sequence[Coordinate],
+        face_interior: Sequence[bool] | None = None,
+    ) -> list[str]:
+        """Batch :meth:`locate` over many points (identical classifications).
+
+        Components dispatch to their float-filtered batch locators when the
+        vectorized kernels are enabled; otherwise this is the scalar locator
+        in a loop.  ``face_interior`` optionally certifies points as strictly
+        interior to an arrangement face spanning this geometry's segments
+        and nodes (see :class:`~repro.geometry.columnar.PointColumns`); it
+        is consulted only on the vectorized path.
+        """
+        points = list(points)
+        if not points:
+            return []
+        if not self.components:
+            return [EXTERIOR] * len(points)
+        shared = (
+            PointColumns(points, face_interior)
+            if vectorized_kernels_enabled()
+            else None
+        )
+        per_component = [
+            component.locate_many(points, shared) for component in self.components
+        ]
+        return [
+            combine_classes(
+                [column[i] for column in per_component], self.collection_strategy
+            )
+            for i in range(len(points))
+        ]
 
     def segments(self) -> list[Segment]:
         """All line segments (line elements and polygon rings) for noding."""

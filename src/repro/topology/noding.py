@@ -20,8 +20,16 @@ import math
 from fractions import Fraction
 from typing import Iterable, Sequence
 
+from repro.geometry.columnar import (
+    ClearanceFilter,
+    segment_pair_candidates,
+    vectorized_kernels_enabled,
+)
 from repro.geometry.model import Coordinate
 from repro.geometry.primitives import (
+    COLLINEAR,
+    _line_intersection_point,
+    orientation,
     point_on_segment,
     segment_intersection,
     segment_point_squared_distance,
@@ -43,18 +51,67 @@ def node_segments(
     """
     segments = [s for s in segments if s[0] != s[1]]
     extra = list(extra_points)
+    # Float prescreen (vectorized kernels only): pairs that certainly have
+    # no intersection point skip the exact test.  ``None`` keeps the full
+    # pairwise loop, so the reference configuration is untouched.
+    candidates = segment_pair_candidates(segments)
+    # Intersections are symmetric in the pair: in vectorized mode each
+    # unordered pair computes its exact cut points once and the partner
+    # reuses them (the reference loop recomputes, matching history).
+    pair_cache: dict[tuple[int, int], tuple[Coordinate, ...]] = {}
     result: list[Segment] = []
     for index, (a, b) in enumerate(segments):
         cut_points: set[Coordinate] = {a, b}
-        for other_index, (c, d) in enumerate(segments):
-            if other_index == index:
+        partner_indices = (
+            ((other, False) for other in range(len(segments)) if other != index)
+            if candidates is None
+            else candidates[index]
+        )
+        for other_index, certainly_proper in partner_indices:
+            c, d = segments[other_index]
+            pair_key = (
+                (index, other_index) if index < other_index else (other_index, index)
+            )
+            if certainly_proper:
+                cached = pair_cache.get(pair_key)
+                if cached is None:
+                    # The prescreen certified a single interior crossing;
+                    # the exact orientation preamble of segment_intersection
+                    # would only re-derive that before computing the point.
+                    point = _line_intersection_point(a, b, c, d)
+                    cached = () if point is None else (point,)
+                    pair_cache[pair_key] = cached
+                cut_points.update(cached)
+                continue
+            # Exact shared-endpoint fast paths (ring adjacency dominates the
+            # candidate pairs): segments with identical endpoint sets overlap
+            # exactly along themselves, and two non-collinear segments with
+            # one common endpoint meet only there — in both cases every cut
+            # point is already an endpoint of this segment.  Applied only in
+            # vectorized mode so the reference configuration keeps the
+            # historical code path step for step.
+            if candidates is not None:
+                a_shared = a == c or a == d
+                b_shared = b == c or b == d
+                if a_shared and b_shared:
+                    continue
+                if a_shared or b_shared:
+                    shared, other_own = (a, b) if a_shared else (b, a)
+                    other_partner = d if shared == c else c
+                    if orientation(shared, other_own, other_partner) != COLLINEAR:
+                        continue
+                cached = pair_cache.get(pair_key)
+                if cached is None:
+                    cached = tuple(segment_intersection(a, b, c, d))
+                    pair_cache[pair_key] = cached
+                cut_points.update(cached)
                 continue
             for point in segment_intersection(a, b, c, d):
                 cut_points.add(point)
         for point in extra:
             if point_on_segment(point, a, b):
                 cut_points.add(point)
-        ordered = _order_along_segment(a, b, cut_points)
+        ordered = _order_along_segment(a, b, cut_points, fast=candidates is not None)
         for start, end in zip(ordered, ordered[1:]):
             if start != end:
                 result.append((start, end))
@@ -62,9 +119,20 @@ def node_segments(
 
 
 def _order_along_segment(
-    a: Coordinate, b: Coordinate, points: set[Coordinate]
+    a: Coordinate, b: Coordinate, points: set[Coordinate], fast: bool = False
 ) -> list[Coordinate]:
-    """Order split points along the segment from ``a`` to ``b``."""
+    """Order split points along the segment from ``a`` to ``b``.
+
+    All points are collinear with the segment, so the affine parameter is a
+    strictly monotone function of ``x`` (of ``y`` for vertical segments):
+    the ``fast`` ordering (vectorized mode) sorts by the ordinate itself —
+    the identical order without a Fraction division per point — while the
+    reference configuration keeps the historical parameter sort.
+    """
+    if fast:
+        if b.x != a.x:
+            return sorted(points, key=lambda p: p.x, reverse=b.x < a.x)
+        return sorted(points, key=lambda p: p.y, reverse=b.y < a.y)
 
     def parameter(p: Coordinate) -> Fraction:
         if b.x != a.x:
@@ -125,6 +193,13 @@ class OffsetContext:
 
     def __init__(self, segments: Sequence[Segment], nodes: Iterable[Coordinate]):
         node_list = list(nodes)
+        # Float prescreen narrowing each clearance query to the few
+        # candidates that can decide the minimum (vectorized kernels only;
+        # the exact kernel below still produces the identical rational).
+        self._filter = (
+            ClearanceFilter(segments, node_list) if vectorized_kernels_enabled() else None
+        )
+        self._prescreened: dict[Segment, tuple[list[int], list[int]]] = {}
         denominators = set()
         for point in node_list:
             denominators.add(point.x.denominator)
@@ -153,9 +228,73 @@ class OffsetContext:
             y.numerator * (self.scale // y.denominator),
         )
 
+    def prescreen(self, query_segments: Sequence[Segment]) -> None:
+        """Run the float clearance prescreen for a known query batch.
+
+        One numpy pass replaces a per-``min_clearance_sq``-call dispatch;
+        the per-query filter stays as the fallback for segments outside the
+        batch.  No-op when the vectorized kernels are off.
+        """
+        if self._filter is None or not query_segments:
+            return
+        batched = self._filter.candidates_many(query_segments)
+        if batched is None:
+            return
+        for segment, kept in zip(query_segments, batched):
+            self._prescreened[segment] = kept
+
     def min_clearance_sq(self, a: Coordinate, b: Coordinate) -> Fraction | None:
         """Minimum positive squared clearance of segment ``a``–``b``'s
         midpoint, as the exact Fraction the reference loop would produce."""
+        parts = self._min_clearance_parts(a, b)
+        if parts is None:
+            return None
+        return Fraction(*parts)
+
+    def side_offset_points(
+        self, a: Coordinate, b: Coordinate
+    ) -> tuple[Coordinate, Coordinate]:
+        """Exact side-offset witnesses of segment ``a``–``b``, rational-for-
+        rational identical to :func:`side_offsets`' construction but with the
+        epsilon and offset arithmetic done on the integer grid (one Fraction
+        normalisation per produced ordinate instead of a chain of Fraction
+        operations on tiny-epsilon rationals)."""
+        ax, ay = self._scaled(a)
+        bx, by = self._scaled(b)
+        mx, my = (ax + bx) // 2, (ay + by) // 2
+        # length_sq = len_int / scale², exactly.
+        wx, wy = bx - ax, by - ay
+        len_int = wx * wx + wy * wy
+        parts = self._min_clearance_parts(a, b)
+        if parts is None:
+            # min_clearance_sq falls back to 1 in the reference construction.
+            parts = (1, 1)
+        clear_num, clear_den = parts
+        # bound = (clear_num/clear_den) / (4 * len_int / scale²).
+        bound_num = clear_num * self._scale_sq
+        bound_den = 4 * clear_den * len_int
+        if bound_num >= bound_den:
+            eps_num, eps_den = 1, 2
+        else:
+            eps_num, eps_den = bound_num, bound_den * 2
+        # normal = (-(b.y - a.y), b.x - a.x) scales to (-wy, wx); offsets are
+        # (mid ± epsilon * normal) / scale with every term on a common
+        # integer denominator.
+        den = eps_den * self.scale
+        left = Coordinate(
+            Fraction(mx * eps_den - eps_num * wy, den),
+            Fraction(my * eps_den + eps_num * wx, den),
+        )
+        right = Coordinate(
+            Fraction(mx * eps_den + eps_num * wy, den),
+            Fraction(my * eps_den - eps_num * wx, den),
+        )
+        return left, right
+
+    def _min_clearance_parts(
+        self, a: Coordinate, b: Coordinate
+    ) -> tuple[int, int] | None:
+        """Minimum positive squared clearance as an unnormalised (num, den)."""
         ax, ay = self._scaled(a)
         bx, by = self._scaled(b)
         # Both endpoints are even multiples of the base lcm (scale = 2*lcm),
@@ -167,13 +306,24 @@ class OffsetContext:
         best_num: int | None = None
         best_den = 1
 
-        for nx, ny in self.nodes:
+        node_pool = self.nodes
+        segment_pool = self.segments
+        if self._filter is not None:
+            prescreen = self._prescreened.get((a, b))
+            if prescreen is None:
+                prescreen = self._filter.candidates(a, b)
+            if prescreen is not None:
+                node_indices, segment_indices = prescreen
+                node_pool = [self.nodes[i] for i in node_indices]
+                segment_pool = [self.segments[i] for i in segment_indices]
+
+        for nx, ny in node_pool:
             dx, dy = mx - nx, my - ny
             num = dx * dx + dy * dy
             if num and (best_num is None or num * best_den < best_num * self._scale_sq):
                 best_num, best_den = num, self._scale_sq
 
-        for sx, sy, ex, ey, wx, wy, len_sq in self.segments:
+        for sx, sy, ex, ey, wx, wy, len_sq in segment_pool:
             vx, vy = mx - sx, my - sy
             if len_sq == 0:
                 # Degenerate (zero-length) input segment: it "contains" the
@@ -199,7 +349,7 @@ class OffsetContext:
 
         if best_num is None:
             return None
-        return Fraction(best_num, best_den)
+        return best_num, best_den
 
 
 def _min_clearance_sq_reference(
@@ -241,13 +391,21 @@ def side_offsets(
     then computed with integer arithmetic (identical value, far cheaper).
     """
     a, b = segment
+    if _FAST_CLEARANCE and context is None:
+        context = OffsetContext(all_segments, all_nodes)
+    if _FAST_CLEARANCE and vectorized_kernels_enabled():
+        # Vectorized kernels: the whole construction (clearance, epsilon,
+        # offset coordinates) stays on the integer grid — rational-for-
+        # rational the same witness points as the Fraction arithmetic below.
+        try:
+            return context.side_offset_points(a, b)
+        except _ScaleMismatch:
+            pass
     mid = midpoint(a, b)
     length_sq = squared_distance(a, b)
 
     min_clearance_sq: Fraction | None = None
     if _FAST_CLEARANCE:
-        if context is None:
-            context = OffsetContext(all_segments, all_nodes)
         try:
             min_clearance_sq = context.min_clearance_sq(a, b)
         except _ScaleMismatch:

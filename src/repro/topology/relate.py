@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
+from repro.geometry.columnar import vectorized_kernels_enabled
 from repro.geometry.model import Coordinate, Geometry
 from repro.topology.labels import (
     BOUNDARY,
@@ -160,11 +161,19 @@ _RELATE_ID_CACHE_LIMIT = 16384
 
 _RELATE_STATS = {"hits": 0, "misses": 0}
 
+#: identity-keyed descriptor memo used by the vectorized kernels: a geometry
+#: participating in many relate pairs reuses one decomposition (and hence
+#: the float edge tables its components build lazily).  Values pin the
+#: geometry so ids cannot be recycled while the entry lives.
+_DESCRIPTOR_CACHE: dict[tuple[int, str], tuple[Geometry, TopologyDescriptor]] = {}
+_DESCRIPTOR_CACHE_LIMIT = 8192
+
 
 def clear_relate_cache() -> None:
     """Drop all memoised relate results (used by benchmarks and tests)."""
     _RELATE_CACHE.clear()
     _RELATE_ID_CACHE.clear()
+    _DESCRIPTOR_CACHE.clear()
     _RELATE_STATS["hits"] = 0
     _RELATE_STATS["misses"] = 0
 
@@ -210,14 +219,35 @@ def relate(
         _remember_identity(identity_key, a, b, cached)
         return cached
     _RELATE_STATS["misses"] += 1
-    descriptor_a = TopologyDescriptor(a, strategy)
-    descriptor_b = TopologyDescriptor(b, strategy)
+    descriptor_a = _descriptor_for(a, strategy)
+    descriptor_b = _descriptor_for(b, strategy)
     matrix = relate_descriptors(descriptor_a, descriptor_b)
     if len(_RELATE_CACHE) >= _RELATE_CACHE_LIMIT:
         _RELATE_CACHE.clear()
     _RELATE_CACHE[wkt_key] = matrix
     _remember_identity(identity_key, a, b, matrix)
     return matrix
+
+
+def _descriptor_for(geometry: Geometry, strategy: str) -> TopologyDescriptor:
+    """A (possibly memoised) descriptor for one relate operand.
+
+    Memoisation only runs with the vectorized kernels on: the payoff is
+    reusing the float edge tables a descriptor's components build lazily,
+    and keeping the reference configuration allocation-for-allocation
+    identical to the historical behaviour.
+    """
+    if not vectorized_kernels_enabled():
+        return TopologyDescriptor(geometry, strategy)
+    key = (id(geometry), strategy)
+    hit = _DESCRIPTOR_CACHE.get(key)
+    if hit is not None and hit[0] is geometry:
+        return hit[1]
+    descriptor = TopologyDescriptor(geometry, strategy)
+    if len(_DESCRIPTOR_CACHE) >= _DESCRIPTOR_CACHE_LIMIT:
+        _DESCRIPTOR_CACHE.clear()
+    _DESCRIPTOR_CACHE[key] = (geometry, descriptor)
+    return descriptor
 
 
 def relate_descriptors(
@@ -244,28 +274,52 @@ def relate_descriptors(
         nodes.add(start)
         nodes.add(end)
 
-    def classify(point: Coordinate, cell_dimension: int) -> None:
-        class_a = descriptor_a.locate(point)
-        class_b = descriptor_b.locate(point)
-        matrix.set(class_a, class_b, cell_dimension)
-
-    for node in nodes:
-        classify(node, 0)
+    # Collect every witness point with its cell dimension, then classify
+    # them in one batch per descriptor.  Matrix entries keep the maximum
+    # contribution, so the accumulation order is immaterial and the batch
+    # is entry-for-entry identical to classifying point by point.
+    witness_points: list[Coordinate] = list(nodes)
+    witness_dimensions: list[int] = [0] * len(witness_points)
 
     # One integer-grid clearance context shared by every side-offset query of
     # this arrangement (identical rationals, computed without per-operation
     # Fraction normalisation); skipped entirely when the kernel is off.
     offset_context = OffsetContext(noded_union, nodes) if fast_clearance_enabled() else None
     seen_midpoints: set[Coordinate] = set()
+    unique_segments: list[tuple[tuple[Coordinate, Coordinate], Coordinate]] = []
     for segment in noded_union:
         mid = midpoint(segment[0], segment[1])
         if mid in seen_midpoints:
             continue
         seen_midpoints.add(mid)
-        classify(mid, 1)
+        unique_segments.append((segment, mid))
+    if offset_context is not None:
+        # Vectorized kernels: one batched clearance prescreen for every
+        # side-offset query of this arrangement (no-op when they are off).
+        offset_context.prescreen([segment for segment, _ in unique_segments])
+    for segment, mid in unique_segments:
+        witness_points.append(mid)
+        witness_dimensions.append(1)
         left, right = side_offsets(segment, noded_union, nodes, context=offset_context)
-        classify(left, 2)
-        classify(right, 2)
+        witness_points.append(left)
+        witness_points.append(right)
+        witness_dimensions.append(2)
+        witness_dimensions.append(2)
+
+    # Dimension-2 witnesses carry an exact certificate from the side-offset
+    # construction: they lie strictly inside an arrangement face, hence on
+    # no segment and at no node of either geometry.  The locators use it to
+    # skip boundary confirmations (vectorized kernels only; the scalar
+    # reference path never consults it).
+    face_interior = (
+        [dimension == 2 for dimension in witness_dimensions]
+        if vectorized_kernels_enabled()
+        else None
+    )
+    classes_a = descriptor_a.locate_many(witness_points, face_interior)
+    classes_b = descriptor_b.locate_many(witness_points, face_interior)
+    for class_a, class_b, cell_dimension in zip(classes_a, classes_b, witness_dimensions):
+        matrix.set(class_a, class_b, cell_dimension)
 
     return matrix
 

@@ -222,3 +222,122 @@ class TestStructuralSignature:
             ),
         )
         assert structural_signature(two_way) != structural_signature(three_way)
+
+
+class TestRendererEdgeCases:
+    """Renderer corners the cross-backend parity goldens never reach."""
+
+    def test_zero_arm_join_degenerates_to_the_comma_chain(self):
+        # joins=() must add no JOIN parts and keep the clause order intact.
+        ir = Select(
+            projection=(Column("id"),),
+            sources=(TableRef("t1"), TableRef("t2")),
+            joins=(),
+            where=IsNull(Column("g", "t1")),
+            order_by=(OrderItem(Column("id")),),
+            limit=5,
+        )
+        assert render(ir) == (
+            "SELECT id FROM t1, t2 WHERE t1.g IS NULL ORDER BY id LIMIT 5"
+        )
+        assert " JOIN " not in render(ir, SQLITE)
+        # Degenerating a join template to zero arms equals the plain scan.
+        assert render(count_query((TableRef("t1"),), joins=())) == (
+            "SELECT COUNT(*) FROM t1"
+        )
+
+    def test_zero_arm_self_join_chain_still_aliases_comma_sources(self):
+        # The forced-alias numbering walks the comma chain even with no join
+        # arms: every earlier repetition is aliased, the last stays bare (it
+        # is the binding unqualified references resolve to).
+        ir = count_query((TableRef("t1"), TableRef("t1"), TableRef("t1")))
+        assert render(ir, SQLITE) == (
+            "SELECT COUNT(*) FROM t1 AS _spatter_outer, t1 AS _spatter_outer1, t1"
+        )
+        assert render(ir, INPROCESS) == "SELECT COUNT(*) FROM t1, t1, t1"
+        # An explicit alias removes the ambiguity: nothing is forced.
+        mixed = count_query((TableRef("t1", alias="x"), TableRef("t1")))
+        assert render(mixed, SQLITE) == "SELECT COUNT(*) FROM t1 AS x, t1"
+
+    def test_nested_subquery_sources_render_nested_aliases(self):
+        innermost = Select(
+            projection=(Column("id"), Column("g")),
+            sources=(TableRef("tc"),),
+            limit=2,
+        )
+        inner = Select(
+            projection=(Column("id"), Column("g")),
+            sources=(SubquerySource(innermost, "c"),),
+            where=Not(IsNull(Column("g", "c"))),
+        )
+        ir = count_query(
+            (TableRef("ta", alias="a"),),
+            joins=(Join(SubquerySource(inner, "b"), predicate_call("st_touches", "a", "b")),),
+        )
+        assert render(ir) == (
+            "SELECT COUNT(*) FROM ta AS a JOIN (SELECT id, g FROM "
+            "(SELECT id, g FROM tc LIMIT 2) AS c WHERE NOT (c.g IS NULL)) AS b "
+            "ON st_touches(a.g, b.g)"
+        )
+
+    def test_self_join_alias_scopes_are_per_select(self):
+        # A subquery and its enclosing SELECT each restart the forced-alias
+        # numbering: the scopes cannot collide, so both may use the bare
+        # _spatter_outer name.  Subquery positions themselves are never
+        # alias candidates (they are always explicitly aliased).
+        inner = count_query((TableRef("t"), TableRef("t")))
+        ir = count_query((SubquerySource(inner, "s"), TableRef("t"), TableRef("t")))
+        assert render(ir, SQLITE) == (
+            "SELECT COUNT(*) FROM (SELECT COUNT(*) FROM t AS _spatter_outer, t) AS s, "
+            "t AS _spatter_outer, t"
+        )
+
+    def test_not_isnull_composition_honours_quirk_flags(self):
+        probe = FunctionCall(
+            "st_within", (Column("g", "t"), GeometryLiteral("POINT(1 2)"))
+        )
+        ir = count_query((TableRef("t"),), where=Not(IsNull(probe)))
+        # Same composition parentheses everywhere; the literal cast follows
+        # the target's geometry_casts flag.
+        assert render(ir, INPROCESS) == (
+            "SELECT COUNT(*) FROM t WHERE NOT (st_within(t.g, 'POINT(1 2)'::geometry) "
+            "IS NULL)"
+        )
+        assert render(ir, SQLITE) == (
+            "SELECT COUNT(*) FROM t WHERE NOT (st_within(t.g, 'POINT(1 2)') IS NULL)"
+        )
+
+    def test_deeper_negation_nests_parenthesise_pairwise(self):
+        base = FunctionCall("st_within", (Column("g", "t1"), Column("g", "t2")))
+        assert render(Not(Not(base))) == "NOT (NOT st_within(t1.g, t2.g))"
+        assert render(Not(Not(IsNull(base)))) == (
+            "NOT (NOT (st_within(t1.g, t2.g) IS NULL))"
+        )
+        assert render(IsNull(IsNull(base))) == (
+            "(st_within(t1.g, t2.g) IS NULL) IS NULL"
+        )
+
+    def test_every_quirk_flag_in_one_statement(self):
+        # One statement exercising all three RenderStyle axes at once, the
+        # combination no parity golden covers: repeated unaliased tables,
+        # a geometry literal, a NOT(IS NULL) residue and mixed ordering.
+        probe = FunctionCall(
+            "st_dwithin",
+            (Column("g", "t"), GeometryLiteral("POINT(0 0)"), IntLiteral(4)),
+        )
+        ir = Select(
+            projection=(Column("id"),),
+            sources=(TableRef("t"), TableRef("t")),
+            where=Not(IsNull(probe)),
+            order_by=(OrderItem(Column("id")), OrderItem(Column("g"), ascending=False)),
+        )
+        assert render(ir, SQLITE) == (
+            "SELECT id FROM t AS _spatter_outer, t "
+            "WHERE NOT (st_dwithin(t.g, 'POINT(0 0)', 4) IS NULL) "
+            "ORDER BY id NULLS LAST, g DESC NULLS FIRST"
+        )
+        assert render(ir, INPROCESS) == (
+            "SELECT id FROM t, t "
+            "WHERE NOT (st_dwithin(t.g, 'POINT(0 0)'::geometry, 4) IS NULL) "
+            "ORDER BY id, g DESC"
+        )
