@@ -15,6 +15,7 @@ from repro.core.campaign import CampaignConfig
 from repro.core.parallel import run_campaign
 from repro.engine.dialects import available_dialects, default_fault_profile, get_dialect
 from repro.engine.faults import bug_by_id
+from repro.oracles import AEI_ORACLE, AEI_TITLE, all_oracles, oracle_names
 from repro.scenarios import all_scenarios, get_scenario, scenario_names
 
 
@@ -94,6 +95,22 @@ def build_argument_parser() -> argparse.ArgumentParser:
         help="print the metamorphic scenario catalog and exit",
     )
     parser.add_argument(
+        "--oracles",
+        nargs="+",
+        default=None,
+        metavar="ORACLE",
+        help=(
+            "oracle families to run each round; names from the registry "
+            "(plus 'aei' for the affine-equivalence pass) or 'all' "
+            "(default: all; see --list-oracles)"
+        ),
+    )
+    parser.add_argument(
+        "--list-oracles",
+        action="store_true",
+        help="print the oracle-family catalog and exit",
+    )
+    parser.add_argument(
         "--clean",
         action="store_true",
         help="test the fully fixed engine instead of the buggy release emulation",
@@ -155,6 +172,15 @@ def _print_backend_catalog(dialect: str) -> None:
         for note in capabilities.notes:
             print(f"             - {note}")
     print("\nThe protocol and adapter guide live in docs/BACKENDS.md.")
+
+
+def _print_oracle_catalog() -> None:
+    print("Oracle family catalog:")
+    print(f"  {AEI_ORACLE:15s} {AEI_TITLE}")
+    for oracle in all_oracles():
+        print(f"  {oracle.name:15s} {oracle.title}")
+        print(f"  {'':15s}   ({oracle.paper_anchor})")
+    print("\nEach family's soundness argument lives in docs/ORACLES.md.")
 
 
 def _print_scenario_catalog(dialect: str) -> None:
@@ -229,6 +255,9 @@ def main(argv: list[str] | None = None) -> int:
     if arguments.list_backends:
         _print_backend_catalog(arguments.dialect)
         return 0
+    if arguments.list_oracles:
+        _print_oracle_catalog()
+        return 0
 
     if arguments.rounds < 0:
         parser.error("--rounds must be non-negative")
@@ -262,6 +291,20 @@ def main(argv: list[str] | None = None) -> int:
         else:
             scenarios = tuple(name.lower() for name in arguments.scenarios)
 
+    oracles: tuple[str, ...] | None = None
+    if arguments.oracles is not None:
+        known_oracles = set(oracle_names())
+        for name in arguments.oracles:
+            if name.lower() != "all" and name.lower() not in known_oracles:
+                parser.error(
+                    f"unknown oracle {name!r}; available: "
+                    f"{', '.join(oracle_names())} (or 'all')"
+                )
+        if any(name.lower() == "all" for name in arguments.oracles):
+            oracles = None  # every family
+        else:
+            oracles = tuple(name.lower() for name in arguments.oracles)
+
     config = CampaignConfig(
         dialect=arguments.dialect,
         backend=arguments.backend,
@@ -277,6 +320,7 @@ def main(argv: list[str] | None = None) -> int:
         workers=arguments.workers,
         shards=arguments.shards,
         scenarios=scenarios,
+        oracles=oracles,
     )
     if arguments.duration is not None:
         result = run_campaign(config, duration_seconds=arguments.duration)
@@ -307,6 +351,14 @@ def main(argv: list[str] | None = None) -> int:
         for name, count in result.queries_by_scenario.items():
             found = findings_by_scenario.get(name, 0)
             print(f"  {name:18s} {count:5d} queries, {found:3d} discrepancies")
+    if result.queries_by_oracle:
+        print("\nQueries and findings per oracle:")
+        findings_by_oracle: dict[str, int] = {}
+        for finding in result.oracle_findings:
+            findings_by_oracle[finding.oracle] = findings_by_oracle.get(finding.oracle, 0) + 1
+        for name, count in result.queries_by_oracle.items():
+            found = findings_by_oracle.get(name, 0)
+            print(f"  {name:18s} {count:5d} queries, {found:3d} findings")
     if result.discrepancies:
         if arguments.reduce:
             print("\nDiscrepancies (minimized):")
@@ -315,6 +367,10 @@ def main(argv: list[str] | None = None) -> int:
             print("\nDiscrepancies:")
             for discrepancy in result.discrepancies:
                 print(f"  - {discrepancy.describe()}")
+    if result.oracle_findings:
+        print("\nOracle findings:")
+        for finding in result.oracle_findings:
+            print(f"  - {finding.describe()}")
     if result.crashes:
         print("\nCrashes:")
         for crash in result.crashes:
@@ -339,7 +395,12 @@ def main(argv: list[str] | None = None) -> int:
         print("\nUnique injected bugs detected (ground truth):")
         for bug_id in result.unique_bug_ids:
             print(f"  - {bug_id}")
-    findings = result.discrepancies or result.crashes or result.divergences
+    findings = (
+        result.discrepancies
+        or result.oracle_findings
+        or result.crashes
+        or result.divergences
+    )
     return 0 if not findings else 1
 
 

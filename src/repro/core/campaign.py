@@ -27,9 +27,10 @@ from dataclasses import dataclass, field, replace
 from repro.backends import Backend, BackendDivergence, create_backend
 from repro.core.dedup import DeduplicationResult, Deduplicator
 from repro.core.generator import GeneratorConfig, GeometryAwareGenerator
-from repro.core.oracle import AEIOracle, CrashReport, Discrepancy
+from repro.core.oracle import AEIOracle, CrashReport, Discrepancy, allocate_query_budget
 from repro.engine.database import SpatialDatabase, connect
 from repro.engine.dialects import default_fault_profile
+from repro.oracles import AEI_ORACLE, OracleFinding, get_oracle, resolve_oracle_names
 
 
 def round_rng(seed: int, round_index: int) -> random.Random:
@@ -77,6 +78,12 @@ class CampaignConfig:
     #: dialect — the campaign default; capability gating still applies to an
     #: explicit selection.
     scenarios: tuple[str, ...] | None = None
+    #: Oracle families to run each round (registry names from
+    #: ``repro.oracles`` plus the built-in ``"aei"`` scenario oracle).
+    #: ``None`` runs every family — the campaign default; an explicit
+    #: selection without ``"aei"`` skips the affine-equivalence pass and
+    #: runs only the selected single-database oracles.
+    oracles: tuple[str, ...] | None = None
     #: ``True`` enables the derivative strategy (Algorithm 1); ``False`` is
     #: the random-shape-only RSG baseline.
     use_derivative_strategy: bool = True
@@ -154,6 +161,12 @@ class CampaignResult:
     errors_ignored: int = 0
     #: Every logic-bug candidate (AEI count mismatch) observed, pre-dedup.
     discrepancies: list[Discrepancy] = field(default_factory=list)
+    #: Every single-database oracle-family finding (set-theoretic relation
+    #: violations, PQS pivot omissions) observed, pre-dedup.
+    oracle_findings: list[OracleFinding] = field(default_factory=list)
+    #: Queries executed per oracle-family name (summed across shards on
+    #: merge); the AEI oracle's queries stay in ``queries_by_scenario``.
+    queries_by_oracle: dict[str, int] = field(default_factory=dict)
     #: Every crash-bug candidate observed, pre-dedup.
     crashes: list[CrashReport] = field(default_factory=list)
     #: Every cross-backend divergence observed (the differential finding
@@ -218,11 +231,14 @@ class CampaignResult:
                 f", {len(self.divergences)} divergences "
                 f"(vs {self.config.compare_backend})"
             )
+        findings = ""
+        if self.queries_by_oracle or self.oracle_findings:
+            findings = f", {len(self.oracle_findings)} oracle findings"
         return (
             f"{self.config.dialect}: {self.rounds} rounds, {self.queries_run} queries"
             f"{scenarios}, "
             f"{len(self.discrepancies)} discrepancies, {len(self.crashes)} crashes"
-            f"{divergences}, "
+            f"{findings}{divergences}, "
             f"{self.unique_bug_count} unique bugs, "
             f"{self.sdbms_seconds:.3f}s in SDBMS / {self.total_seconds:.3f}s total"
             f"{sharding}"
@@ -276,6 +292,9 @@ class CampaignResult:
         by_scenario = dict(left.queries_by_scenario)
         for scenario, count in right.queries_by_scenario.items():
             by_scenario[scenario] = by_scenario.get(scenario, 0) + count
+        by_oracle = dict(left.queries_by_oracle)
+        for oracle, count in right.queries_by_oracle.items():
+            by_oracle[oracle] = by_oracle.get(oracle, 0) + count
         return CampaignResult(
             config=left.config,
             rounds=left.rounds + right.rounds,
@@ -284,6 +303,8 @@ class CampaignResult:
             cache_stats=dict(caches),
             errors_ignored=left.errors_ignored + right.errors_ignored,
             discrepancies=left.discrepancies + right.discrepancies,
+            oracle_findings=left.oracle_findings + right.oracle_findings,
+            queries_by_oracle=by_oracle,
             crashes=left.crashes + right.crashes,
             divergences=left.divergences + right.divergences,
             divergence_queries=left.divergence_queries + right.divergence_queries,
@@ -336,6 +357,9 @@ class TestingCampaign:
         self.config = config or CampaignConfig()
         self.shard_index = shard_index
         self.shard_count = shard_count
+        #: the validated oracle-family selection; resolving here makes an
+        #: unknown ``--oracles`` name fail at construction, not mid-campaign.
+        self.active_oracles = resolve_oracle_names(self.config.oracles)
         self.deduplicator = Deduplicator()
         #: rounds completed over the instance's lifetime; makes repeated
         #: ``run()`` calls continue the round stream instead of replaying it.
@@ -485,34 +509,73 @@ class TestingCampaign:
                 return
             raise
 
-        outcome = oracle.check(
-            spec,
-            query_count=self.config.queries_per_round,
-            scenarios=self.config.scenarios,
-        )
-        elapsed = time.perf_counter() - started
-        result.queries_run += outcome.queries_run
-        for scenario, count in outcome.queries_by_scenario.items():
-            result.queries_by_scenario[scenario] = (
-                result.queries_by_scenario.get(scenario, 0) + count
+        if AEI_ORACLE in self.active_oracles:
+            outcome = oracle.check(
+                spec,
+                query_count=self.config.queries_per_round,
+                scenarios=self.config.scenarios,
             )
-        result.errors_ignored += outcome.errors_ignored
-        for discrepancy in outcome.discrepancies:
-            result.discrepancies.append(discrepancy)
-            self.deduplicator.observe_discrepancy(discrepancy, elapsed)
-        for crash in outcome.crashes:
-            result.crashes.append(crash)
-            self.deduplicator.observe_crash(crash, elapsed)
-        result.divergence_queries += outcome.divergence_queries
-        result.reference_errors_ignored += outcome.reference_errors_ignored
-        for divergence in outcome.divergences:
-            result.divergences.append(divergence)
-            self.deduplicator.observe_divergence(divergence, elapsed)
+            elapsed = time.perf_counter() - started
+            result.queries_run += outcome.queries_run
+            for scenario, count in outcome.queries_by_scenario.items():
+                result.queries_by_scenario[scenario] = (
+                    result.queries_by_scenario.get(scenario, 0) + count
+                )
+            result.errors_ignored += outcome.errors_ignored
+            for discrepancy in outcome.discrepancies:
+                result.discrepancies.append(discrepancy)
+                self.deduplicator.observe_discrepancy(discrepancy, elapsed)
+            for crash in outcome.crashes:
+                result.crashes.append(crash)
+                self.deduplicator.observe_crash(crash, elapsed)
+            result.divergence_queries += outcome.divergence_queries
+            result.reference_errors_ignored += outcome.reference_errors_ignored
+            for divergence in outcome.divergences:
+                result.divergences.append(divergence)
+                self.deduplicator.observe_divergence(divergence, elapsed)
+            # the reference backend is an SDBMS too: its engine time joins the
+            # Figure 7 split rather than silently inflating the tester's share.
+            result.sdbms_seconds += outcome.reference_seconds
+        self._run_extra_oracles(result, spec, tracked_factory, rng, started)
         result.sdbms_seconds += sum(c.stats.seconds_in_engine for c in sdbms_connections)
-        # the reference backend is an SDBMS too: its engine time joins the
-        # Figure 7 split rather than silently inflating the tester's share.
-        result.sdbms_seconds += outcome.reference_seconds
         self._collect_cache_stats(result, sdbms_connections, global_caches_before)
+
+    def _run_extra_oracles(
+        self, result: CampaignResult, spec, session_factory, rng: random.Random, started: float
+    ) -> None:
+        """Run the round's single-database oracle families (``repro.oracles``).
+
+        Each active family gets a slice of the round's query budget (the
+        budget counts *checks* — one set-theoretic battery or one pivot
+        query — with the rotating remainder the AEI oracle also uses), runs
+        on its own tracked session, and folds its findings into the same
+        deduplicated identity spaces as AEI discrepancies.  Drawing from the
+        round RNG *after* the AEI pass keeps the serial and sharded replays
+        of a round identical for a fixed configuration.
+        """
+        extra = [get_oracle(name) for name in self.active_oracles if name != AEI_ORACLE]
+        capabilities = self.backend.capabilities()
+        extra = [oracle for oracle in extra if oracle.is_applicable(capabilities)]
+        if not extra or not spec.table_names():
+            return
+        offset = rng.randrange(len(extra)) if len(extra) > 1 else 0
+        budgets = allocate_query_budget(self.config.queries_per_round, len(extra), offset=offset)
+        for oracle, budget in zip(extra, budgets):
+            if budget <= 0:
+                continue
+            outcome = oracle.check(spec, session_factory, capabilities, rng, budget)
+            elapsed = time.perf_counter() - started
+            result.queries_run += outcome.queries_run
+            result.queries_by_oracle[oracle.name] = (
+                result.queries_by_oracle.get(oracle.name, 0) + outcome.queries_run
+            )
+            result.errors_ignored += outcome.errors_ignored
+            for finding in outcome.findings:
+                result.oracle_findings.append(finding)
+                self.deduplicator.observe_finding(finding, elapsed)
+            for crash in outcome.crashes:
+                result.crashes.append(crash)
+                self.deduplicator.observe_crash(crash, elapsed)
 
     @staticmethod
     def _global_cache_stats() -> dict[str, int]:

@@ -146,6 +146,20 @@ class Deduplicator:
             ground_truth_identity(discrepancy), signature_identity(discrepancy), elapsed_seconds
         )
 
+    def observe_finding(self, finding, elapsed_seconds: float) -> list[str]:
+        """Record an oracle-family finding; returns newly-discovered ids.
+
+        Findings from the single-database oracle families
+        (:mod:`repro.oracles` — set-theoretic join algebra, PQS) join the
+        same identity spaces as AEI discrepancies: ground truth is the
+        sorted set of injected-bug ids the fault layer recorded, and the
+        syntactic fallback is :meth:`OracleFinding.signature`, built in the
+        ``family|label|query shape|geometry types`` format of
+        :func:`signature_identity`.
+        """
+        bug_ids = tuple(sorted(set(getattr(finding, "triggered_bug_ids", ()))))
+        return self._observe(bug_ids, finding.signature(), elapsed_seconds)
+
     def observe_divergence(self, divergence, elapsed_seconds: float) -> list[str]:
         """Record a cross-backend divergence; returns newly-discovered ids.
 

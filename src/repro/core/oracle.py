@@ -28,6 +28,12 @@ when given a ``reference_backend`` — additionally replays every scenario
 query on a second engine and reports cross-backend
 :class:`~repro.backends.differential.BackendDivergence` findings alongside
 the affine-equivalence violations.
+
+This module is the *pair-based* (metamorphic and differential) half of the
+campaign's oracle portfolio; the *single-database* families — the
+set-theoretic join oracle and PQS — live in :mod:`repro.oracles` and are
+selected alongside this one via ``CampaignConfig.oracles`` /
+``--oracles`` (catalog: ``--list-oracles`` and ``docs/ORACLES.md``).
 """
 
 from __future__ import annotations

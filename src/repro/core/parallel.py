@@ -17,9 +17,11 @@ Design:
   total round budget the merged set equals a serial run of the same seed.
 * **Mergeable results.**  Each worker returns its shard's
   ``CampaignResult``; :meth:`CampaignResult.combine` unions the deduplicated
-  bug sets (earliest detection wins), sums the per-scenario query counters
-  (rounds validate the whole metamorphic scenario registry, so shard
-  results carry a ``queries_by_scenario`` breakdown), and re-bases every
+  bug sets (earliest detection wins), sums the per-scenario and per-oracle
+  query counters (rounds validate the whole metamorphic scenario registry
+  and run every active oracle family of :mod:`repro.oracles`, so shard
+  results carry ``queries_by_scenario`` and ``queries_by_oracle``
+  breakdowns and concatenate their ``oracle_findings``), and re-bases every
   shard's unique-bugs-over-time series onto the orchestrator's shared wall
   clock.
 * **Picklable-by-spec backends.**  The config crosses the process boundary

@@ -1,0 +1,115 @@
+"""The campaign-oracle registry.
+
+One registry of every oracle family a campaign round can run, in a stable
+order (the paper's AEI oracle first).  The campaign driver, the CLI's
+``--oracles``/``--list-oracles`` and the docs catalog iterate this registry
+instead of hard-coding finding classes; adding a family means registering a
+:class:`~repro.oracles.base.CampaignOracle` subclass here and documenting
+it in ``docs/ORACLES.md``.
+
+The AEI scenario oracle predates this package and keeps its own machinery
+(:mod:`repro.core.oracle` — it validates database *pairs* and hosts the
+cross-backend differential mode), so it appears in the registry as the
+reserved name :data:`AEI_ORACLE` the campaign driver special-cases; the
+single-database families (:class:`SetTheoreticJoinOracle`,
+:class:`PivotedQueryOracle`) are ordinary registry instances.
+"""
+
+from __future__ import annotations
+
+from repro.oracles.base import CampaignOracle, OracleFinding, OracleRoundOutcome
+from repro.oracles.pqs import PivotedQueryOracle, evaluate_on_pivot, rectify
+from repro.oracles.set_theoretic import SetTheoreticJoinOracle
+
+__all__ = [
+    "AEI_ORACLE",
+    "AEI_TITLE",
+    "CampaignOracle",
+    "OracleFinding",
+    "OracleRoundOutcome",
+    "PivotedQueryOracle",
+    "SetTheoreticJoinOracle",
+    "all_oracles",
+    "evaluate_on_pivot",
+    "get_oracle",
+    "oracle_names",
+    "rectify",
+    "register_oracle",
+    "resolve_oracle_names",
+]
+
+#: the reserved name of the built-in AEI scenario oracle (selectable and
+#: listable like the registry families, but driven by the campaign itself).
+AEI_ORACLE = "aei"
+
+#: one-line catalog description of the AEI pseudo-entry.
+AEI_TITLE = (
+    "affine-equivalence validation over the metamorphic scenario registry "
+    "(see --list-scenarios)"
+)
+
+#: registration order is the execution and reporting order of a round's
+#: extra-oracle pass.
+_REGISTRY: dict[str, CampaignOracle] = {}
+
+
+def register_oracle(oracle: CampaignOracle) -> CampaignOracle:
+    """Add an oracle instance to the registry (name must be unique)."""
+    if not oracle.name:
+        raise ValueError("an oracle must declare a non-empty name")
+    if oracle.name == AEI_ORACLE or oracle.name in _REGISTRY:
+        raise ValueError(f"oracle {oracle.name!r} is already registered")
+    _REGISTRY[oracle.name] = oracle
+    return oracle
+
+
+for _oracle_class in (SetTheoreticJoinOracle, PivotedQueryOracle):
+    register_oracle(_oracle_class())
+
+
+def all_oracles() -> list[CampaignOracle]:
+    """Every registered single-database oracle, in registration order."""
+    return list(_REGISTRY.values())
+
+
+def oracle_names() -> list[str]:
+    """Every selectable oracle name: the AEI oracle first, then the registry."""
+    return [AEI_ORACLE] + list(_REGISTRY)
+
+
+def get_oracle(name: str) -> CampaignOracle:
+    """Look up one registered oracle by name (the AEI pseudo-name has no
+    instance and is resolved by the campaign driver itself)."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown oracle {name!r}; available: {', '.join(_REGISTRY)}"
+        ) from None
+
+
+def resolve_oracle_names(names) -> tuple[str, ...]:
+    """Turn a user-facing oracle selection into validated registry names.
+
+    ``None`` (and the special token ``"all"``) selects every oracle — the
+    campaign default.  Explicit names are honoured in the caller's order
+    and deduplicated; an unknown name raises rather than being dropped,
+    for the same reason unknown scenarios do (a silently-narrowed campaign
+    reads like a clean engine).
+    """
+    if names is None:
+        return tuple(oracle_names())
+    known = set(oracle_names())
+    selected: list[str] = []
+    for name in names:
+        key = str(name).lower()
+        if key == "all":
+            return tuple(oracle_names())
+        if key not in known:
+            raise ValueError(
+                f"unknown oracle {name!r}; available: "
+                f"{', '.join(oracle_names())} (or 'all')"
+            )
+        if key not in selected:
+            selected.append(key)
+    return tuple(selected)

@@ -16,6 +16,7 @@ from repro.scenarios.base import (
     ScenarioContext,
     ScenarioQuery,
     TransformationFamily,
+    scan_subplans,
 )
 from repro.scenarios.distance import DistanceJoinScenario
 from repro.scenarios.filters import AttributeFilterScenario
@@ -36,6 +37,7 @@ __all__ = [
     "knn_sql",
     "register_scenario",
     "resolve_scenarios",
+    "scan_subplans",
     "scenario_names",
 ]
 

@@ -45,8 +45,28 @@ from repro.core.affine import (
     similarity_affine_transformation,
 )
 from repro.core.generator import DatabaseSpec
-from repro.core.qir import Select, render
+from repro.core.qir import Column, Select, TableRef, render
 from repro.engine.dialects import Dialect
+
+
+def scan_subplans(select: Select, projection_column: str = "id") -> list[Select]:
+    """The single-table scans underlying a join plan, as IR sub-plans.
+
+    For every base-table source of ``select`` (FROM items and JOIN arms
+    alike, in chain order) this derives a ``SELECT <column> FROM <table>``
+    plan over the *unaliased* table.  The set-theoretic join oracle
+    (:mod:`repro.oracles.set_theoretic`) executes these scans alongside the
+    join itself to anchor its algebraic relations — the join result must be
+    contained in the scans' cross product and bounded by the product of
+    their cardinalities.  Derived-table sources carry no base rows to scan
+    and are skipped.
+    """
+    chain = list(select.sources) + [join.source for join in select.joins]
+    return [
+        Select(projection=(Column(projection_column),), sources=(TableRef(source.name),))
+        for source in chain
+        if isinstance(source, TableRef)
+    ]
 
 
 class TransformationFamily(enum.Enum):

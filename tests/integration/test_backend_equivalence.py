@@ -38,7 +38,11 @@ from repro.topology.relate import clear_relate_cache
 
 SEEDS = (7, 2025, 4711)
 ROUNDS = 2
-BASE = dict(dialect="postgis", geometry_count=6, queries_per_round=14)
+# the legacy loop reconstructed below predates the single-database oracle
+# families, so this suite pins the AEI pass alone; the oracle families have
+# their own soundness/yield/merge suites (test_oracle_soundness.py,
+# test_oracle_yield.py).
+BASE = dict(dialect="postgis", geometry_count=6, queries_per_round=14, oracles=("aei",))
 
 
 def _clear_process_caches() -> None:

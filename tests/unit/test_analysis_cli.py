@@ -111,12 +111,41 @@ class TestCLI:
         assert "sqlite" in output
         assert "docs/BACKENDS.md" in output
 
+    def test_list_oracles_is_standalone(self, capsys):
+        assert main(["--list-oracles"]) == 0
+        output = capsys.readouterr().out
+        assert "aei" in output
+        assert "set-theoretic" in output
+        assert "pqs" in output
+        assert "docs/ORACLES.md" in output
+
     def test_list_flags_ignore_invalid_campaign_flags(self, capsys):
         # catalogs print even when campaign flags would fail validation
         assert main(["--list-scenarios", "--rounds", "-3"]) == 0
         capsys.readouterr()
         assert main(["--list-backends", "--workers", "0"]) == 0
         capsys.readouterr()
+        assert main(["--list-oracles", "--rounds", "-3"]) == 0
+        capsys.readouterr()
+
+    def test_unknown_oracle_selection_is_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--oracles", "bogus"])
+        assert "unknown oracle" in capsys.readouterr().err
+
+    def test_oracle_selection_smoke_run(self, capsys):
+        exit_code = main(
+            [
+                "--dialect", "postgis", "--clean", "--oracles", "set-theoretic", "pqs",
+                "--rounds", "1", "--geometries", "4", "--queries", "6", "--seed", "3",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Queries and findings per oracle:" in output
+        assert "set-theoretic" in output and "pqs" in output
+        # an explicit selection without 'aei' skips the scenario pass
+        assert "per scenario" not in output
 
     def test_cross_backend_smoke_run(self, capsys):
         exit_code = main(
