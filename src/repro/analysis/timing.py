@@ -32,17 +32,20 @@ class TimeSplit:
     spatter_seconds: float
     #: Average seconds spent executing statements inside the SDBMS.
     sdbms_seconds: float
-    #: Average template queries executed per run.
-    queries_run: int
+    #: Average template queries executed per run (exact per-repeat mean,
+    #: like the two seconds fields — not floor-divided).
+    queries_run: float
     #: Worker processes the campaign ran with (1 = serial driver).
     workers: int = 1
-    #: Cache counters summed over the repeats (``prepared_*``, ``relate_*``
-    #: and ``interner_*`` hits/misses).  Populated in both execution modes:
+    #: Cache counters averaged over the repeats (``prepared_*``,
+    #: ``relate_*`` and ``interner_*`` hits/misses), so every field of a
+    #: data point is a per-repeat mean and stays comparable across sweeps
+    #: run with different ``repeats``.  Populated in both execution modes:
     #: the relate WKT memo, the geometry interner and the seed's
     #: ST_Contains prepared routing stay active with ``fast_path=False`` —
     #: only the gated layers (broad prepared caching, auto indexes, the
     #: clearance kernel) go quiet.
-    cache_stats: dict[str, int] = field(default_factory=dict)
+    cache_stats: dict[str, float] = field(default_factory=dict)
 
     @property
     def sdbms_share(self) -> float:
@@ -79,6 +82,12 @@ def measure_campaign_time_split(
     performance noise.  ``workers > 1`` routes the run through the parallel
     orchestrator (:mod:`repro.core.parallel`) so serial and sharded
     wall-clocks can be compared on the same workload.
+
+    Every field of the returned :class:`TimeSplit` is a per-repeat mean:
+    seconds, query counts and cache counters all divide by ``repeats``
+    (historically seconds were averaged while query counts were
+    floor-divided and cache counters summed, which made data points from
+    sweeps with different ``repeats`` incomparable).
     """
     total_spatter = 0.0
     total_sdbms = 0.0
@@ -104,7 +113,7 @@ def measure_campaign_time_split(
         geometry_count=geometry_count,
         spatter_seconds=total_spatter / repeats,
         sdbms_seconds=total_sdbms / repeats,
-        queries_run=total_queries // repeats,
+        queries_run=total_queries / repeats,
         workers=workers,
-        cache_stats=caches,
+        cache_stats={key: value / repeats for key, value in caches.items()},
     )

@@ -30,6 +30,8 @@ These rules are shared by every adapter: a backend author implements
 
 from __future__ import annotations
 
+import re
+
 from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Any, Iterable, Sequence
@@ -50,6 +52,16 @@ _WKT_PREFIXES = (
     "MULTILINESTRING",
     "MULTIPOLYGON",
     "GEOMETRYCOLLECTION",
+)
+
+#: a WKT cell is a type keyword followed by what WKT grammar allows next:
+#: a coordinate list ``(``, a dimension marker (``Z``/``M``/``ZM``) or the
+#: ``EMPTY`` token — optionally whitespace-separated.  A bare-prefix match
+#: is not enough: free-text cells like ``POINTER`` or ``POLYGONAL region``
+#: start with a keyword but are not geometry renderings.
+_WKT_PATTERN = re.compile(
+    r"^(?:" + "|".join(_WKT_PREFIXES) + r")\s*(?:\(|ZM?\b|M\b|EMPTY\b)",
+    re.IGNORECASE,
 )
 
 
@@ -74,8 +86,14 @@ class BackendResultSet:
 
 
 def looks_like_wkt(text: str) -> bool:
-    """True when a string cell is (the start of) a WKT rendering."""
-    return text.lstrip().upper().startswith(_WKT_PREFIXES)
+    """True when a string cell is (the start of) a WKT rendering.
+
+    Requires the type keyword to be followed by something the WKT grammar
+    allows — ``(``, a ``Z``/``M``/``ZM`` dimension marker or ``EMPTY`` —
+    so ordinary text that merely *starts* with a keyword (``POINTER``,
+    ``POLYGONAL region``) is not dragged through geometry parsing.
+    """
+    return _WKT_PATTERN.match(text.lstrip()) is not None
 
 
 def normalize_value(value: Any) -> Any:

@@ -13,6 +13,7 @@ import sys
 from repro.backends import available_backends, backend_description, create_backend
 from repro.core.campaign import CampaignConfig
 from repro.core.parallel import run_campaign
+from repro.core.scheduler import SCHEDULER_NAMES, STATIC_SCHEDULER
 from repro.engine.dialects import available_dialects, default_fault_profile, get_dialect
 from repro.engine.faults import bug_by_id
 from repro.oracles import AEI_ORACLE, AEI_TITLE, all_oracles, oracle_names
@@ -136,6 +137,27 @@ def build_argument_parser() -> argparse.ArgumentParser:
             "disable the vectorized batch execution core (numpy geometry "
             "kernels and the batch-operator SELECT pipeline); the scalar "
             "reference side of the batch-vs-scalar equivalence suite"
+        ),
+    )
+    parser.add_argument(
+        "--scheduler",
+        choices=SCHEDULER_NAMES,
+        default=STATIC_SCHEDULER,
+        help=(
+            "round query-budget allocator: 'static' splits evenly (the "
+            "historical behaviour), 'bandit' steers budget toward the "
+            "(scenario|oracle) arms still yielding new dedup signatures "
+            "(default: static; see docs/SCHEDULER.md)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-file",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append a JSONL event trace of the campaign (round boundaries, "
+            "scheduler allocations with posterior inputs, findings, "
+            "deadline cuts) to this file; schema in docs/SCHEDULER.md"
         ),
     )
     parser.add_argument(
@@ -316,6 +338,8 @@ def main(argv: list[str] | None = None) -> int:
         use_derivative_strategy=not arguments.random_shape_only,
         fast_path=not arguments.no_fast_path,
         vectorized=not arguments.no_vectorized,
+        scheduler=arguments.scheduler,
+        trace_file=arguments.trace_file,
         seed=arguments.seed,
         workers=arguments.workers,
         shards=arguments.shards,
@@ -359,6 +383,14 @@ def main(argv: list[str] | None = None) -> int:
         for name, count in result.queries_by_oracle.items():
             found = findings_by_oracle.get(name, 0)
             print(f"  {name:18s} {count:5d} queries, {found:3d} findings")
+    if result.scheduler_stats:
+        print(f"\nScheduler arms ({result.config.scheduler}):")
+        for arm, row in result.scheduler_stats.items():
+            print(
+                f"  {arm:28s} {row['pulls']:4d} pulls, {row['queries']:5d} queries, "
+                f"{row['novel_signatures']:3d} novel signatures "
+                f"(posterior {row['posterior']:.3f})"
+            )
     if result.discrepancies:
         if arguments.reduce:
             print("\nDiscrepancies (minimized):")

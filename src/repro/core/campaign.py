@@ -28,9 +28,20 @@ from repro.backends import Backend, BackendDivergence, create_backend
 from repro.core.dedup import DeduplicationResult, Deduplicator
 from repro.core.generator import GeneratorConfig, GeometryAwareGenerator
 from repro.core.oracle import AEIOracle, CrashReport, Discrepancy, allocate_query_budget
+from repro.core.scheduler import (
+    BANDIT_SCHEDULER,
+    BanditScheduler,
+    STATIC_SCHEDULER,
+    merge_scheduler_stats,
+    oracle_arm,
+    resolve_scheduler_name,
+    scenario_arm,
+)
+from repro.core.trace import CampaignTrace
 from repro.engine.database import SpatialDatabase, connect
 from repro.engine.dialects import default_fault_profile
 from repro.oracles import AEI_ORACLE, OracleFinding, get_oracle, resolve_oracle_names
+from repro.scenarios import resolve_scenarios
 
 
 def round_rng(seed: int, round_index: int) -> random.Random:
@@ -105,6 +116,20 @@ class CampaignConfig:
     #: row-at-a-time reference path; the batch-vs-scalar equivalence suite
     #: holds the two modes finding-for-finding identical.
     vectorized: bool = True
+    #: Round-budget allocation policy.  ``"static"`` (the default) keeps the
+    #: historical even :func:`~repro.core.oracle.allocate_query_budget`
+    #: split with its rotating remainder — byte-for-byte the pre-scheduler
+    #: behaviour.  ``"bandit"`` replaces it with the feedback-guided
+    #: allocator (:mod:`repro.core.scheduler`): a seeded Thompson bandit
+    #: over per-arm dedup-signature novelty, one arm per active scenario
+    #: and oracle family.
+    scheduler: str = STATIC_SCHEDULER
+    #: When set, the campaign appends a structured JSONL event trace to
+    #: this path: round boundaries, scheduler allocation decisions with
+    #: their posterior inputs, findings (with novelty), and deadline
+    #: events.  ``None`` (the default) traces nothing.  Schema:
+    #: ``docs/SCHEDULER.md``.
+    trace_file: str | None = None
     #: Master seed; combined with the global round index via
     #: :func:`round_rng`, so ``seed`` + total rounds fully determine a run.
     seed: int = 0
@@ -167,6 +192,12 @@ class CampaignResult:
     #: Queries executed per oracle-family name (summed across shards on
     #: merge); the AEI oracle's queries stay in ``queries_by_scenario``.
     queries_by_oracle: dict[str, int] = field(default_factory=dict)
+    #: Per-arm scheduler statistics (arm id → pulls / queries /
+    #: novel-signatures / posterior), populated when the feedback-guided
+    #: scheduler ran; counters merge across shards by summation exactly
+    #: like ``queries_by_scenario`` (the posterior summary is re-derived
+    #: from the merged counters).  Empty for ``scheduler="static"``.
+    scheduler_stats: dict[str, dict] = field(default_factory=dict)
     #: Every crash-bug candidate observed, pre-dedup.
     crashes: list[CrashReport] = field(default_factory=list)
     #: Every cross-backend divergence observed (the differential finding
@@ -295,6 +326,7 @@ class CampaignResult:
         by_oracle = dict(left.queries_by_oracle)
         for oracle, count in right.queries_by_oracle.items():
             by_oracle[oracle] = by_oracle.get(oracle, 0) + count
+        scheduler = merge_scheduler_stats(left.scheduler_stats, right.scheduler_stats)
         return CampaignResult(
             config=left.config,
             rounds=left.rounds + right.rounds,
@@ -305,6 +337,7 @@ class CampaignResult:
             discrepancies=left.discrepancies + right.discrepancies,
             oracle_findings=left.oracle_findings + right.oracle_findings,
             queries_by_oracle=by_oracle,
+            scheduler_stats=scheduler,
             crashes=left.crashes + right.crashes,
             divergences=left.divergences + right.divergences,
             divergence_queries=left.divergence_queries + right.divergence_queries,
@@ -382,6 +415,41 @@ class TestingCampaign:
                 "injection; run it with emulate_release_under_test=False "
                 "(--clean) or an empty bug profile"
             )
+        #: the validated budget-allocation policy; resolving here makes an
+        #: unknown ``--scheduler`` name fail at construction.
+        self.scheduler_name = resolve_scheduler_name(self.config.scheduler)
+        #: names of the metamorphic scenarios the AEI pass can run (arm
+        #: universe of the bandit; empty when the AEI family is deselected).
+        self._scenario_arm_names: tuple[str, ...] = ()
+        #: names of the applicable single-database oracle families.
+        self._oracle_arm_names: tuple[str, ...] = ()
+        #: the feedback-guided allocator (``None`` under the static split).
+        #: Seeded per (campaign seed, shard split): a fixed ``(seed,
+        #: shards)`` configuration replays the identical allocation and
+        #: finding stream whatever the worker count — each shard's bandit
+        #: learns from its own round stream and the per-arm statistics
+        #: merge by summation (see docs/SCHEDULER.md).
+        self.scheduler: BanditScheduler | None = None
+        capabilities = self.backend.capabilities()
+        if AEI_ORACLE in self.active_oracles:
+            self._scenario_arm_names = tuple(
+                scenario.name
+                for scenario in resolve_scenarios(self.config.scenarios, capabilities)
+            )
+        self._oracle_arm_names = tuple(
+            name
+            for name in self.active_oracles
+            if name != AEI_ORACLE and get_oracle(name).is_applicable(capabilities)
+        )
+        if self.scheduler_name == BANDIT_SCHEDULER:
+            arms = tuple(
+                [scenario_arm(name) for name in self._scenario_arm_names]
+                + [oracle_arm(name) for name in self._oracle_arm_names]
+            )
+            self.scheduler = BanditScheduler(
+                arms=arms,
+                seed=f"{self.config.seed}|{shard_index}|{shard_count}",
+            )
         #: the cross-backend reference, always running the *fixed* engine
         #: (no injected faults) so divergences witness seeded bugs.
         self.reference_backend: Backend | None = None
@@ -429,6 +497,18 @@ class TestingCampaign:
             shard_count=self.shard_count,
         )
         started = time.perf_counter()
+        # The wall-clock budget as an absolute instant, so passes deep in a
+        # round can check it without re-deriving elapsed time; ``None`` for
+        # round-budgeted runs.
+        deadline = None if duration_seconds is None else started + duration_seconds
+        # A direct serial campaign owns its trace file and truncates it; a
+        # shard of a parallel run appends to the file the orchestrator
+        # truncated (events interleave, each stamped with its shard index).
+        trace = CampaignTrace(
+            self.config.trace_file,
+            shard_index=self.shard_index,
+            truncate=self.shard_count == 1 and self.rounds_completed == 0,
+        )
 
         # The integer clearance kernel is process-global (it lives below the
         # per-connection layers); scope it to this run so fast-path-off
@@ -444,22 +524,79 @@ class TestingCampaign:
         try:
             while True:
                 elapsed = time.perf_counter() - started
-                if duration_seconds is not None and elapsed >= duration_seconds:
+                if deadline is not None and time.perf_counter() >= deadline:
+                    trace.emit("deadline", elapsed=elapsed, phase="rounds")
                     break
                 if rounds is not None and result.rounds >= rounds:
                     break
-                self._run_round(result, started)
+                self._run_round(result, started, trace, deadline)
         finally:
             set_fast_clearance(previous_clearance)
             set_vectorized_kernels(previous_vectorized)
+            trace.close()
 
         result.total_seconds = time.perf_counter() - started
         result.unique_bug_ids = list(self.deduplicator.result.unique_bug_ids)
         result.unique_bug_timeline = self.deduplicator.unique_bugs_over_time()
         result.first_detection_seconds = dict(self.deduplicator.result.first_detection_seconds)
+        if self.scheduler is not None:
+            result.scheduler_stats = self.scheduler.stats_dict()
         return result
 
-    def _run_round(self, result: CampaignResult, started: float) -> None:
+    def _round_budget(self) -> int:
+        """The bandit's per-round query pool.
+
+        One ``queries_per_round`` pool per active arm class (AEI scenarios,
+        extra oracle families) — exactly what the static split spends on
+        the same configuration, so static-vs-bandit comparisons at a fixed
+        round count hold the total query budget fixed.
+        """
+        budget = 0
+        if self._scenario_arm_names:
+            budget += self.config.queries_per_round
+        if self._oracle_arm_names:
+            budget += self.config.queries_per_round
+        return budget
+
+    def _record_finding(
+        self,
+        trace: CampaignTrace,
+        novelty: dict[str, int],
+        arm: str,
+        kind: str,
+        signatures_before: int,
+        new_ids: "list[str]",
+        elapsed: float,
+        signature_fn,
+    ) -> None:
+        """Post-observation bookkeeping shared by every finding class.
+
+        Credits the arm with one unit of novelty when the deduplicator's
+        signature space grew, and emits a ``finding`` trace event (the
+        signature string is only rendered when tracing is on — it re-parses
+        geometry and is not free).
+        """
+        novel = self.deduplicator.signature_count > signatures_before
+        if novel:
+            novelty[arm] = novelty.get(arm, 0) + 1
+        if trace.enabled:
+            trace.emit(
+                "finding",
+                elapsed=elapsed,
+                kind=kind,
+                arm=arm,
+                novel=novel,
+                signature=signature_fn(),
+                bug_ids=list(new_ids),
+            )
+
+    def _run_round(
+        self,
+        result: CampaignResult,
+        started: float,
+        trace: CampaignTrace,
+        deadline: float | None = None,
+    ) -> None:
         # Global index of the round in the campaign-wide stream; every
         # random decision of the round derives from it, so a shard replays
         # exactly what the serial campaign would have run at that index.
@@ -467,6 +604,10 @@ class TestingCampaign:
         rng = round_rng(self.config.seed, global_round)
         result.rounds += 1
         self.rounds_completed += 1
+        queries_at_start = result.queries_run
+        trace.emit(
+            "round_start", elapsed=time.perf_counter() - started, round=global_round
+        )
         generation_connection = self.new_connection()
         generator = GeometryAwareGenerator(
             generation_connection,
@@ -492,56 +633,162 @@ class TestingCampaign:
             reference_backend=self.reference_backend,
         )
         global_caches_before = self._global_cache_stats()
-        try:
-            spec = generator.generate()
-        except Exception as crash:  # EngineCrash during derivation
-            from repro.errors import EngineCrash
-
-            if isinstance(crash, EngineCrash):
-                report = CrashReport(
-                    statement="<derivative strategy>", message=str(crash), bug_id=crash.bug_id
-                )
-                result.crashes.append(report)
-                elapsed = time.perf_counter() - started
-                self.deduplicator.observe_crash(report, elapsed)
-                result.sdbms_seconds += sum(c.stats.seconds_in_engine for c in sdbms_connections)
-                self._collect_cache_stats(result, sdbms_connections, global_caches_before)
-                return
-            raise
-
-        if AEI_ORACLE in self.active_oracles:
-            outcome = oracle.check(
-                spec,
-                query_count=self.config.queries_per_round,
-                scenarios=self.config.scenarios,
+        allocation: dict[str, int] | None = None
+        if self.scheduler is not None:
+            allocation = self.scheduler.allocate(self._round_budget())
+            trace.emit(
+                "allocation",
+                elapsed=time.perf_counter() - started,
+                round=global_round,
+                scheduler=self.scheduler_name,
+                budgets=allocation,
+                posterior=self.scheduler.posterior_inputs(),
             )
-            elapsed = time.perf_counter() - started
-            result.queries_run += outcome.queries_run
-            for scenario, count in outcome.queries_by_scenario.items():
-                result.queries_by_scenario[scenario] = (
-                    result.queries_by_scenario.get(scenario, 0) + count
+        try:
+            try:
+                spec = generator.generate()
+            except Exception as crash:  # EngineCrash during derivation
+                from repro.errors import EngineCrash
+
+                if isinstance(crash, EngineCrash):
+                    report = CrashReport(
+                        statement="<derivative strategy>", message=str(crash), bug_id=crash.bug_id
+                    )
+                    result.crashes.append(report)
+                    elapsed = time.perf_counter() - started
+                    new_ids = self.deduplicator.observe_crash(report, elapsed)
+                    trace.emit(
+                        "finding",
+                        elapsed=elapsed,
+                        kind="crash",
+                        arm=None,
+                        novel=bool(new_ids),
+                        bug_ids=list(new_ids),
+                    )
+                    return
+                raise
+
+            if AEI_ORACLE in self.active_oracles:
+                self._run_aei_pass(result, spec, oracle, allocation, started, trace)
+            self._run_extra_oracles(
+                result, spec, tracked_factory, rng, started, allocation, trace, deadline
+            )
+        finally:
+            result.sdbms_seconds += sum(c.stats.seconds_in_engine for c in sdbms_connections)
+            self._collect_cache_stats(result, sdbms_connections, global_caches_before)
+            trace.emit(
+                "round_end",
+                elapsed=time.perf_counter() - started,
+                round=global_round,
+                queries=result.queries_run - queries_at_start,
+            )
+
+    def _run_aei_pass(
+        self,
+        result: CampaignResult,
+        spec,
+        oracle: AEIOracle,
+        allocation: "dict[str, int] | None",
+        started: float,
+        trace: CampaignTrace,
+    ) -> None:
+        """Run the round's AEI scenario pass and fold in its outcome.
+
+        With a bandit ``allocation``, each scenario runs exactly its
+        allocated budget (the oracle's internal rotating split is bypassed)
+        and the scheduler is fed every scenario arm's queries-spent and
+        marginal signature novelty; without one, this is the historical
+        static pass byte for byte.
+        """
+        from repro.core.dedup import signature_identity
+
+        scenario_budgets: dict[str, int] | None = None
+        aei_budget = self.config.queries_per_round
+        if allocation is not None:
+            scenario_budgets = {
+                name: allocation.get(scenario_arm(name), 0)
+                for name in self._scenario_arm_names
+            }
+            aei_budget = sum(scenario_budgets.values())
+            if aei_budget <= 0:
+                return
+        outcome = oracle.check(
+            spec,
+            query_count=aei_budget,
+            scenarios=self.config.scenarios,
+            budgets=scenario_budgets,
+        )
+        elapsed = time.perf_counter() - started
+        result.queries_run += outcome.queries_run
+        for scenario, count in outcome.queries_by_scenario.items():
+            result.queries_by_scenario[scenario] = (
+                result.queries_by_scenario.get(scenario, 0) + count
+            )
+        result.errors_ignored += outcome.errors_ignored
+        novelty: dict[str, int] = {}
+        for discrepancy in outcome.discrepancies:
+            result.discrepancies.append(discrepancy)
+            signatures_before = self.deduplicator.signature_count
+            new_ids = self.deduplicator.observe_discrepancy(discrepancy, elapsed)
+            self._record_finding(
+                trace,
+                novelty,
+                scenario_arm(discrepancy.scenario),
+                "discrepancy",
+                signatures_before,
+                new_ids,
+                elapsed,
+                lambda d=discrepancy: signature_identity(d),
+            )
+        for crash in outcome.crashes:
+            result.crashes.append(crash)
+            new_ids = self.deduplicator.observe_crash(crash, elapsed)
+            trace.emit(
+                "finding",
+                elapsed=elapsed,
+                kind="crash",
+                arm=None,
+                novel=bool(new_ids),
+                bug_ids=list(new_ids),
+            )
+        result.divergence_queries += outcome.divergence_queries
+        result.reference_errors_ignored += outcome.reference_errors_ignored
+        for divergence in outcome.divergences:
+            result.divergences.append(divergence)
+            signatures_before = self.deduplicator.signature_count
+            new_ids = self.deduplicator.observe_divergence(divergence, elapsed)
+            self._record_finding(
+                trace,
+                novelty,
+                scenario_arm(divergence.scenario),
+                "divergence",
+                signatures_before,
+                new_ids,
+                elapsed,
+                divergence.signature,
+            )
+        # the reference backend is an SDBMS too: its engine time joins the
+        # Figure 7 split rather than silently inflating the tester's share.
+        result.sdbms_seconds += outcome.reference_seconds
+        if self.scheduler is not None and scenario_budgets is not None:
+            for name in self._scenario_arm_names:
+                if scenario_budgets.get(name, 0) <= 0:
+                    continue
+                arm = scenario_arm(name)
+                self.scheduler.observe(
+                    arm, outcome.queries_by_scenario.get(name, 0), novelty.get(arm, 0)
                 )
-            result.errors_ignored += outcome.errors_ignored
-            for discrepancy in outcome.discrepancies:
-                result.discrepancies.append(discrepancy)
-                self.deduplicator.observe_discrepancy(discrepancy, elapsed)
-            for crash in outcome.crashes:
-                result.crashes.append(crash)
-                self.deduplicator.observe_crash(crash, elapsed)
-            result.divergence_queries += outcome.divergence_queries
-            result.reference_errors_ignored += outcome.reference_errors_ignored
-            for divergence in outcome.divergences:
-                result.divergences.append(divergence)
-                self.deduplicator.observe_divergence(divergence, elapsed)
-            # the reference backend is an SDBMS too: its engine time joins the
-            # Figure 7 split rather than silently inflating the tester's share.
-            result.sdbms_seconds += outcome.reference_seconds
-        self._run_extra_oracles(result, spec, tracked_factory, rng, started)
-        result.sdbms_seconds += sum(c.stats.seconds_in_engine for c in sdbms_connections)
-        self._collect_cache_stats(result, sdbms_connections, global_caches_before)
 
     def _run_extra_oracles(
-        self, result: CampaignResult, spec, session_factory, rng: random.Random, started: float
+        self,
+        result: CampaignResult,
+        spec,
+        session_factory,
+        rng: random.Random,
+        started: float,
+        allocation: "dict[str, int] | None" = None,
+        trace: CampaignTrace | None = None,
+        deadline: float | None = None,
     ) -> None:
         """Run the round's single-database oracle families (``repro.oracles``).
 
@@ -552,17 +799,39 @@ class TestingCampaign:
         deduplicated identity spaces as AEI discrepancies.  Drawing from the
         round RNG *after* the AEI pass keeps the serial and sharded replays
         of a round identical for a fixed configuration.
+
+        With a bandit ``allocation``, each family instead runs exactly its
+        allocated budget (no rotation offset is drawn) and feeds the
+        scheduler its queries-spent and marginal signature novelty.  A
+        wall-clock ``deadline`` is re-checked before every family pass —
+        between the AEI pass and the first family, and between families —
+        so one slow pass bounds the overshoot instead of the whole round.
         """
+        trace = trace or CampaignTrace(None)
         extra = [get_oracle(name) for name in self.active_oracles if name != AEI_ORACLE]
         capabilities = self.backend.capabilities()
         extra = [oracle for oracle in extra if oracle.is_applicable(capabilities)]
         if not extra or not spec.table_names():
             return
-        offset = rng.randrange(len(extra)) if len(extra) > 1 else 0
-        budgets = allocate_query_budget(self.config.queries_per_round, len(extra), offset=offset)
+        if allocation is None:
+            offset = rng.randrange(len(extra)) if len(extra) > 1 else 0
+            budgets = allocate_query_budget(
+                self.config.queries_per_round, len(extra), offset=offset
+            )
+        else:
+            budgets = [allocation.get(oracle_arm(oracle.name), 0) for oracle in extra]
         for oracle, budget in zip(extra, budgets):
             if budget <= 0:
                 continue
+            if deadline is not None and time.perf_counter() >= deadline:
+                # One slow pass must not drag the whole round past the
+                # wall-clock budget: stop before the next family starts.
+                trace.emit(
+                    "deadline",
+                    elapsed=time.perf_counter() - started,
+                    phase=f"oracle:{oracle.name}",
+                )
+                break
             outcome = oracle.check(spec, session_factory, capabilities, rng, budget)
             elapsed = time.perf_counter() - started
             result.queries_run += outcome.queries_run
@@ -570,12 +839,35 @@ class TestingCampaign:
                 result.queries_by_oracle.get(oracle.name, 0) + outcome.queries_run
             )
             result.errors_ignored += outcome.errors_ignored
+            novelty: dict[str, int] = {}
+            arm = oracle_arm(oracle.name)
             for finding in outcome.findings:
                 result.oracle_findings.append(finding)
-                self.deduplicator.observe_finding(finding, elapsed)
+                signatures_before = self.deduplicator.signature_count
+                new_ids = self.deduplicator.observe_finding(finding, elapsed)
+                self._record_finding(
+                    trace,
+                    novelty,
+                    arm,
+                    "oracle-finding",
+                    signatures_before,
+                    new_ids,
+                    elapsed,
+                    finding.signature,
+                )
             for crash in outcome.crashes:
                 result.crashes.append(crash)
-                self.deduplicator.observe_crash(crash, elapsed)
+                new_ids = self.deduplicator.observe_crash(crash, elapsed)
+                trace.emit(
+                    "finding",
+                    elapsed=elapsed,
+                    kind="crash",
+                    arm=arm,
+                    novel=bool(new_ids),
+                    bug_ids=list(new_ids),
+                )
+            if self.scheduler is not None:
+                self.scheduler.observe(arm, outcome.queries_run, novelty.get(arm, 0))
 
     @staticmethod
     def _global_cache_stats() -> dict[str, int]:

@@ -126,6 +126,18 @@ class Deduplicator:
     def __init__(self):
         self.result = DeduplicationResult()
 
+    @property
+    def signature_count(self) -> int:
+        """Unique ``signature_identity`` keys observed so far.
+
+        The reward feed of the feedback-guided scheduler
+        (:mod:`repro.core.scheduler`): the campaign snapshots this counter
+        around each arm's pass and rates the arm by the marginal new keys
+        per query spent.  Reading it consumes no randomness and mutates
+        nothing, so novelty accounting cannot perturb the finding stream.
+        """
+        return len(self.result.unique_signatures)
+
     def _observe(
         self, bug_ids: tuple[str, ...], signature: str, elapsed_seconds: float
     ) -> list[str]:

@@ -250,6 +250,7 @@ class AEIOracle:
         query_count: int = 10,
         transformation: AffineTransformation | None = None,
         scenarios=None,
+        budgets: dict[str, int] | None = None,
     ) -> OracleOutcome:
         """Run ``query_count`` scenario queries over AEI pairs.
 
@@ -260,6 +261,13 @@ class AEIOracle:
         family admits it — inadmissible scenarios are skipped, which is the
         registry form of the old "skip distance predicates for non-rigid
         transformations" rule.
+
+        ``budgets`` overrides the even split with an explicit per-scenario
+        query allocation (name → queries; unnamed scenarios get zero) —
+        the entry point of the feedback-guided scheduler
+        (:mod:`repro.core.scheduler`).  With explicit budgets the oracle
+        draws no rotation offset, so it consumes none of the round RNG for
+        budget placement.
         """
         outcome = OracleOutcome()
         try:
@@ -284,12 +292,15 @@ class AEIOracle:
         if not active:
             return outcome
 
-        # rotate which scenarios receive the budget remainder (and, when
-        # query_count < len(active), which run at all) so repeated checks —
-        # one per campaign round — starve no scenario permanently.
-        offset = self.rng.randrange(len(active)) if len(active) > 1 else 0
-        budgets = allocate_query_budget(query_count, len(active), offset=offset)
-        budget_of = {id(scenario): budget for scenario, budget in zip(active, budgets)}
+        if budgets is None:
+            # rotate which scenarios receive the budget remainder (and, when
+            # query_count < len(active), which run at all) so repeated checks —
+            # one per campaign round — starve no scenario permanently.
+            offset = self.rng.randrange(len(active)) if len(active) > 1 else 0
+            allocated = allocate_query_budget(query_count, len(active), offset=offset)
+            budget_of = {id(scenario): budget for scenario, budget in zip(active, allocated)}
+        else:
+            budget_of = {id(scenario): budgets.get(scenario.name, 0) for scenario in active}
         groups = self._group_scenarios(active, shared_transformation=transformation is not None)
         original_statements = spec.create_statements(include_ids=True)
 

@@ -60,12 +60,17 @@ def _run_shard(payload: tuple) -> CampaignResult:
 
     Module-level (not a closure) so it pickles under every multiprocessing
     start method.  ``epoch`` is the orchestrator's campaign start on the
-    shared ``time.time`` clock; the difference to the shard's own start
-    becomes ``start_offset_seconds``, which the merge folds into the
-    unique-bugs-over-time rebase.
+    ``time.monotonic`` clock — system-wide across processes on every
+    platform we run on, and immune to the NTP steps and manual clock
+    changes that made the old ``time.time`` delta occasionally negative
+    (which the clamp then silently folded to zero, skewing merged
+    timelines).  The shard-start-minus-epoch difference becomes
+    ``start_offset_seconds``, which the merge folds into the
+    unique-bugs-over-time rebase; monotonicity of the clock makes it
+    non-negative by construction, no clamp needed.
     """
     config, shard_index, shard_count, rounds, duration_seconds, epoch = payload
-    offset = max(0.0, time.time() - epoch)
+    offset = time.monotonic() - epoch
     campaign = TestingCampaign(config, shard_index=shard_index, shard_count=shard_count)
     result = campaign.run(rounds=rounds, duration_seconds=duration_seconds)
     result.start_offset_seconds = offset
@@ -177,7 +182,13 @@ class ParallelCampaign:
         if rounds is None and duration_seconds is None:
             rounds = 5
         started = time.perf_counter()
-        epoch = time.time()
+        epoch = time.monotonic()
+        if self.config.trace_file is not None and self.shard_count > 1:
+            # The orchestrator owns the trace file: truncate it once here,
+            # then every shard appends (each event stamped with its shard
+            # index), so shards never clobber each other's lines.
+            with open(self.config.trace_file, "w", encoding="utf-8"):
+                pass
         pooled = self.config.workers > 1
         payloads = self._payloads(
             rounds, duration_seconds, epoch, concurrency=self.config.workers if pooled else 1

@@ -1,0 +1,84 @@
+"""Structured campaign observability: an opt-in JSONL event trace.
+
+``CampaignConfig.trace_file`` / ``--trace-file`` points the campaign at a
+file that receives one JSON object per line for every notable event of the
+run: round boundaries, the scheduler's per-arm allocation decisions (with
+the posterior inputs they were based on), every finding as it is observed
+by the deduplicator (with its signature and whether it was novel), and
+deadline events when a wall-clock budget cuts a round short.  The trace is
+the substrate for two things:
+
+* **debugging scheduler decisions** — replaying why the bandit moved
+  budget between arms requires the posterior inputs at decision time,
+  which no aggregate counter preserves; and
+* **the campaign-as-a-service findings store** (ROADMAP) — a long-running
+  service ingests exactly this event stream into its persistent database.
+
+Writing rules:
+
+* Every event carries ``event``, ``shard`` and ``elapsed`` (seconds on the
+  emitting shard's clock) keys; the rest is event-specific.
+* The campaign *orchestrator* truncates the file and each shard appends
+  complete lines (flushed per event), so a sharded run interleaves events
+  from all shards — readers group by ``shard`` and order by ``elapsed``.
+* Tracing is pure observation: it consumes no randomness and never touches
+  campaign state, so enabling it cannot perturb the finding stream.
+
+Event schema reference: ``docs/SCHEDULER.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+
+class CampaignTrace:
+    """Appends campaign events to a JSONL file (or swallows them when off).
+
+    Construct with ``path=None`` for the no-op trace: every ``emit`` is a
+    cheap early return, which keeps call sites unconditional.
+    """
+
+    def __init__(self, path: str | None, shard_index: int = 0, truncate: bool = False):
+        self.path = path
+        self.shard_index = shard_index
+        self._handle = None
+        if path is not None:
+            # line-buffered append; the orchestrator truncates once so the
+            # shards of one run share the file without clobbering each other.
+            self._handle = open(  # noqa: SIM115 - lifetime spans the campaign
+                path, "w" if truncate else "a", encoding="utf-8", buffering=1
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return self._handle is not None
+
+    def emit(self, event: str, elapsed: float = 0.0, **fields: Any) -> None:
+        """Write one event line (no-op when tracing is off)."""
+        if self._handle is None:
+            return
+        record: dict[str, Any] = {
+            "event": event,
+            "shard": self.shard_index,
+            "elapsed": round(elapsed, 6),
+        }
+        record.update(fields)
+        self._handle.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def read_trace(path: str) -> list[dict]:
+    """Parse a trace file back into event dicts (test/analysis helper)."""
+    events: list[dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

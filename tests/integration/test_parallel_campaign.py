@@ -76,6 +76,47 @@ class TestMergedEqualsSerial:
         assert counts == list(range(1, len(counts) + 1))
         assert seconds == sorted(seconds)
 
+    def test_shard_clock_offset_survives_wall_clock_steps(self, monkeypatch):
+        # The shard epoch delta is taken on time.monotonic, so an NTP step
+        # or manual clock change between orchestrator start and shard start
+        # cannot produce a negative (or inflated) offset that would skew
+        # the merged unique-bugs-over-time rebase.
+        import time as time_module
+
+        from repro.core.parallel import _run_shard
+
+        monkeypatch.setattr(
+            time_module, "time", lambda: 0.0  # a wall clock stepped back to the epoch
+        )
+        epoch = time_module.monotonic() - 1.5
+        config = replace(CONFIG, geometry_count=4, queries_per_round=4)
+        result = _run_shard((config, 0, 1, 1, None, epoch))
+        assert result.start_offset_seconds >= 1.5
+        assert result.start_offset_seconds < 60.0
+
+    def test_rebased_timelines_stay_monotone_after_merge(self):
+        shard_a = CampaignResult(
+            config=CONFIG,
+            first_detection_seconds={"a": 0.2, "b": 1.2},
+            unique_bug_timeline=[(0.2, 1), (1.2, 2)],
+            total_seconds=2.0,
+            start_offset_seconds=0.0,
+        )
+        shard_b = CampaignResult(
+            config=CONFIG,
+            first_detection_seconds={"c": 0.1},
+            unique_bug_timeline=[(0.1, 1)],
+            total_seconds=1.0,
+            start_offset_seconds=0.7,  # the shard started later on the shared clock
+        )
+        merged = shard_a.merge(shard_b)
+        seconds = [second for second, _ in merged.unique_bug_timeline]
+        counts = [count for _, count in merged.unique_bug_timeline]
+        assert seconds == sorted(seconds)
+        assert counts == [1, 2, 3]
+        # shard_b's finding lands at 0.1 + 0.7 on the shared clock
+        assert merged.first_detection_seconds["c"] == pytest.approx(0.8)
+
 
 class TestDeterminism:
     def test_same_seed_and_shards_reproduce_the_findings(self):

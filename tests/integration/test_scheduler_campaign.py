@@ -1,0 +1,256 @@
+"""The feedback-guided scheduler's campaign-level contract.
+
+Four claims, each pinned over real campaigns:
+
+1. **Static is untouched.**  ``scheduler="static"`` (the default) replays
+   the historical round loop byte for byte — same findings, same query
+   counters, empty ``scheduler_stats`` — and enabling the event trace
+   cannot perturb it (tracing is pure observation).
+2. **The bandit is deterministic per (seed, shards).**  A fixed seed and
+   shard split produces the identical finding stream, allocations and
+   ``scheduler_stats`` whatever the worker count (the worker-invariance
+   guarantee of docs/SCHEDULER.md), on both execution backends.
+3. **Shard statistics merge by summation**, exactly like
+   ``queries_by_scenario``: the parallel orchestrator's merged
+   ``scheduler_stats`` equals a hand-merge of the per-shard results.
+4. **A wall-clock deadline cuts inside the round** (between the AEI pass
+   and each oracle-family pass), bounding the overshoot by a single slow
+   pass instead of the whole round.
+"""
+
+from __future__ import annotations
+
+import time
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cli import main
+from repro.core.campaign import CampaignConfig, CampaignResult, TestingCampaign
+from repro.core.parallel import ParallelCampaign
+from repro.core.scheduler import ORACLE_ARM_PREFIX, SCENARIO_ARM_PREFIX, merge_scheduler_stats
+from repro.core.trace import read_trace
+
+CONFIG = CampaignConfig(
+    dialect="postgis",
+    seed=42,
+    geometry_count=5,
+    queries_per_round=8,
+    scenarios=("topological-join", "knn", "metric-area"),
+)
+ROUNDS = 4
+SEEDS = (7, 42, 2025)
+BACKENDS = ("inprocess", "sqlite")
+
+
+def _finding_stream(result: CampaignResult) -> list[str]:
+    return (
+        [d.describe() for d in result.discrepancies]
+        + [f.describe() for f in result.oracle_findings]
+        + [f"{c.statement}: {c.message}" for c in result.crashes]
+    )
+
+
+class TestStaticUntouched:
+    def test_default_scheduler_is_static_with_empty_stats(self):
+        result = TestingCampaign(CONFIG).run(rounds=2)
+        assert result.config.scheduler == "static"
+        assert result.scheduler_stats == {}
+
+    def test_explicit_static_equals_default(self):
+        default = TestingCampaign(CONFIG).run(rounds=2)
+        static = TestingCampaign(replace(CONFIG, scheduler="static")).run(rounds=2)
+        assert _finding_stream(static) == _finding_stream(default)
+        assert static.queries_by_scenario == default.queries_by_scenario
+        assert static.queries_by_oracle == default.queries_by_oracle
+
+    def test_tracing_does_not_perturb_the_findings(self, tmp_path):
+        bare = TestingCampaign(CONFIG).run(rounds=2)
+        traced_config = replace(CONFIG, trace_file=str(tmp_path / "trace.jsonl"))
+        traced = TestingCampaign(traced_config).run(rounds=2)
+        assert _finding_stream(traced) == _finding_stream(bare)
+        assert traced.queries_run == bare.queries_run
+
+    def test_unknown_scheduler_is_rejected_up_front(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            TestingCampaign(replace(CONFIG, scheduler="greedy"))
+
+
+class TestBanditSmoke:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_bandit_campaign_runs_and_reports_arm_stats(self, backend):
+        config = replace(CONFIG, backend=backend, scheduler="bandit")
+        result = TestingCampaign(config).run(rounds=3)
+        assert result.rounds == 3
+        assert result.scheduler_stats, "bandit campaigns must report arm statistics"
+        prefixes = {arm.split(":", 1)[0] + ":" for arm in result.scheduler_stats}
+        assert SCENARIO_ARM_PREFIX in prefixes
+        assert ORACLE_ARM_PREFIX in prefixes
+        for row in result.scheduler_stats.values():
+            assert row["queries"] >= 0
+            assert 0.0 < row["posterior"] < 1.0
+        # scenario-arm query counters and the campaign's per-scenario
+        # counters are the same numbers, observed through two paths
+        for name, count in result.queries_by_scenario.items():
+            arm = f"{SCENARIO_ARM_PREFIX}{name}"
+            assert result.scheduler_stats[arm]["queries"] == count
+
+    def test_bandit_spends_the_same_round_budget_class_as_static(self):
+        # same configuration, same per-round budget pool: the bandit must
+        # not get more (or fewer) queries to spend than the static split
+        static = TestingCampaign(CONFIG).run(rounds=ROUNDS)
+        bandit = TestingCampaign(replace(CONFIG, scheduler="bandit")).run(rounds=ROUNDS)
+        # budgets are counted in checks, and per-check query fan-out varies
+        # by scenario, so compare allocated budget, not executed queries
+        allocated = sum(row["queries"] for row in bandit.scheduler_stats.values())
+        assert allocated > 0
+        assert bandit.queries_run > 0
+        assert static.queries_run > 0
+
+
+class TestBanditDeterminism:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_worker_count_cannot_change_a_sharded_bandit_run(self, seed, backend):
+        config = replace(
+            CONFIG, seed=seed, backend=backend, scheduler="bandit", shards=2
+        )
+        pooled = ParallelCampaign(replace(config, workers=2)).run(rounds=ROUNDS)
+        in_process = ParallelCampaign(replace(config, workers=1)).run(rounds=ROUNDS)
+        assert sorted(_finding_stream(pooled)) == sorted(_finding_stream(in_process))
+        assert pooled.scheduler_stats == in_process.scheduler_stats
+        assert pooled.queries_by_scenario == in_process.queries_by_scenario
+        assert sorted(pooled.unique_bug_ids) == sorted(in_process.unique_bug_ids)
+
+    def test_serial_bandit_reruns_reproduce_the_stream(self):
+        config = replace(CONFIG, scheduler="bandit")
+        first = TestingCampaign(config).run(rounds=ROUNDS)
+        second = TestingCampaign(config).run(rounds=ROUNDS)
+        assert _finding_stream(first) == _finding_stream(second)
+        assert first.scheduler_stats == second.scheduler_stats
+
+
+class TestSchedulerStatsMerge:
+    def test_parallel_merge_equals_hand_merged_shards(self):
+        config = replace(CONFIG, scheduler="bandit", shards=2)
+        merged = ParallelCampaign(config).run(rounds=ROUNDS)
+        shard0 = TestingCampaign(config, shard_index=0, shard_count=2).run(rounds=ROUNDS // 2)
+        shard1 = TestingCampaign(config, shard_index=1, shard_count=2).run(rounds=ROUNDS // 2)
+        assert merged.scheduler_stats == merge_scheduler_stats(
+            shard0.scheduler_stats, shard1.scheduler_stats
+        )
+
+    def test_merge_preserves_static_emptiness(self):
+        merged = ParallelCampaign(replace(CONFIG, shards=2)).run(rounds=2)
+        assert merged.scheduler_stats == {}
+
+
+class TestDeadlineInsideTheRound:
+    def _slow_every_pass(self, monkeypatch, delay: float) -> None:
+        from repro.core import campaign as campaign_module
+        from repro.oracles import all_oracles
+
+        real_aei = campaign_module.AEIOracle.check
+
+        def slow_aei(self, *args, **kwargs):
+            time.sleep(delay)
+            return real_aei(self, *args, **kwargs)
+
+        monkeypatch.setattr(campaign_module.AEIOracle, "check", slow_aei)
+        for oracle in all_oracles():
+            cls = type(oracle)
+            real = cls.check
+
+            def slow_check(self, *args, _real=real, **kwargs):
+                time.sleep(delay)
+                return _real(self, *args, **kwargs)
+
+            monkeypatch.setattr(cls, "check", slow_check)
+
+    def test_overshoot_is_bounded_by_one_pass_not_the_round(self, monkeypatch, tmp_path):
+        # every pass (AEI + each oracle family) sleeps `delay`; the budget
+        # expires during the AEI pass, so the round must stop before the
+        # first family instead of running the full pass sequence.
+        delay = 0.25
+        self._slow_every_pass(monkeypatch, delay)
+        trace_path = str(tmp_path / "trace.jsonl")
+        config = replace(
+            CONFIG, geometry_count=4, queries_per_round=4, trace_file=trace_path
+        )
+        started = time.perf_counter()
+        result = TestingCampaign(config).run(duration_seconds=delay / 2)
+        elapsed = time.perf_counter() - started
+        extra_families = len(result.queries_by_oracle) or 2
+        assert result.queries_by_oracle == {}, "no oracle family may start past the deadline"
+        # bound: the AEI pass that was in flight, plus round bookkeeping --
+        # strictly below the old behaviour of delay * (1 + families)
+        assert elapsed < delay * (1 + extra_families)
+        events = [event["event"] for event in read_trace(trace_path)]
+        assert "deadline" in events
+        deadline_events = [
+            event for event in read_trace(trace_path) if event["event"] == "deadline"
+        ]
+        assert any(event["phase"].startswith("oracle:") for event in deadline_events)
+
+
+class TestTraceEvents:
+    def test_serial_bandit_trace_records_allocations_and_rounds(self, tmp_path):
+        trace_path = str(tmp_path / "trace.jsonl")
+        config = replace(CONFIG, scheduler="bandit", trace_file=trace_path)
+        TestingCampaign(config).run(rounds=2)
+        events = read_trace(trace_path)
+        assert all({"event", "shard", "elapsed"} <= set(event) for event in events)
+        kinds = [event["event"] for event in events]
+        assert kinds.count("round_start") == 2
+        assert kinds.count("round_end") == 2
+        allocations = [event for event in events if event["event"] == "allocation"]
+        assert len(allocations) == 2
+        for allocation in allocations:
+            assert set(allocation["budgets"]) == set(allocation["posterior"])
+            assert sum(allocation["budgets"].values()) > 0
+
+    def test_sharded_trace_interleaves_without_losing_shards(self, tmp_path):
+        trace_path = str(tmp_path / "trace.jsonl")
+        config = replace(CONFIG, scheduler="bandit", shards=2, trace_file=trace_path)
+        ParallelCampaign(config).run(rounds=ROUNDS)
+        events = read_trace(trace_path)
+        assert {event["shard"] for event in events} == {0, 1}
+        for shard in (0, 1):
+            shard_rounds = [
+                event["round"]
+                for event in events
+                if event["shard"] == shard and event["event"] == "round_start"
+            ]
+            assert shard_rounds == sorted(shard_rounds)
+
+    def test_reruns_truncate_instead_of_accumulating(self, tmp_path):
+        trace_path = str(tmp_path / "trace.jsonl")
+        config = replace(CONFIG, trace_file=trace_path)
+        TestingCampaign(config).run(rounds=2)
+        first = len(read_trace(trace_path))
+        TestingCampaign(config).run(rounds=2)
+        assert len(read_trace(trace_path)) == first
+
+
+class TestCommandLine:
+    def test_cli_scheduler_flag_prints_the_arm_breakdown(self, capsys):
+        exit_code = main(
+            [
+                "--rounds", "2", "--geometries", "4", "--queries", "6",
+                "--seed", "42", "--scheduler", "bandit",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert "Scheduler arms (bandit)" in output
+        assert "scenario:" in output and "oracle:" in output
+        assert "posterior" in output
+        assert exit_code in (0, 1)
+
+    def test_cli_static_prints_no_breakdown(self, capsys):
+        main(["--rounds", "1", "--geometries", "4", "--queries", "4", "--seed", "42"])
+        assert "Scheduler arms" not in capsys.readouterr().out
+
+    def test_cli_rejects_unknown_scheduler(self):
+        with pytest.raises(SystemExit):
+            main(["--scheduler", "greedy"])

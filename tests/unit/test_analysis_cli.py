@@ -90,6 +90,35 @@ class TestTiming:
         assert 0 <= split.sdbms_seconds <= split.spatter_seconds
         assert 0 <= split.sdbms_share <= 1
 
+    def test_every_field_is_a_per_repeat_mean(self):
+        # Historically seconds were averaged while query counts were
+        # floor-divided and cache counters summed; a data point must not
+        # depend on how many repeats produced it.
+        from unittest import mock
+
+        import repro.analysis.timing as timing_module
+        from repro.core.campaign import CampaignResult
+
+        config = timing_module.CampaignConfig(dialect="postgis", geometry_count=3)
+        runs = iter(
+            [
+                CampaignResult(
+                    config=config, total_seconds=2.0, sdbms_seconds=1.0,
+                    queries_run=10, cache_stats={"relate_hits": 4},
+                ),
+                CampaignResult(
+                    config=config, total_seconds=4.0, sdbms_seconds=2.0,
+                    queries_run=11, cache_stats={"relate_hits": 6},
+                ),
+            ]
+        )
+        with mock.patch.object(timing_module, "run_campaign", lambda *a, **k: next(runs)):
+            split = measure_campaign_time_split("postgis", geometry_count=3, repeats=2)
+        assert split.spatter_seconds == 3.0
+        assert split.sdbms_seconds == 1.5
+        assert split.queries_run == 10.5  # the exact mean, not 21 // 2
+        assert split.cache_stats == {"relate_hits": 5.0}  # mean, not 10
+
 
 class TestCLI:
     def test_list_bugs(self, capsys):

@@ -217,6 +217,26 @@ class TestValueNormalization:
         assert normalize_value("POINTLESS TEXT") == "POINTLESS TEXT"
         assert normalize_value("hello") == "hello"
 
+    def test_keyword_prefixed_text_is_not_wkt(self):
+        # A bare prefix match used to drag ordinary text cells through
+        # geometry parsing: the keyword must be followed by something the
+        # WKT grammar allows.
+        from repro.backends.resultset import looks_like_wkt
+
+        for text in ("POINTER", "POLYGONAL region", "POINTS OF INTEREST",
+                     "MULTIPOINTLESS", "LINESTRINGY", "GEOMETRYCOLLECTIONS"):
+            assert not looks_like_wkt(text), text
+            assert normalize_value(text) == text
+
+    def test_wkt_renderings_are_recognised(self):
+        from repro.backends.resultset import looks_like_wkt
+
+        for text in ("POINT(1 2)", "point (1 2)", "POINT Z (1 2 3)",
+                     "LINESTRING M (0 0 1, 1 1 2)", "POLYGON ZM (0 0 0 0)",
+                     "POINT EMPTY", "  GEOMETRYCOLLECTION EMPTY",
+                     "MULTIPOLYGON (((0 0,1 0,1 1,0 0)))"):
+            assert looks_like_wkt(text), text
+
 
 class TestRowNormalization:
     def test_unordered_rows_are_sorted(self):

@@ -1,0 +1,180 @@
+"""The bandit scheduler's allocation/feedback contract and the event trace.
+
+The campaign-level behaviour (static goldens preserved, serial==sharded
+with the bandit on) lives in tests/integration/test_scheduler_campaign.py;
+this file pins the scheduler primitives in isolation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scheduler import (
+    BANDIT_SCHEDULER,
+    STATIC_SCHEDULER,
+    ArmStats,
+    BanditScheduler,
+    merge_scheduler_stats,
+    oracle_arm,
+    resolve_scheduler_name,
+    scenario_arm,
+)
+from repro.core.trace import CampaignTrace, read_trace
+
+ARMS = (scenario_arm("knn"), scenario_arm("metric-area"), oracle_arm("pqs"))
+
+
+class TestArmNames:
+    def test_prefixes_distinguish_scenario_and_oracle_arms(self):
+        assert scenario_arm("knn") == "scenario:knn"
+        assert oracle_arm("pqs") == "oracle:pqs"
+        assert scenario_arm("x") != oracle_arm("x")
+
+    def test_resolve_scheduler_name_normalises_case(self):
+        assert resolve_scheduler_name("Static") == STATIC_SCHEDULER
+        assert resolve_scheduler_name(" BANDIT ") == BANDIT_SCHEDULER
+
+    def test_resolve_scheduler_name_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            resolve_scheduler_name("greedy")
+
+
+class TestArmStats:
+    def test_posterior_mean_is_laplace_smoothed_rate(self):
+        assert ArmStats().posterior_mean == 0.5  # no evidence
+        assert ArmStats(queries=8, novel_signatures=3).posterior_mean == 0.4
+
+    def test_as_dict_round_trips_the_counters(self):
+        row = ArmStats(pulls=2, queries=9, novel_signatures=1).as_dict()
+        assert row == {
+            "pulls": 2,
+            "queries": 9,
+            "novel_signatures": 1,
+            "posterior": 2 / 11,
+        }
+
+
+class TestAllocation:
+    def test_budget_is_conserved(self):
+        scheduler = BanditScheduler(arms=ARMS, seed="7")
+        for budget in (0, 1, 2, 3, 10, 37):
+            assert sum(scheduler.allocate(budget).values()) == budget
+
+    def test_exploration_floor_gives_every_arm_one_query(self):
+        scheduler = BanditScheduler(arms=ARMS, seed="7")
+        allocation = scheduler.allocate(10)
+        assert all(allocation[arm] >= 1 for arm in ARMS)
+
+    def test_small_budget_floors_in_arm_order(self):
+        scheduler = BanditScheduler(arms=ARMS, seed="7")
+        assert scheduler.allocate(2) == {ARMS[0]: 1, ARMS[1]: 1, ARMS[2]: 0}
+
+    def test_same_seed_same_allocation_sequence(self):
+        first = BanditScheduler(arms=ARMS, seed="42")
+        second = BanditScheduler(arms=ARMS, seed="42")
+        for _ in range(5):
+            assert first.allocate(20) == second.allocate(20)
+
+    def test_feedback_steers_budget_toward_the_yielding_arm(self):
+        scheduler = BanditScheduler(arms=ARMS, seed="3")
+        # one arm keeps producing novel signatures, the others never do
+        for _ in range(30):
+            scheduler.observe(ARMS[0], queries=10, novel_signatures=8)
+            scheduler.observe(ARMS[1], queries=10, novel_signatures=0)
+            scheduler.observe(ARMS[2], queries=10, novel_signatures=0)
+        allocation = scheduler.allocate(60)
+        assert allocation[ARMS[0]] > allocation[ARMS[1]]
+        assert allocation[ARMS[0]] > allocation[ARMS[2]]
+        # the losers keep their exploration floor, never starve to zero
+        assert allocation[ARMS[1]] >= 1 and allocation[ARMS[2]] >= 1
+
+    def test_negative_budget_allocates_nothing(self):
+        scheduler = BanditScheduler(arms=ARMS, seed="7")
+        assert sum(scheduler.allocate(-4).values()) == 0
+
+    def test_rejects_empty_and_duplicate_arms(self):
+        with pytest.raises(ValueError):
+            BanditScheduler(arms=())
+        with pytest.raises(ValueError):
+            BanditScheduler(arms=(ARMS[0], ARMS[0]))
+
+
+class TestFeedback:
+    def test_observe_accumulates_and_counts_pulls(self):
+        scheduler = BanditScheduler(arms=ARMS, seed="7")
+        scheduler.observe(ARMS[0], queries=5, novel_signatures=2)
+        scheduler.observe(ARMS[0], queries=3, novel_signatures=0)
+        scheduler.observe(ARMS[0], queries=0, novel_signatures=0)  # no pull
+        stats = scheduler.stats[ARMS[0]]
+        assert (stats.pulls, stats.queries, stats.novel_signatures) == (2, 8, 2)
+
+    def test_observe_rejects_unknown_arm(self):
+        scheduler = BanditScheduler(arms=ARMS, seed="7")
+        with pytest.raises(KeyError):
+            scheduler.observe("scenario:unknown", queries=1, novel_signatures=0)
+
+    def test_stats_dict_matches_posterior_inputs(self):
+        scheduler = BanditScheduler(arms=ARMS, seed="7")
+        scheduler.observe(ARMS[1], queries=4, novel_signatures=1)
+        assert scheduler.stats_dict() == scheduler.posterior_inputs()
+
+
+class TestMergeSchedulerStats:
+    def test_counters_sum_and_posterior_is_rederived(self):
+        left = {"scenario:knn": {"pulls": 2, "queries": 10, "novel_signatures": 1}}
+        right = {"scenario:knn": {"pulls": 3, "queries": 6, "novel_signatures": 2}}
+        merged = merge_scheduler_stats(left, right)
+        assert merged["scenario:knn"]["pulls"] == 5
+        assert merged["scenario:knn"]["queries"] == 16
+        assert merged["scenario:knn"]["novel_signatures"] == 3
+        assert merged["scenario:knn"]["posterior"] == pytest.approx(4 / 18)
+
+    def test_disjoint_arms_union_left_then_right(self):
+        left = {"scenario:knn": {"pulls": 1, "queries": 2, "novel_signatures": 0}}
+        right = {"oracle:pqs": {"pulls": 1, "queries": 3, "novel_signatures": 1}}
+        merged = merge_scheduler_stats(left, right)
+        assert list(merged) == ["scenario:knn", "oracle:pqs"]
+
+    def test_empty_sides_are_identity(self):
+        stats = {"oracle:pqs": {"pulls": 1, "queries": 3, "novel_signatures": 1}}
+        assert merge_scheduler_stats(stats, {})["oracle:pqs"]["queries"] == 3
+        assert merge_scheduler_stats({}, {}) == {}
+
+
+class TestCampaignTrace:
+    def test_disabled_trace_swallows_events(self):
+        trace = CampaignTrace(None)
+        assert not trace.enabled
+        trace.emit("round_start", elapsed=1.0, round=0)  # must not raise
+        trace.close()
+
+    def test_events_round_trip_with_shard_and_elapsed(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        trace = CampaignTrace(path, shard_index=2, truncate=True)
+        trace.emit("round_start", elapsed=0.25, round=4)
+        trace.emit("finding", elapsed=0.5, kind="discrepancy", arm="scenario:knn", novel=True)
+        trace.close()
+        events = read_trace(path)
+        assert [event["event"] for event in events] == ["round_start", "finding"]
+        assert all(event["shard"] == 2 for event in events)
+        assert events[0]["elapsed"] == 0.25
+        assert events[1]["arm"] == "scenario:knn"
+
+    def test_append_mode_preserves_prior_lines(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        CampaignTrace(path, truncate=True).emit("round_start")
+        appender = CampaignTrace(path, shard_index=1, truncate=False)
+        appender.emit("round_end")
+        appender.close()
+        assert [event["event"] for event in read_trace(path)] == [
+            "round_start",
+            "round_end",
+        ]
+
+    def test_truncate_mode_resets_the_file(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        CampaignTrace(path, truncate=True).emit("stale")
+        fresh = CampaignTrace(path, truncate=True)
+        fresh.emit("round_start")
+        fresh.close()
+        assert [event["event"] for event in read_trace(path)] == ["round_start"]
