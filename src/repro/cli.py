@@ -8,6 +8,7 @@ paper's artifact is driven from the command line.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.backends import available_backends, backend_description, create_backend
@@ -56,7 +57,12 @@ def build_argument_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the execution-backend catalog and exit",
     )
-    parser.add_argument("--rounds", type=int, default=5, help="generation/validation rounds")
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=None,
+        help="generation/validation rounds (default: 5; on --resume, the stored target)",
+    )
     parser.add_argument(
         "--duration", type=float, default=None, help="wall-clock budget in seconds (overrides --rounds)"
     )
@@ -166,6 +172,45 @@ def build_argument_parser() -> argparse.ArgumentParser:
         help="print the injected bug catalog for the dialect and exit",
     )
     parser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help=(
+            "record the campaign into this persistent findings store "
+            "(sqlite3 file, created on first use): config snapshot, every "
+            "finding with its global-novelty verdict, trace events, and a "
+            "per-round resume checkpoint (see docs/SERVICE.md)"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="CAMPAIGN_ID",
+        help=(
+            "resume an interrupted campaign from its per-shard checkpoints "
+            "in --store; the config is rebuilt from the stored snapshot and "
+            "the remaining rounds replay the identical finding stream an "
+            "uninterrupted run would have produced"
+        ),
+    )
+    parser.add_argument(
+        "--preseed",
+        action="store_true",
+        help=(
+            "pre-seed deduplication from --store history: signatures seen "
+            "by earlier campaigns count as already known, so novelty "
+            "rewards (and the bandit scheduler) measure cross-run novelty"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help=(
+            "print the machine-readable campaign result (the same JSON the "
+            "service API serves) instead of the human-readable report"
+        ),
+    )
+    parser.add_argument(
         "--reduce",
         action="store_true",
         help=(
@@ -263,6 +308,14 @@ def _print_reduced_discrepancies(result) -> None:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        # ``spatter serve`` is its own program with its own flags; dispatch
+        # before the campaign parser can reject them.
+        from repro.service.app import serve_main
+
+        return serve_main(argv[1:])
     parser = build_argument_parser()
     arguments = parser.parse_args(argv)
 
@@ -281,12 +334,16 @@ def main(argv: list[str] | None = None) -> int:
         _print_oracle_catalog()
         return 0
 
-    if arguments.rounds < 0:
+    if arguments.rounds is not None and arguments.rounds < 0:
         parser.error("--rounds must be non-negative")
     if arguments.workers < 1:
         parser.error("--workers must be at least 1")
     if arguments.shards is not None and arguments.shards < 1:
         parser.error("--shards must be at least 1")
+    if arguments.resume is not None and arguments.store is None:
+        parser.error("--resume requires --store (the checkpoints live there)")
+    if arguments.preseed and arguments.store is None:
+        parser.error("--preseed requires --store (the signature history lives there)")
 
     scenarios: tuple[str, ...] | None = None
     if arguments.scenarios is not None:
@@ -346,11 +403,62 @@ def main(argv: list[str] | None = None) -> int:
         scenarios=scenarios,
         oracles=oracles,
     )
-    if arguments.duration is not None:
+    campaign_id: str | None = None
+    novel_count: int | None = None
+    if arguments.store is not None:
+        from repro.store import FindingsStore, resume_store_campaign, run_store_campaign
+
+        if arguments.resume is not None:
+            try:
+                campaign_id, result = resume_store_campaign(
+                    arguments.store,
+                    arguments.resume,
+                    rounds=arguments.rounds,
+                    duration_seconds=arguments.duration,
+                )
+            except ValueError as error:
+                parser.error(str(error))
+        else:
+            campaign_id, result = run_store_campaign(
+                arguments.store,
+                config,
+                rounds=None if arguments.duration is not None else arguments.rounds,
+                duration_seconds=arguments.duration,
+                preseed=arguments.preseed,
+            )
+        with FindingsStore(arguments.store) as store:
+            novel_count = store.novel_finding_count(campaign_id)
+    elif arguments.duration is not None:
         result = run_campaign(config, duration_seconds=arguments.duration)
     else:
-        result = run_campaign(config, rounds=arguments.rounds)
+        result = run_campaign(config, rounds=5 if arguments.rounds is None else arguments.rounds)
 
+    if arguments.json:
+        from repro.store.serialize import result_to_json
+
+        payload = result_to_json(result)
+        if campaign_id is not None:
+            payload["campaign_id"] = campaign_id
+            payload["globally_novel_findings"] = novel_count
+        print(json.dumps(payload, sort_keys=True, indent=2))
+    else:
+        _print_report(result, arguments)
+        if campaign_id is not None:
+            print(
+                f"\nRecorded to store {arguments.store} as campaign {campaign_id}"
+                f" ({novel_count} globally-novel finding(s))"
+            )
+    findings = (
+        result.discrepancies
+        or result.oracle_findings
+        or result.crashes
+        or result.divergences
+    )
+    return 0 if not findings else 1
+
+
+def _print_report(result, arguments) -> None:
+    """The human-readable campaign report (the default, non-``--json`` view)."""
     print(result.summary())
     # Only label the counters as fast-path output when the fast path ran on
     # the in-process engine; with --no-fast-path (or an external backend)
@@ -427,13 +535,6 @@ def main(argv: list[str] | None = None) -> int:
         print("\nUnique injected bugs detected (ground truth):")
         for bug_id in result.unique_bug_ids:
             print(f"  - {bug_id}")
-    findings = (
-        result.discrepancies
-        or result.oracle_findings
-        or result.crashes
-        or result.divergences
-    )
-    return 0 if not findings else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

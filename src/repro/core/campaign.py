@@ -450,6 +450,18 @@ class TestingCampaign:
                 arms=arms,
                 seed=f"{self.config.seed}|{shard_index}|{shard_count}",
             )
+        #: post-round checkpoint hook: called as ``round_hook(campaign,
+        #: result)`` after every completed round.  The store-backed runner
+        #: (:mod:`repro.store.runner`) uses it to persist the shard's
+        #: resume cursor and new findings atomically per round; ``None``
+        #: (the default) keeps the classic driver hook-free.  Assigned
+        #: post-construction because hooks are process-local closures —
+        #: they never ride the picklable config.
+        self.round_hook = None
+        #: optional per-event trace sink (forwarded to
+        #: :class:`~repro.core.trace.CampaignTrace`); the store ingests the
+        #: event stream through this without a trace file being configured.
+        self.trace_sink = None
         #: the cross-backend reference, always running the *fixed* engine
         #: (no injected faults) so divergences witness seeded bugs.
         self.reference_backend: Backend | None = None
@@ -508,6 +520,7 @@ class TestingCampaign:
             self.config.trace_file,
             shard_index=self.shard_index,
             truncate=self.shard_count == 1 and self.rounds_completed == 0,
+            sink=self.trace_sink,
         )
 
         # The integer clearance kernel is process-global (it lives below the
@@ -530,6 +543,10 @@ class TestingCampaign:
                 if rounds is not None and result.rounds >= rounds:
                     break
                 self._run_round(result, started, trace, deadline)
+                if self.round_hook is not None:
+                    # after the round is fully folded into the result, so a
+                    # checkpoint taken here is a consistent resume point.
+                    self.round_hook(self, result)
         finally:
             set_fast_clearance(previous_clearance)
             set_vectorized_kernels(previous_vectorized)

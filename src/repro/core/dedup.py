@@ -152,6 +152,27 @@ class Deduplicator:
             self.result.unique_signatures.append(signature)
         return new_ids
 
+    def preseed_signatures(self, signatures) -> int:
+        """Seed the signature space with history (the findings-store bridge).
+
+        Every pre-seeded signature counts as "already seen": subsequent
+        observations of it are not novel, so the feedback-guided scheduler's
+        novelty rewards — and anything else keyed on ``signature_count``
+        deltas — measure *cross-run* novelty when a campaign is pre-seeded
+        from a persistent store (:meth:`repro.store.FindingsStore.
+        preseed_deduplicator`).  Ground-truth bug ids are untouched: the
+        run still reports every injected bug it detects.  Returns how many
+        signatures were new to this deduplicator.
+        """
+        added = 0
+        known = set(self.result.unique_signatures)
+        for signature in signatures:
+            if signature not in known:
+                known.add(signature)
+                self.result.unique_signatures.append(signature)
+                added += 1
+        return added
+
     def observe_discrepancy(self, discrepancy: Discrepancy, elapsed_seconds: float) -> list[str]:
         """Record a discrepancy; returns the newly-discovered bug ids."""
         return self._observe(

@@ -68,11 +68,30 @@ def _run_shard(payload: tuple) -> CampaignResult:
     ``start_offset_seconds``, which the merge folds into the
     unique-bugs-over-time rebase; monotonicity of the clock makes it
     non-negative by construction, no clamp needed.
+
+    With a store binding on the payload the shard runs through the
+    persistence wrapper instead (:func:`repro.store.runner.run_store_shard`):
+    same campaign semantics, plus per-round checkpoint/finding/trace-event
+    recording into the findings store, and — when ``resume`` is set —
+    restoration of the shard's cursor, deduplicator and scheduler state
+    before the first round.  The import is deferred so the classic
+    storage-free path never touches the store package.
     """
-    config, shard_index, shard_count, rounds, duration_seconds, epoch = payload
+    # the classic storage-free payload is six elements; the store binding
+    # and resume flag ride along only when persistence is in play
+    config, shard_index, shard_count, rounds, duration_seconds, epoch, *extra = payload
+    binding = extra[0] if len(extra) > 0 else None
+    resume = bool(extra[1]) if len(extra) > 1 else False
     offset = time.monotonic() - epoch
-    campaign = TestingCampaign(config, shard_index=shard_index, shard_count=shard_count)
-    result = campaign.run(rounds=rounds, duration_seconds=duration_seconds)
+    if binding is not None:
+        from repro.store.runner import run_store_shard
+
+        result = run_store_shard(
+            config, shard_index, shard_count, rounds, duration_seconds, binding, resume
+        )
+    else:
+        campaign = TestingCampaign(config, shard_index=shard_index, shard_count=shard_count)
+        result = campaign.run(rounds=rounds, duration_seconds=duration_seconds)
     result.start_offset_seconds = offset
     return result
 
@@ -89,10 +108,29 @@ class ParallelCampaign:
     #: not a pytest test class, despite the name
     __test__ = False
 
-    def __init__(self, config: CampaignConfig | None = None):
+    def __init__(
+        self,
+        config: CampaignConfig | None = None,
+        store=None,
+        resume_cursors: "dict[int, int] | None" = None,
+    ):
         self.config = config or CampaignConfig()
         if self.config.workers < 1:
             raise ValueError("workers must be at least 1")
+        #: optional :class:`repro.store.StoreBinding`: when set, every shard
+        #: records findings/trace events and a per-round resume checkpoint
+        #: into the persistent findings store (docs/SERVICE.md).
+        self.store = store
+        #: per-shard ``rounds_completed`` cursors of an interrupted run
+        #: (shard index → rounds already done).  ``None`` means a fresh
+        #: campaign; a dict — possibly empty, if the kill pre-dated every
+        #: first checkpoint — marks this run as a *resume*: round budgets
+        #: shrink to each shard's remaining slice and shards with nothing
+        #: left still run (budget 0) so their partial results surface in
+        #: the merge.
+        self.resume_cursors = resume_cursors
+        if resume_cursors is not None and store is None:
+            raise ValueError("resume_cursors requires a store binding to restore from")
 
     # ------------------------------------------------------------- plumbing
     @property
@@ -116,15 +154,30 @@ class ParallelCampaign:
             # budget so the whole run still finishes in roughly
             # ``duration_seconds``.
             shard_duration = duration_seconds * max(1, concurrency) / shard_count
+        resuming = self.resume_cursors is not None
         payloads = []
         for shard_index in range(shard_count):
             shard_round_budget = (
                 None if rounds is None else shard_rounds(rounds, shard_index, shard_count)
             )
-            if shard_round_budget == 0:
+            if resuming and shard_round_budget is not None:
+                # the shard's cursor reports how far its round stream got;
+                # only the remaining slice of the target is left to run.
+                done = self.resume_cursors.get(shard_index, 0)
+                shard_round_budget = max(0, shard_round_budget - done)
+            if shard_round_budget == 0 and not resuming:
                 continue  # fewer rounds than shards: trailing shards are idle
             payloads.append(
-                (self.config, shard_index, shard_count, shard_round_budget, shard_duration, epoch)
+                (
+                    self.config,
+                    shard_index,
+                    shard_count,
+                    shard_round_budget,
+                    shard_duration,
+                    epoch,
+                    self.store,
+                    resuming,
+                )
             )
         return payloads
 

@@ -30,19 +30,31 @@ Event schema reference: ``docs/SCHEDULER.md``.
 from __future__ import annotations
 
 import json
-from typing import Any
+import warnings
+from typing import Any, Callable
 
 
 class CampaignTrace:
     """Appends campaign events to a JSONL file (or swallows them when off).
 
     Construct with ``path=None`` for the no-op trace: every ``emit`` is a
-    cheap early return, which keeps call sites unconditional.
+    cheap early return, which keeps call sites unconditional.  An optional
+    ``sink`` callable receives every event record *in addition to* (or,
+    with ``path=None``, instead of) the JSONL file — the hook the
+    persistent findings store uses to ingest the event stream
+    (:mod:`repro.store`) without the campaign knowing about storage.
     """
 
-    def __init__(self, path: str | None, shard_index: int = 0, truncate: bool = False):
+    def __init__(
+        self,
+        path: str | None,
+        shard_index: int = 0,
+        truncate: bool = False,
+        sink: "Callable[[dict], None] | None" = None,
+    ):
         self.path = path
         self.shard_index = shard_index
+        self.sink = sink
         self._handle = None
         if path is not None:
             # line-buffered append; the orchestrator truncates once so the
@@ -53,11 +65,11 @@ class CampaignTrace:
 
     @property
     def enabled(self) -> bool:
-        return self._handle is not None
+        return self._handle is not None or self.sink is not None
 
     def emit(self, event: str, elapsed: float = 0.0, **fields: Any) -> None:
         """Write one event line (no-op when tracing is off)."""
-        if self._handle is None:
+        if not self.enabled:
             return
         record: dict[str, Any] = {
             "event": event,
@@ -65,7 +77,10 @@ class CampaignTrace:
             "elapsed": round(elapsed, 6),
         }
         record.update(fields)
-        self._handle.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+        if self._handle is not None:
+            self._handle.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+        if self.sink is not None:
+            self.sink(record)
 
     def close(self) -> None:
         if self._handle is not None:
@@ -74,11 +89,31 @@ class CampaignTrace:
 
 
 def read_trace(path: str) -> list[dict]:
-    """Parse a trace file back into event dicts (test/analysis helper)."""
+    """Parse a trace file back into event dicts (test/analysis helper).
+
+    A crash (or SIGKILL) mid-``write`` leaves a partial final line; that is
+    expected wreckage of an interrupted campaign, not a corrupt file, so a
+    trailing record that does not parse is warned about and skipped.  A
+    malformed line *followed by* well-formed records still raises — that is
+    real corruption the reader must not paper over.
+    """
     events: list[dict] = []
     with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                events.append(json.loads(line))
+        lines = handle.readlines()
+    for index, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            if any(rest.strip() for rest in lines[index + 1 :]):
+                raise
+            warnings.warn(
+                f"{path}: skipping truncated trailing trace record "
+                f"(line {index + 1}); the writer was likely interrupted mid-write",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            break
     return events

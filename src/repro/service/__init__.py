@@ -1,0 +1,28 @@
+"""``repro.service``: the stdlib HTTP control plane over the findings store.
+
+``spatter serve --store findings.db`` turns the CLI tester into a
+long-running campaign service: submit campaigns over JSON HTTP, watch
+their trace event stream by long-poll, query the cross-run deduplicated
+findings corpus, and resume interrupted campaigns — all backed by the
+:mod:`repro.store` persistence layer.  API reference: ``docs/SERVICE.md``.
+"""
+
+from repro.service.app import (
+    CampaignRunner,
+    ControlPlaneHandler,
+    ControlPlaneServer,
+    create_server,
+    parse_submission,
+    serve_main,
+    validate_config,
+)
+
+__all__ = [
+    "CampaignRunner",
+    "ControlPlaneHandler",
+    "ControlPlaneServer",
+    "create_server",
+    "parse_submission",
+    "serve_main",
+    "validate_config",
+]

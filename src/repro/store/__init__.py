@@ -1,0 +1,55 @@
+"""Persistent campaign/findings storage (the campaign-as-a-service substrate).
+
+One-shot CLI campaigns evaporate at process exit; this package gives the
+tester a durable, cross-run memory on stdlib ``sqlite3`` (WAL mode — many
+readers, shard writers serialized by short transactions):
+
+* :class:`~repro.store.findings.FindingsStore` — the store handle: campaign
+  rows (config snapshot, seed, status, budgets), a globally
+  signature-deduplicated findings corpus (``record_finding`` is one
+  INSERT-or-ignore and answers "was this novel across *all* runs ever
+  recorded here?"), per-campaign sightings, per-arm scheduler statistics,
+  and the ingested trace event stream of :mod:`repro.core.trace`;
+* :class:`~repro.store.checkpoint.CheckpointState` — one shard's resumable
+  cursor: ``(seed, shard_index, shard_count, rounds_completed)`` plus the
+  partial result, deduplicator and scheduler state, which is everything
+  :func:`~repro.core.campaign.round_rng` needs to replay the *identical*
+  remaining round stream after an interruption;
+* :mod:`~repro.store.serialize` — the JSON projections of findings and
+  campaign results shared by the store, the service API and the CLI's
+  ``--json`` output;
+* :mod:`~repro.store.runner` — the store-backed campaign drivers
+  (:func:`~repro.store.runner.run_store_campaign`,
+  :func:`~repro.store.runner.resume_store_campaign`) the CLI's ``--store``/
+  ``--resume`` flags and the HTTP control plane (:mod:`repro.service`) use.
+
+Everything is stdlib; schema and semantics are documented in
+``docs/SERVICE.md``.
+"""
+
+from repro.store.checkpoint import CheckpointState, accumulate_shard_result
+from repro.store.findings import FindingsStore, StoreBinding
+from repro.store.runner import resume_store_campaign, run_store_campaign
+from repro.store.serialize import (
+    crash_record,
+    discrepancy_record,
+    divergence_record,
+    finding_records,
+    oracle_finding_record,
+    result_to_json,
+)
+
+__all__ = [
+    "CheckpointState",
+    "FindingsStore",
+    "StoreBinding",
+    "accumulate_shard_result",
+    "crash_record",
+    "discrepancy_record",
+    "divergence_record",
+    "finding_records",
+    "oracle_finding_record",
+    "result_to_json",
+    "resume_store_campaign",
+    "run_store_campaign",
+]

@@ -1,0 +1,118 @@
+"""Shard checkpoint state: everything resume needs, nothing more.
+
+The determinism argument is the same one the parallel orchestrator rests
+on: rounds are *independently* seeded — global round ``g`` of a campaign
+with seed ``S`` draws every random decision from ``random.Random(f"{S}|{g}")``
+(:func:`repro.core.campaign.round_rng`), and shard ``k`` of ``n`` replays
+exactly the global rounds ``g = k + i·n``.  A shard's position in its
+stream is therefore fully described by the four integers
+``(seed, shard_index, shard_count, rounds_completed)`` — no RNG state needs
+saving, because the next round's RNG is *reconstructed* from the cursor.
+Three pieces of accumulated state ride along so the resumed run is
+indistinguishable from an uninterrupted one:
+
+* the shard's partial :class:`~repro.core.campaign.CampaignResult`
+  (counters and raw finding objects of the completed rounds);
+* the :class:`~repro.core.dedup.DeduplicationResult` (which signatures and
+  bug ids were already seen — what makes resumed novelty accounting, and
+  hence the bandit scheduler's rewards, continue rather than restart);
+* the :class:`~repro.core.scheduler.BanditScheduler` itself when one is
+  active (its posterior counters *and* its Thompson draw RNG state, which
+  unlike the round RNGs is sequential across rounds).
+
+The state is pickled into the store's ``checkpoints.state`` blob — the
+same serialization boundary the multiprocessing orchestrator already
+proves every object here crosses — while the four cursor integers are
+stored as plain columns for inspection and the API.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.core.campaign import CampaignResult
+from repro.core.dedup import DeduplicationResult
+from repro.core.scheduler import BanditScheduler, merge_scheduler_stats
+
+
+@dataclass
+class CheckpointState:
+    """One shard's resumable cursor plus accumulated campaign state."""
+
+    seed: int
+    shard_index: int
+    shard_count: int
+    rounds_completed: int
+    #: wall-clock seconds the shard has spent across all its (possibly
+    #: interrupted) runs — resumed results report cumulative time.
+    elapsed_seconds: float
+    #: counters + raw findings of the rounds completed so far.
+    result: CampaignResult
+    #: the deduplicator's accumulated identity spaces.
+    dedup: DeduplicationResult
+    #: the feedback-guided allocator, when the campaign runs one.
+    scheduler: Optional[BanditScheduler] = None
+
+    def to_blob(self) -> bytes:
+        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def from_blob(cls, blob: bytes) -> "CheckpointState":
+        state = pickle.loads(blob)
+        if not isinstance(state, cls):
+            raise TypeError(f"checkpoint blob held {type(state).__name__}, not CheckpointState")
+        return state
+
+
+def accumulate_shard_result(
+    partial: CampaignResult | None, current: CampaignResult
+) -> CampaignResult:
+    """Fold a shard's pre-interruption partial result into its current run.
+
+    This is *not* the cross-shard :meth:`CampaignResult.merge` — both
+    results belong to the same shard stream, so counters simply add and
+    finding lists concatenate in round order, with no timeline rebasing.
+    The unique-bug fields are taken from ``current`` alone: the resumed
+    campaign runs with the deduplicator state restored from the checkpoint,
+    so its result already reports the *cumulative* identity spaces, and the
+    same holds for ``scheduler_stats`` (the restored scheduler's counters
+    are cumulative).  ``total_seconds`` is left for the caller, which knows
+    the shard's accumulated elapsed time.
+    """
+    if partial is None:
+        return current
+    caches = dict(partial.cache_stats)
+    for key, value in current.cache_stats.items():
+        caches[key] = caches.get(key, 0) + value
+    by_scenario = dict(partial.queries_by_scenario)
+    for name, count in current.queries_by_scenario.items():
+        by_scenario[name] = by_scenario.get(name, 0) + count
+    by_oracle = dict(partial.queries_by_oracle)
+    for name, count in current.queries_by_oracle.items():
+        by_oracle[name] = by_oracle.get(name, 0) + count
+    scheduler_stats = current.scheduler_stats
+    if not scheduler_stats and partial.scheduler_stats:
+        # a resume that ran zero new rounds still reports the partial's
+        # arm statistics rather than dropping them.
+        scheduler_stats = merge_scheduler_stats(partial.scheduler_stats, {})
+    return replace(
+        current,
+        rounds=partial.rounds + current.rounds,
+        queries_run=partial.queries_run + current.queries_run,
+        queries_by_scenario=by_scenario,
+        queries_by_oracle=by_oracle,
+        cache_stats=caches,
+        errors_ignored=partial.errors_ignored + current.errors_ignored,
+        discrepancies=partial.discrepancies + current.discrepancies,
+        oracle_findings=partial.oracle_findings + current.oracle_findings,
+        crashes=partial.crashes + current.crashes,
+        divergences=partial.divergences + current.divergences,
+        divergence_queries=partial.divergence_queries + current.divergence_queries,
+        reference_errors_ignored=(
+            partial.reference_errors_ignored + current.reference_errors_ignored
+        ),
+        scheduler_stats=scheduler_stats,
+        sdbms_seconds=partial.sdbms_seconds + current.sdbms_seconds,
+    )

@@ -1,0 +1,346 @@
+"""Store-backed campaign drivers: run, checkpoint every round, resume.
+
+The classic drivers (:mod:`repro.core.parallel`) stay storage-free; this
+module wraps them with the persistence protocol of ``docs/SERVICE.md``:
+
+* :func:`run_store_campaign` — register a campaign row, run it through the
+  parallel orchestrator with every shard bound to the store, and stamp the
+  final merged result;
+* :func:`run_store_shard` — the per-worker body the orchestrator invokes
+  (via :func:`repro.core.parallel._run_shard`) when a
+  :class:`~repro.store.findings.StoreBinding` rides the payload: restore
+  the shard's checkpoint when resuming, then record findings + trace
+  events + the resume cursor in **one transaction per round**, so a kill
+  at any instant leaves the store at a consistent round boundary;
+* :func:`resume_store_campaign` — rebuild the config from the stored
+  snapshot, compute each shard's remaining budget from its cursor, and
+  finish the run.
+
+Determinism: a resumed shard reconstructs round RNGs purely from
+``(seed, shard_index, shard_count, rounds_completed)``
+(:func:`repro.core.campaign.round_rng`), restores its deduplicator and
+bandit state from the checkpoint, and therefore replays the *identical*
+remaining finding stream an uninterrupted run would have produced — the
+equivalence suite (``tests/integration/test_checkpoint_resume.py``) kills
+a live run with SIGKILL and proves the merged streams byte-identical.
+"""
+
+from __future__ import annotations
+
+import time
+import uuid
+from dataclasses import asdict
+
+from repro.core.campaign import CampaignConfig, CampaignResult, TestingCampaign
+from repro.store.checkpoint import CheckpointState, accumulate_shard_result
+from repro.store.findings import FindingsStore, StoreBinding
+from repro.store.serialize import (
+    crash_record,
+    discrepancy_record,
+    divergence_record,
+    jsonable,
+    oracle_finding_record,
+    result_to_json,
+)
+
+#: result fields holding raw finding objects, with their projections —
+#: the order here fixes the per-round recording order.
+_FINDING_FIELDS = (
+    ("discrepancies", discrepancy_record),
+    ("oracle_findings", oracle_finding_record),
+    ("divergences", divergence_record),
+    ("crashes", crash_record),
+)
+
+
+def config_from_json(snapshot: dict) -> CampaignConfig:
+    """Rebuild a :class:`CampaignConfig` from its stored JSON snapshot.
+
+    JSON has no tuples, so the sequence-typed fields come back as lists;
+    unknown keys (from a newer writer) are dropped rather than fatal.
+    """
+    known = {field.name for field in CampaignConfig.__dataclass_fields__.values()}
+    kwargs = {key: value for key, value in snapshot.items() if key in known}
+    for key in ("bug_ids", "scenarios", "oracles"):
+        if kwargs.get(key) is not None:
+            kwargs[key] = tuple(kwargs[key])
+    return CampaignConfig(**kwargs)
+
+
+class ShardRecorder:
+    """Per-shard persistence: findings, trace events, checkpoint — atomically.
+
+    Bound to one live :class:`TestingCampaign` in one worker process.  The
+    campaign's ``round_hook`` lands here after every completed round; the
+    recorder diff-scans the result's finding lists (they only grow), writes
+    the new projections, the buffered trace events, the refreshed arm
+    statistics and the resume checkpoint in a single ``BEGIN IMMEDIATE``
+    transaction, then forgets the buffered events.  A SIGKILL between
+    transactions loses at most the in-flight round — which resume replays
+    from its cursor.
+    """
+
+    def __init__(
+        self,
+        store: FindingsStore,
+        binding: StoreBinding,
+        campaign: TestingCampaign,
+        partial: CampaignResult | None = None,
+        base_elapsed: float = 0.0,
+    ):
+        self.store = store
+        self.binding = binding
+        self.campaign = campaign
+        self.partial = partial
+        self.base_elapsed = base_elapsed
+        #: bug ids already detected before this process ran (their
+        #: first-detection instants are on the pre-interruption clock).
+        self.prior_detections = (
+            dict(campaign.deduplicator.result.first_detection_seconds)
+        )
+        # diff-scan counts over the *fresh* run's finding lists; the
+        # partial's findings were recorded by the interrupted run's own
+        # transactions and never re-recorded here.
+        self._recorded = {field: 0 for field, _ in _FINDING_FIELDS}
+        self._pending_events: list[dict] = []
+        self._started = time.perf_counter()
+
+    # ------------------------------------------------------------------ sinks
+    def trace_sink(self, record: dict) -> None:
+        """Buffer one trace event for the next per-round flush."""
+        self._pending_events.append(record)
+
+    def _new_records(self, result: CampaignResult) -> list[dict]:
+        """Projections of findings appended since the last flush."""
+        records: list[dict] = []
+        for field, project in _FINDING_FIELDS:
+            items = getattr(result, field)
+            records.extend(project(item) for item in items[self._recorded[field] :])
+            self._recorded[field] = len(items)
+        return records
+
+    def _checkpoint_state(self, result: CampaignResult) -> CheckpointState:
+        cumulative = accumulate_shard_result(self.partial, result)
+        return CheckpointState(
+            seed=self.campaign.config.seed,
+            shard_index=self.campaign.shard_index,
+            shard_count=self.campaign.shard_count,
+            rounds_completed=self.campaign.rounds_completed,
+            elapsed_seconds=self.base_elapsed + (time.perf_counter() - self._started),
+            result=cumulative,
+            dedup=self.campaign.deduplicator.result,
+            scheduler=self.campaign.scheduler,
+        )
+
+    def _flush(self, result: CampaignResult, done: bool) -> None:
+        state = self._checkpoint_state(result)
+        records = self._new_records(result)
+        with self.store.transaction():
+            for record in records:
+                self.store.record_finding(
+                    self.binding.campaign_id, record, self.campaign.shard_index
+                )
+            if self._pending_events:
+                self.store.record_trace_events(self.binding.campaign_id, self._pending_events)
+            if self.campaign.scheduler is not None:
+                self.store.save_arm_stats(
+                    self.binding.campaign_id,
+                    self.campaign.shard_index,
+                    self.campaign.scheduler.stats_dict(),
+                )
+            self.store.save_checkpoint(
+                self.binding.campaign_id,
+                self.campaign.shard_index,
+                self.campaign.shard_count,
+                self.campaign.config.seed,
+                self.campaign.rounds_completed,
+                state.elapsed_seconds,
+                state.to_blob(),
+                done=done,
+            )
+        self._pending_events = []
+
+    # ------------------------------------------------------------------ hooks
+    def on_round(self, campaign: TestingCampaign, result: CampaignResult) -> None:
+        self._flush(result, done=False)
+
+    def finalize(self, fresh: CampaignResult) -> CampaignResult:
+        """Fold the partial into the finished run and seal the shard.
+
+        The returned result is the shard's *cumulative* outcome: counters
+        and findings of every round ever run for this shard, unique-bug
+        fields from the restored deduplicator (already cumulative), new
+        first-detection instants rebased onto the shard's accumulated
+        clock, and cumulative wall-clock time.
+        """
+        cumulative = accumulate_shard_result(self.partial, fresh)
+        if self.base_elapsed:
+            detections = {
+                bug_id: (
+                    seconds
+                    if bug_id in self.prior_detections
+                    else seconds + self.base_elapsed
+                )
+                for bug_id, seconds in fresh.first_detection_seconds.items()
+            }
+            cumulative.first_detection_seconds = detections
+            ordered = sorted(detections.values())
+            cumulative.unique_bug_timeline = [
+                (seconds, index + 1) for index, seconds in enumerate(ordered)
+            ]
+        cumulative.total_seconds = self.base_elapsed + fresh.total_seconds
+        self._flush(fresh, done=True)
+        return cumulative
+
+
+def run_store_shard(
+    config: CampaignConfig,
+    shard_index: int,
+    shard_count: int,
+    rounds: int | None,
+    duration_seconds: float | None,
+    binding: StoreBinding,
+    resume: bool,
+) -> CampaignResult:
+    """One store-bound shard, in whichever process the pool placed it."""
+    store = FindingsStore(binding.path)
+    try:
+        campaign = TestingCampaign(config, shard_index=shard_index, shard_count=shard_count)
+        partial: CampaignResult | None = None
+        base_elapsed = 0.0
+        if resume:
+            row = store.load_checkpoint(binding.campaign_id, shard_index)
+            if row is not None:
+                state = CheckpointState.from_blob(row["state"])
+                if state.shard_count != shard_count or state.seed != config.seed:
+                    raise ValueError(
+                        f"checkpoint for shard {shard_index} was written by a "
+                        f"(seed={state.seed}, shards={state.shard_count}) run; "
+                        f"resuming with (seed={config.seed}, shards={shard_count}) "
+                        "would break the round-stream determinism contract"
+                    )
+                campaign.rounds_completed = state.rounds_completed
+                campaign.deduplicator.result = state.dedup
+                if state.scheduler is not None:
+                    campaign.scheduler = state.scheduler
+                partial = state.result
+                base_elapsed = state.elapsed_seconds
+        elif binding.preseed:
+            store.preseed_deduplicator(campaign.deduplicator)
+        recorder = ShardRecorder(store, binding, campaign, partial, base_elapsed)
+        campaign.round_hook = recorder.on_round
+        campaign.trace_sink = recorder.trace_sink
+        fresh = campaign.run(rounds=rounds, duration_seconds=duration_seconds)
+        return recorder.finalize(fresh)
+    finally:
+        store.close()
+
+
+def new_campaign_id() -> str:
+    return uuid.uuid4().hex[:12]
+
+
+def run_store_campaign(
+    store_path: str,
+    config: CampaignConfig,
+    rounds: int | None = None,
+    duration_seconds: float | None = None,
+    campaign_id: str | None = None,
+    preseed: bool = False,
+    register: bool = True,
+) -> tuple[str, CampaignResult]:
+    """Register and run one campaign against a persistent store.
+
+    Returns ``(campaign_id, merged result)``.  The campaign row is created
+    up front (status ``running``) so a kill mid-run leaves a resumable
+    record; on normal completion the status flips to ``completed`` with the
+    merged result JSON attached, and on an orchestrator error to
+    ``failed`` with the error message.  ``register=False`` skips the row
+    creation — the HTTP control plane registers the row synchronously at
+    submission time (so a GET racing the background worker cannot 404) and
+    hands the id here.
+    """
+    from repro.core.parallel import ParallelCampaign
+
+    if rounds is None and duration_seconds is None:
+        rounds = 5
+    campaign_id = campaign_id or new_campaign_id()
+    if register:
+        with FindingsStore(store_path) as store:
+            store.create_campaign(
+                campaign_id,
+                jsonable(asdict(config)),
+                config.seed,
+                target_rounds=rounds,
+                target_duration=duration_seconds,
+            )
+    # the orchestrator's own connection is closed before any worker forks:
+    # sqlite handles must never be shared across the process boundary.
+    binding = StoreBinding(path=store_path, campaign_id=campaign_id, preseed=preseed)
+    try:
+        merged = ParallelCampaign(config, store=binding).run(
+            rounds=rounds, duration_seconds=duration_seconds
+        )
+    except BaseException as error:
+        with FindingsStore(store_path) as store:
+            store.set_campaign_status(campaign_id, "failed", error=repr(error))
+        raise
+    with FindingsStore(store_path) as store:
+        store.set_campaign_status(campaign_id, "completed", result_json=result_to_json(merged))
+    return campaign_id, merged
+
+
+def resume_store_campaign(
+    store_path: str,
+    campaign_id: str,
+    rounds: int | None = None,
+    duration_seconds: float | None = None,
+) -> tuple[str, CampaignResult]:
+    """Resume an interrupted campaign from its per-shard cursors.
+
+    The config is rebuilt from the stored snapshot — the caller names only
+    the campaign.  Budget: an explicit ``rounds``/``duration_seconds``
+    overrides (and re-stamps) the stored target; otherwise a round-target
+    campaign runs each shard's *remaining* rounds (total target minus its
+    cursor), and a duration-target campaign grants every unfinished shard
+    the stored wall-clock budget afresh (elapsed time under SIGKILL is
+    unknowable, so the budget restarts rather than guesses).
+    """
+    from repro.core.parallel import ParallelCampaign
+
+    with FindingsStore(store_path) as store:
+        row = store.get_campaign(campaign_id)
+        if row is None:
+            raise ValueError(f"no campaign {campaign_id!r} in store {store_path!r}")
+        if row["status"] == "completed":
+            raise ValueError(
+                f"campaign {campaign_id!r} already completed; submit a new campaign "
+                "to run further rounds"
+            )
+        config = config_from_json(row["config"])
+        target_rounds = rounds if rounds is not None else row["target_rounds"]
+        target_duration = (
+            duration_seconds if duration_seconds is not None else row["target_duration"]
+        )
+        if rounds is not None or duration_seconds is not None:
+            store.set_campaign_targets(campaign_id, target_rounds, target_duration)
+        cursors = {
+            checkpoint["shard_index"]: checkpoint["rounds_completed"]
+            for checkpoint in store.campaign_checkpoints(campaign_id)
+        }
+        store.set_campaign_status(campaign_id, "running")
+    binding = StoreBinding(path=store_path, campaign_id=campaign_id)
+    orchestrator = ParallelCampaign(
+        config, store=binding, resume_cursors=cursors
+    )
+    run_rounds = target_rounds
+    run_duration = target_duration if target_rounds is None else None
+    try:
+        merged = orchestrator.run(rounds=run_rounds, duration_seconds=run_duration)
+    except BaseException as error:
+        with FindingsStore(store_path) as store:
+            store.set_campaign_status(campaign_id, "failed", error=repr(error))
+        raise
+    with FindingsStore(store_path) as store:
+        store.set_campaign_status(campaign_id, "completed", result_json=result_to_json(merged))
+    return campaign_id, merged

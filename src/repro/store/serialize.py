@@ -1,0 +1,176 @@
+"""JSON projections of findings and campaign results.
+
+One serializer serves three consumers — the persistent store's
+``payload_json`` column, the HTTP control plane's response bodies, and the
+CLI's ``--json`` summary — so "what the service returns for a campaign" and
+"what the CLI prints for the same seed" are the same bytes by construction
+(the CI service smoke job diffs them).
+
+Projections are *reporting* surfaces: they carry the signature (the store's
+global dedup key), the ground-truth bug ids, the human description and the
+rendered SQL, but not the live query/IR objects — those stay in the pickled
+checkpoint state (:mod:`repro.store.checkpoint`), which is what resume
+rehydrates.  Every value is JSON-native (str/int/float/bool/None, lists,
+string-keyed dicts), so ``loads(dumps(x)) == x`` holds exactly — the
+round-trip stability contract ``tests/unit/test_result_json.py`` pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Any
+
+from repro.backends.differential import BackendDivergence
+from repro.core.dedup import signature_identity
+from repro.core.oracle import CrashReport, Discrepancy
+from repro.oracles import OracleFinding
+
+
+def jsonable(value: Any) -> Any:
+    """Normalise ``value`` into JSON-native types (tuples become lists).
+
+    The round-trip stability contract (``loads(dumps(x)) == x``) needs the
+    normalisation done *before* serialisation — a tuple survives ``dumps``
+    but comes back a list, so tuples may not appear in the projection.
+    Unknown objects degrade to ``repr`` rather than failing: a summary that
+    drops fidelity on an exotic result value beats a campaign that cannot
+    report.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): jsonable(item) for key, item in value.items()}
+    return repr(value)
+
+
+def crash_signature(crash: CrashReport) -> str:
+    """The global-dedup key of a crash finding.
+
+    Crashes have no query shape; ground truth (the injected bug id) is the
+    identity when the fault layer attributed one, the raising statement and
+    message otherwise.
+    """
+    if crash.bug_id is not None:
+        return f"crash|{crash.bug_id}"
+    return f"crash|{crash.statement}|{crash.message}"
+
+
+def discrepancy_record(discrepancy: Discrepancy) -> dict:
+    """Project one AEI discrepancy onto the shared finding-record shape."""
+    label = getattr(discrepancy.query, "label", None) or getattr(
+        discrepancy.query, "predicate", "?"
+    )
+    return {
+        "kind": "discrepancy",
+        "scenario": discrepancy.scenario,
+        "oracle": None,
+        "label": str(label),
+        "signature": signature_identity(discrepancy),
+        "bug_ids": sorted(set(discrepancy.triggered_bug_ids)),
+        "detail": discrepancy.describe(),
+        "sql": None,
+    }
+
+
+def oracle_finding_record(finding: OracleFinding) -> dict:
+    """Project one single-database oracle-family finding."""
+    return {
+        "kind": "oracle-finding",
+        "scenario": None,
+        "oracle": finding.oracle,
+        "label": finding.label,
+        "signature": finding.signature(),
+        "bug_ids": sorted(set(finding.triggered_bug_ids)),
+        "detail": finding.describe(),
+        "sql": finding.sql,
+    }
+
+
+def divergence_record(divergence: BackendDivergence) -> dict:
+    """Project one cross-backend divergence."""
+    return {
+        "kind": "divergence",
+        "scenario": divergence.scenario,
+        "oracle": None,
+        "label": divergence.label,
+        "signature": divergence.signature(),
+        "bug_ids": sorted(set(divergence.triggered_bug_ids)),
+        "detail": divergence.describe(),
+        "sql": divergence.sql,
+    }
+
+
+def crash_record(crash: CrashReport) -> dict:
+    """Project one crash report."""
+    return {
+        "kind": "crash",
+        "scenario": None,
+        "oracle": None,
+        "label": crash.bug_id or "crash",
+        "signature": crash_signature(crash),
+        "bug_ids": [crash.bug_id] if crash.bug_id is not None else [],
+        "detail": f"{crash.statement}: {crash.message}",
+        "sql": crash.statement,
+    }
+
+
+def finding_records(result) -> list[dict]:
+    """Every finding of a :class:`CampaignResult`, projected, in result
+    order (discrepancies, oracle findings, divergences, crashes — the order
+    the CLI prints and the merge concatenates)."""
+    records: list[dict] = []
+    records.extend(discrepancy_record(d) for d in result.discrepancies)
+    records.extend(oracle_finding_record(f) for f in result.oracle_findings)
+    records.extend(divergence_record(d) for d in result.divergences)
+    records.extend(crash_record(c) for c in result.crashes)
+    return records
+
+
+def unique_signature_stream(records: list[dict]) -> list[str]:
+    """First-appearance-ordered unique signatures of a finding stream —
+    exactly what a :class:`~repro.core.dedup.Deduplicator` that observed the
+    stream in this order would hold."""
+    return list(dict.fromkeys(record["signature"] for record in records))
+
+
+def result_to_json(result) -> dict:
+    """The machine-readable summary of a :class:`CampaignResult`.
+
+    The CLI's ``--json`` output and the service's completed-campaign
+    ``result`` body.  For a fixed ``(seed, shards)`` configuration, the
+    ``timing`` sub-dict and the ``summary`` string (which embeds elapsed
+    seconds) are the *only* run-to-run variance — everything else is
+    byte-stable, which the round-trip test pins by popping exactly those
+    two keys.
+    """
+    records = finding_records(result)
+    return {
+        "config": jsonable(asdict(result.config)),
+        "rounds": result.rounds,
+        "queries_run": result.queries_run,
+        "queries_by_scenario": jsonable(result.queries_by_scenario),
+        "queries_by_oracle": jsonable(result.queries_by_oracle),
+        "cache_stats": jsonable(result.cache_stats),
+        "scheduler_stats": jsonable(result.scheduler_stats),
+        "errors_ignored": result.errors_ignored,
+        "findings": records,
+        "finding_counts": {
+            "discrepancies": len(result.discrepancies),
+            "oracle_findings": len(result.oracle_findings),
+            "divergences": len(result.divergences),
+            "crashes": len(result.crashes),
+        },
+        "unique_signatures": unique_signature_stream(records),
+        "unique_bug_ids": sorted(result.unique_bug_ids),
+        "unique_bug_count": result.unique_bug_count,
+        "divergence_queries": result.divergence_queries,
+        "reference_errors_ignored": result.reference_errors_ignored,
+        "shard_count": result.shard_count,
+        "timing": {
+            "total_seconds": result.total_seconds,
+            "sdbms_seconds": result.sdbms_seconds,
+        },
+        "summary": result.summary(),
+    }

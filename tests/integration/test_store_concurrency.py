@@ -1,0 +1,106 @@
+"""Two processes, one sqlite store file: the cross-process write contract.
+
+The findings store promises (docs/SERVICE.md) that concurrent writers —
+shards of one campaign, or entirely separate campaigns — can share a store
+file with no lost writes, no ``database is locked`` escapes, and exactly
+one ``novel=True`` verdict per signature across all writers.  This suite
+pins that with real processes racing real transactions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.store import FindingsStore
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+#: each writer records every one of these signatures once; the two sets
+#: overlap on `shared-*` so novelty races on exactly those keys.
+WRITER_SIGNATURES = {
+    "alpha": [f"shared-{i}" for i in range(40)] + [f"alpha-{i}" for i in range(20)],
+    "beta": [f"shared-{i}" for i in range(40)] + [f"beta-{i}" for i in range(20)],
+}
+
+WRITER_SOURCE = """
+import json, sys
+from repro.store import FindingsStore
+
+store_path, campaign_id, out_path = sys.argv[1], sys.argv[2], sys.argv[3]
+signatures = json.load(open(sys.argv[4]))
+verdicts = {}
+with FindingsStore(store_path) as store:
+    store.create_campaign(campaign_id, {}, 0)
+    for signature in signatures:
+        record = {"kind": "discrepancy", "scenario": "s", "oracle": None, "label": "l",
+                  "signature": signature, "bug_ids": [], "detail": "d", "sql": None}
+        verdicts[signature] = store.record_finding(campaign_id, record)
+json.dump(verdicts, open(out_path, "w"))
+"""
+
+
+def test_two_processes_share_one_store_without_lost_writes(tmp_path):
+    store_path = str(tmp_path / "shared.db")
+    FindingsStore(store_path).close()  # create the schema up front
+
+    processes = {}
+    for name, signatures in WRITER_SIGNATURES.items():
+        sig_path = tmp_path / f"{name}.sigs.json"
+        sig_path.write_text(json.dumps(signatures))
+        out_path = tmp_path / f"{name}.out.json"
+        processes[name] = (
+            subprocess.Popen(
+                [
+                    sys.executable, "-c", WRITER_SOURCE,
+                    store_path, f"campaign-{name}", str(out_path), str(sig_path),
+                ],
+                env={**os.environ, "PYTHONPATH": os.path.join(REPO_ROOT, "src")},
+                stderr=subprocess.PIPE,
+                text=True,
+            ),
+            out_path,
+        )
+
+    verdicts = {}
+    for name, (process, out_path) in processes.items():
+        _, stderr = process.communicate(timeout=120)
+        # "database is locked" escaping busy_timeout would surface here
+        assert process.returncode == 0, f"writer {name} failed:\n{stderr}"
+        verdicts[name] = json.loads(out_path.read_text())
+
+    with FindingsStore(store_path) as store:
+        corpus = store.known_signatures()
+        stats = store.stats()
+        alpha_sightings = store.sighting_count("campaign-alpha")
+        beta_sightings = store.sighting_count("campaign-beta")
+        novel_by_campaign = {
+            name: store.novel_finding_count(f"campaign-{name}") for name in WRITER_SIGNATURES
+        }
+
+    # no lost writes: every observation landed as a sighting, and the
+    # corpus holds exactly the union of both writers' signature sets.
+    assert alpha_sightings == len(WRITER_SIGNATURES["alpha"])
+    assert beta_sightings == len(WRITER_SIGNATURES["beta"])
+    expected_corpus = set(WRITER_SIGNATURES["alpha"]) | set(WRITER_SIGNATURES["beta"])
+    assert set(corpus) == expected_corpus
+    assert stats["unique_findings"] == len(expected_corpus)
+    assert stats["sightings"] == alpha_sightings + beta_sightings
+
+    # consistent novelty: each signature was novel for exactly one writer
+    # (whichever won the INSERT race), never both, never neither.
+    for signature in expected_corpus:
+        claims = [
+            verdicts[name][signature]
+            for name in WRITER_SIGNATURES
+            if signature in verdicts[name]
+        ]
+        assert claims.count(True) == 1, f"{signature}: novelty claims {claims}"
+
+    # the store's own novel counters agree with the writers' verdicts.
+    for name in WRITER_SIGNATURES:
+        claimed = sum(1 for novel in verdicts[name].values() if novel)
+        assert novel_by_campaign[name] == claimed
+    assert sum(novel_by_campaign.values()) == len(expected_corpus)

@@ -1,0 +1,89 @@
+"""Regression tests for :func:`repro.core.trace.read_trace`.
+
+A SIGKILL mid-``write`` leaves a partial final line in the JSONL trace —
+the expected wreckage of an interrupted campaign, which the reader must
+tolerate (warn and skip) without papering over *real* corruption in the
+middle of the file.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.trace import CampaignTrace, read_trace
+
+
+def write_lines(path, lines) -> str:
+    path.write_text("".join(line + "\n" for line in lines), encoding="utf-8")
+    return str(path)
+
+
+class TestTruncatedTrailingLine:
+    def test_warns_and_skips(self, tmp_path):
+        path = write_lines(
+            tmp_path / "trace.jsonl",
+            [
+                json.dumps({"event": "round", "shard": 0, "elapsed": 0.1}),
+                json.dumps({"event": "finding", "shard": 0, "elapsed": 0.2}),
+                '{"event": "rou',  # the writer died mid-write here
+            ],
+        )
+        with pytest.warns(RuntimeWarning, match="truncated trailing trace record"):
+            events = read_trace(path)
+        assert [event["event"] for event in events] == ["round", "finding"]
+
+    def test_unterminated_last_line_without_newline(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            json.dumps({"event": "round", "shard": 0, "elapsed": 0.1}) + '\n{"eve',
+            encoding="utf-8",
+        )
+        with pytest.warns(RuntimeWarning):
+            events = read_trace(str(path))
+        assert len(events) == 1
+
+    def test_trailing_blank_lines_do_not_mask_the_skip(self, tmp_path):
+        path = write_lines(
+            tmp_path / "trace.jsonl",
+            [json.dumps({"event": "round", "shard": 0, "elapsed": 0.0}), '{"bad', "", "  "],
+        )
+        with pytest.warns(RuntimeWarning):
+            events = read_trace(path)
+        assert len(events) == 1
+
+
+class TestRealCorruptionStillRaises:
+    def test_malformed_line_followed_by_good_records_raises(self, tmp_path):
+        path = write_lines(
+            tmp_path / "trace.jsonl",
+            [
+                json.dumps({"event": "round", "shard": 0, "elapsed": 0.0}),
+                '{"bad json',
+                json.dumps({"event": "finding", "shard": 0, "elapsed": 0.3}),
+            ],
+        )
+        with pytest.raises(json.JSONDecodeError):
+            read_trace(path)
+
+
+class TestCleanFiles:
+    def test_well_formed_file_reads_without_warnings(self, tmp_path, recwarn):
+        trace_path = str(tmp_path / "trace.jsonl")
+        trace = CampaignTrace(trace_path, shard_index=1, truncate=True)
+        trace.emit("round", elapsed=0.5, index=0)
+        trace.emit("finding", elapsed=0.7, signature="sig-a")
+        trace.close()
+        events = read_trace(trace_path)
+        assert [event["event"] for event in events] == ["round", "finding"]
+        assert all(event["shard"] == 1 for event in events)
+        assert not [w for w in recwarn.list if issubclass(w.category, RuntimeWarning)]
+
+    def test_sink_receives_records_alongside_the_file(self, tmp_path):
+        received: list[dict] = []
+        trace = CampaignTrace(None, shard_index=0, sink=received.append)
+        assert trace.enabled
+        trace.emit("round", elapsed=0.1, index=3)
+        trace.close()
+        assert received == [{"event": "round", "shard": 0, "elapsed": 0.1, "index": 3}]
