@@ -37,6 +37,12 @@ class TimeSplit:
     queries_run: float
     #: Worker processes the campaign ran with (1 = serial driver).
     workers: int = 1
+    #: Average seconds spent materialising databases (initial loads plus
+    #: derived follow-ups) — the reuse layer's phase split, per-repeat mean.
+    time_materialise: float = 0.0
+    #: Average oracle-pass seconds net of materialisation (query execution
+    #: and checking), per-repeat mean.
+    time_execute: float = 0.0
     #: Cache counters averaged over the repeats (``prepared_*``,
     #: ``relate_*`` and ``interner_*`` hits/misses), so every field of a
     #: data point is a per-repeat mean and stays comparable across sweeps
@@ -92,6 +98,8 @@ def measure_campaign_time_split(
     total_spatter = 0.0
     total_sdbms = 0.0
     total_queries = 0
+    total_materialise = 0.0
+    total_execute = 0.0
     caches: Counter[str] = Counter()
     for repeat in range(repeats):
         config = CampaignConfig(
@@ -107,6 +115,8 @@ def measure_campaign_time_split(
         total_spatter += result.total_seconds
         total_sdbms += result.sdbms_seconds
         total_queries += result.queries_run
+        total_materialise += result.materialise_seconds
+        total_execute += result.execute_seconds
         caches.update(result.cache_stats)
     return TimeSplit(
         dialect=dialect,
@@ -115,5 +125,7 @@ def measure_campaign_time_split(
         sdbms_seconds=total_sdbms / repeats,
         queries_run=total_queries / repeats,
         workers=workers,
+        time_materialise=total_materialise / repeats,
+        time_execute=total_execute / repeats,
         cache_stats={key: value / repeats for key, value in caches.items()},
     )

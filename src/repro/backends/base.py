@@ -131,6 +131,16 @@ class BackendSession(Protocol):
     expose ``seconds_in_engine`` and ``statements`` counters (the Figure 7
     time split), ``fault_plan`` must expose a ``triggered`` list (empty and
     never growing is fine for backends without fault injection).
+
+    Two further surfaces are *optional* and discovered by duck typing —
+    the reuse layer probes for them with ``getattr`` and falls back to the
+    SQL path when absent, so adapter sessions never have to implement
+    them: ``load_geometry_tables(tables, include_ids=True)`` bulk-loads
+    already-parsed geometry tables (the in-process engine's implementation
+    mirrors the CREATE/INSERT replay statement for statement), and
+    ``execute_parsed(statements)`` runs pre-parsed engine-AST statements
+    (the compiled-plan cache's entry point).  External backends like
+    ``sqlite`` expose neither and transparently run the legacy path.
     """
 
     dialect: Dialect

@@ -146,6 +146,16 @@ def build_argument_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--no-reuse",
+        action="store_true",
+        help=(
+            "disable the materialization/plan reuse layer (affine-derived "
+            "follow-up databases, direct bulk-load of parsed geometry, "
+            "compiled-plan cache); the legacy reference side of the reuse "
+            "equivalence suite"
+        ),
+    )
+    parser.add_argument(
         "--scheduler",
         choices=SCHEDULER_NAMES,
         default=STATIC_SCHEDULER,
@@ -395,6 +405,7 @@ def main(argv: list[str] | None = None) -> int:
         use_derivative_strategy=not arguments.random_shape_only,
         fast_path=not arguments.no_fast_path,
         vectorized=not arguments.no_vectorized,
+        reuse=not arguments.no_reuse,
         scheduler=arguments.scheduler,
         trace_file=arguments.trace_file,
         seed=arguments.seed,
@@ -473,6 +484,18 @@ def _print_report(result, arguments) -> None:
             f"Fast-path caches: prepared {prepared_hits} hits / "
             f"{prepared_misses} misses, relate {relate_hits} hits / "
             f"{relate_misses} misses"
+        )
+    if result.config.reuse and result.cache_stats:
+        derived = result.cache_stats.get("reuse_derived_databases", 0)
+        direct = result.cache_stats.get("reuse_direct_databases", 0)
+        fallback = result.cache_stats.get("reuse_fallback_databases", 0)
+        plan_hits = result.cache_stats.get("plan_hits", 0)
+        plan_misses = result.cache_stats.get("plan_misses", 0)
+        print(
+            f"Reuse layer: {derived} derived / {direct} direct / "
+            f"{fallback} fallback databases, plans {plan_hits} hits / "
+            f"{plan_misses} misses; materialise {result.materialise_seconds:.3f}s, "
+            f"execute {result.execute_seconds:.3f}s"
         )
     if result.queries_by_scenario:
         print("\nQueries and findings per scenario:")

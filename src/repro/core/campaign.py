@@ -37,8 +37,10 @@ from repro.core.scheduler import (
     resolve_scheduler_name,
     scenario_arm,
 )
+from repro.core.reuse import reuse_stats, set_reuse
 from repro.core.trace import CampaignTrace
 from repro.engine.database import SpatialDatabase, connect
+from repro.engine.plancache import PlanCache
 from repro.engine.dialects import default_fault_profile
 from repro.oracles import AEI_ORACLE, OracleFinding, get_oracle, resolve_oracle_names
 from repro.scenarios import resolve_scenarios
@@ -116,6 +118,15 @@ class CampaignConfig:
     #: row-at-a-time reference path; the batch-vs-scalar equivalence suite
     #: holds the two modes finding-for-finding identical.
     vectorized: bool = True
+    #: ``True`` enables the cross-round reuse layer: follow-up databases
+    #: derived from parsed originals (no WKT round-trip), direct bulk-load
+    #: of parsed geometry tables into sessions that support it, and the
+    #: campaign-lifetime compiled-plan cache
+    #: (:mod:`repro.engine.plancache`).  ``False`` (the CLI's
+    #: ``--no-reuse``) replays the legacy render/parse/execute path end to
+    #: end; the reuse equivalence suite holds the two modes
+    #: finding-for-finding identical.
+    reuse: bool = True
     #: Round-budget allocation policy.  ``"static"`` (the default) keeps the
     #: historical even :func:`~repro.core.oracle.allocate_query_budget`
     #: split with its rotating remainder — byte-for-byte the pre-scheduler
@@ -223,6 +234,12 @@ class CampaignResult:
     #: Time spent executing statements inside the SDBMS (summed over shards
     #: for merged results, i.e. aggregate engine time, not wall clock).
     sdbms_seconds: float = 0.0
+    #: Wall time spent materialising databases (initial loads plus derived
+    #: follow-ups), summed over shards like ``sdbms_seconds``.
+    materialise_seconds: float = 0.0
+    #: Wall time of the oracle passes minus materialisation — the
+    #: query-execution share of the reuse layer's phase split.
+    execute_seconds: float = 0.0
     #: Which shard produced this result (0 for serial runs).
     shard_index: int = 0
     #: How many shards the producing campaign was split into.
@@ -349,6 +366,8 @@ class CampaignResult:
             first_detection_seconds=dict(combined.first_detection_seconds),
             total_seconds=max(left.total_seconds, right.total_seconds),
             sdbms_seconds=left.sdbms_seconds + right.sdbms_seconds,
+            materialise_seconds=left.materialise_seconds + right.materialise_seconds,
+            execute_seconds=left.execute_seconds + right.execute_seconds,
             shard_index=0,
             shard_count=max(left.shard_count, right.shard_count),
             start_offset_seconds=0.0,
@@ -430,6 +449,11 @@ class TestingCampaign:
         #: learns from its own round stream and the per-arm statistics
         #: merge by summation (see docs/SCHEDULER.md).
         self.scheduler: BanditScheduler | None = None
+        #: campaign-lifetime compiled-plan cache (the reuse layer's query
+        #: side); handed to every round's AEI oracle so a query shape is
+        #: parsed once per campaign, not once per execution.  Inert when
+        #: the reuse flag is off — the oracle checks the toggle per pass.
+        self.plan_cache = PlanCache()
         capabilities = self.backend.capabilities()
         if AEI_ORACLE in self.active_oracles:
             self._scenario_arm_names = tuple(
@@ -534,6 +558,10 @@ class TestingCampaign:
         # kernel; scope them to this run so --no-vectorized campaigns run
         # the scalar reference geometry code end to end.
         previous_vectorized = set_vectorized_kernels(self.config.vectorized)
+        # The reuse layer spans the oracle, the sessions and the plan cache;
+        # like the two switches above it is process-global and scoped to the
+        # run so --no-reuse campaigns replay the legacy path end to end.
+        previous_reuse = set_reuse(self.config.reuse)
         try:
             while True:
                 elapsed = time.perf_counter() - started
@@ -550,6 +578,7 @@ class TestingCampaign:
         finally:
             set_fast_clearance(previous_clearance)
             set_vectorized_kernels(previous_vectorized)
+            set_reuse(previous_reuse)
             trace.close()
 
         result.total_seconds = time.perf_counter() - started
@@ -648,8 +677,11 @@ class TestingCampaign:
             fast_path=self.config.fast_path,
             capabilities=self.backend.capabilities(),
             reference_backend=self.reference_backend,
+            plan_cache=self.plan_cache,
         )
         global_caches_before = self._global_cache_stats()
+        materialise_at_start = result.materialise_seconds
+        execute_at_start = result.execute_seconds
         allocation: dict[str, int] | None = None
         if self.scheduler is not None:
             allocation = self.scheduler.allocate(self._round_budget())
@@ -698,6 +730,8 @@ class TestingCampaign:
                 elapsed=time.perf_counter() - started,
                 round=global_round,
                 queries=result.queries_run - queries_at_start,
+                time_materialise=result.materialise_seconds - materialise_at_start,
+                time_execute=result.execute_seconds - execute_at_start,
             )
 
     def _run_aei_pass(
@@ -729,12 +763,16 @@ class TestingCampaign:
             aei_budget = sum(scenario_budgets.values())
             if aei_budget <= 0:
                 return
+        pass_started = time.perf_counter()
         outcome = oracle.check(
             spec,
             query_count=aei_budget,
             scenarios=self.config.scenarios,
             budgets=scenario_budgets,
         )
+        pass_wall = time.perf_counter() - pass_started
+        result.materialise_seconds += outcome.materialise_seconds
+        result.execute_seconds += max(0.0, pass_wall - outcome.materialise_seconds)
         elapsed = time.perf_counter() - started
         result.queries_run += outcome.queries_run
         for scenario, count in outcome.queries_by_scenario.items():
@@ -849,7 +887,11 @@ class TestingCampaign:
                     phase=f"oracle:{oracle.name}",
                 )
                 break
+            pass_started = time.perf_counter()
             outcome = oracle.check(spec, session_factory, capabilities, rng, budget)
+            pass_wall = time.perf_counter() - pass_started
+            result.materialise_seconds += outcome.materialise_seconds
+            result.execute_seconds += max(0.0, pass_wall - outcome.materialise_seconds)
             elapsed = time.perf_counter() - started
             result.queries_run += outcome.queries_run
             result.queries_by_oracle[oracle.name] = (
@@ -886,20 +928,32 @@ class TestingCampaign:
             if self.scheduler is not None:
                 self.scheduler.observe(arm, outcome.queries_run, novelty.get(arm, 0))
 
-    @staticmethod
-    def _global_cache_stats() -> dict[str, int]:
-        """Snapshot of the process-level cache counters (relate + interner)."""
+    def _global_cache_stats(self) -> dict[str, int]:
+        """Snapshot of the process-level cache counters.
+
+        Relate memo and WKT interner (both process-global), the campaign's
+        own compiled-plan cache, and the reuse-layer materialisation
+        counters — everything the round folds in as a before/after delta.
+        """
         from repro.geometry.cache import geometry_cache_stats
         from repro.topology.relate import relate_cache_stats
 
         relate_stats = relate_cache_stats()
         interner = geometry_cache_stats()
-        return {
+        plans = self.plan_cache.stats()
+        snapshot = {
             "relate_hits": relate_stats["hits"],
             "relate_misses": relate_stats["misses"],
             "interner_hits": interner["hits"],
             "interner_misses": interner["misses"],
+            "interner_evictions": interner["evictions"],
+            "plan_hits": plans["hits"],
+            "plan_misses": plans["misses"],
+            "plan_evictions": plans["evictions"],
         }
+        for key, value in reuse_stats().items():
+            snapshot[f"reuse_{key}"] = value
+        return snapshot
 
     def _collect_cache_stats(
         self,

@@ -1,0 +1,64 @@
+"""Run-scoped switch and counters for the materialization/plan reuse layer.
+
+The reuse layer (``CampaignConfig.reuse`` / ``--no-reuse``) spans several
+modules — the oracle derives follow-up databases from parsed originals, the
+backend session bulk-loads parsed tables, and the campaign-owned plan cache
+replays compiled statements — so, like the fast-path and vectorized
+switches before it, the flag lives in one process-global toggle that
+``TestingCampaign.run`` scopes around the campaign (set on entry, restored
+in ``finally``).  Oracles constructed outside a campaign see the default
+(enabled), which keeps standalone use on the fast configuration while the
+equivalence suites flip the toggle explicitly.
+
+The counters record *which* path ran — how many databases were materialised
+by direct bulk-load, how many follow-ups were derived without a WKT
+round-trip, and how many fell back to SQL replay — so the on-vs-off
+differential tests can prove the reuse path actually engaged (non-vacuity)
+and the CLI can report it.  They follow the process-global cache idiom:
+``TestingCampaign`` snapshots them per round and reports deltas, keeping
+shard results additive under parallel merge.
+"""
+
+from __future__ import annotations
+
+_ENABLED = True
+
+_STATS = {
+    # databases materialised by direct bulk-load of parsed geometry tables
+    "direct_databases": 0,
+    # follow-up databases whose spec was derived from parsed originals
+    # (no WKT round-trip) and bulk-loaded as objects
+    "derived_databases": 0,
+    # databases that fell back to SQL replay (reuse off, session without
+    # bulk-load support, or a non-integral derived coordinate)
+    "fallback_databases": 0,
+}
+
+
+def set_reuse(enabled: bool) -> bool:
+    """Set the process-global reuse switch; returns the previous value."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    return previous
+
+
+def reuse_enabled() -> bool:
+    """Whether the reuse layer is currently switched on."""
+    return _ENABLED
+
+
+def record_materialisation(kind: str) -> None:
+    """Count one materialised database by path (see ``_STATS`` keys)."""
+    _STATS[f"{kind}_databases"] += 1
+
+
+def reuse_stats() -> dict[str, int]:
+    """Current process-global reuse counters."""
+    return dict(_STATS)
+
+
+def clear_reuse_stats() -> None:
+    """Reset the counters (tests and benchmarks)."""
+    for key in _STATS:
+        _STATS[key] = 0

@@ -19,6 +19,7 @@ from repro.engine.faults import FaultPlan
 from repro.engine.parser import parse_script
 from repro.engine.prepared import PreparedGeometryCache
 from repro.engine.registry import FunctionRegistry
+from repro.errors import TableError
 
 
 @dataclass
@@ -81,6 +82,68 @@ class SpatialDatabase:
         finally:
             self.stats.seconds_in_engine += time.perf_counter() - started
         return result
+
+    def execute_parsed(self, statements: list) -> ResultSet:
+        """Execute pre-parsed statements; returns the last result.
+
+        The reuse layer's plan cache parses each statement shape once per
+        campaign and replays the compiled AST with rebound literals; this
+        entry point runs such statements with exactly :meth:`execute`'s
+        accounting (statement counter, engine-seconds timer) minus the
+        parse, which :meth:`execute` performs outside the timer anyway.
+        """
+        result = ResultSet(command="EMPTY")
+        started = time.perf_counter()
+        try:
+            for statement in statements:
+                self.stats.statements += 1
+                result = self.executor.execute(statement)
+        finally:
+            self.stats.seconds_in_engine += time.perf_counter() - started
+        return result
+
+    def load_geometry_tables(
+        self,
+        tables: dict[str, list],
+        geometry_column: str = "g",
+        include_ids: bool = True,
+    ) -> None:
+        """Bulk-load already-parsed geometry tables (the reuse layer).
+
+        Mirrors executing ``DatabaseSpec.create_statements`` statement for
+        statement — same table/column names and lower-casing, same 1-based
+        ``id`` values, same duplicate-table error, same statement counter
+        and index behaviour (``auto`` indexes honour the same
+        drop-empty-from-index fault) — but stores the given ``Geometry``
+        objects directly instead of parsing their WKT out of INSERT
+        literals.  Callers guarantee each object is value-identical to the
+        parse of the WKT the legacy path would have inserted.
+        """
+        from repro.engine.catalog import Column, Table
+
+        started = time.perf_counter()
+        try:
+            drop_empty = self.executor._drop_empty_from_index()
+            for name in sorted(tables):
+                key = name.lower()
+                self.stats.statements += 1
+                if key in self.state.tables:
+                    raise TableError(f"table {key!r} already exists")
+                if include_ids:
+                    columns = [Column("id", "int"), Column(geometry_column, "geometry")]
+                else:
+                    columns = [Column(geometry_column, "geometry")]
+                table = Table(key, columns)
+                self.state.tables[key] = table
+                for row_id, geometry in enumerate(tables[name], start=1):
+                    self.stats.statements += 1
+                    if include_ids:
+                        values = {"id": row_id, geometry_column: geometry}
+                    else:
+                        values = {geometry_column: geometry}
+                    table.insert_row(values, drop_empty_from_index=drop_empty)
+        finally:
+            self.stats.seconds_in_engine += time.perf_counter() - started
 
     def query_value(self, sql: str) -> Any:
         """Execute a query and return its single scalar value."""

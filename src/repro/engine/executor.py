@@ -82,6 +82,10 @@ class Executor:
 
     # ------------------------------------------------------------ statements
     def execute(self, statement: ast.Statement) -> ResultSet:
+        # The compiled-plan cache replays one statement object many times
+        # with literals rebound in place between calls; execution must
+        # therefore never mutate the statement tree or memoize
+        # literal-derived state on it.
         if isinstance(statement, ast.CreateTable):
             return self._execute_create_table(statement)
         if isinstance(statement, ast.CreateIndex):

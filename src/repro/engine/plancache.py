@@ -1,0 +1,180 @@
+"""Campaign-lifetime compiled-plan cache (the reuse layer's query side).
+
+A campaign replays a small set of structural query shapes thousands of
+times — every scenario emits the same SELECT skeletons each round with
+fresh literals.  The legacy path renders each :mod:`repro.core.qir` tree to
+SQL and re-parses it per execution; this cache parses each *shape* once and
+replays the compiled AST with the literals rebound in place.
+
+Soundness rests on three structural facts, each verified at build time:
+
+* **Key equality implies skeleton equality.**  The cache key is the IR tree
+  with every literal blanked (``rewrite_literals``) plus the render style
+  derived from the target's capabilities.  Rendering is a pure function of
+  (tree, style), so two queries with equal keys render to the same SQL
+  skeleton, differing only in literal payloads.
+* **Positional alignment.**  Both the IR walk (:func:`repro.core.qir.literals`)
+  and the engine-AST walk below visit children in dataclass field order,
+  which on both sides equals the syntactic order of the rendered SQL — so
+  literal *i* of the IR is parsed into literal slot *i* of the AST.  The
+  build nevertheless verifies every slot's parsed value against the IR
+  literal it aligns with and refuses to cache on any mismatch (e.g. a
+  negative integer, which parses as a unary minus around the slot).
+* **Fault transparency.**  A cached plan holds only operator structure —
+  never predicate results — and replays through the same executor entry
+  point as a freshly parsed statement, so injected fault hooks, the
+  prepared-geometry cache, and index behaviour see identical inputs hot or
+  cold.
+
+The cache is a bounded LRU with hit/miss/eviction/bypass counters that the
+campaign folds into ``cache_stats``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import fields, is_dataclass
+from typing import Any
+
+from repro.core import qir
+from repro.engine import ast
+from repro.engine.parser import parse_script
+
+#: sentinel cached for shapes the verifier refused (never rebuilt, always
+#: answered with "use the legacy path")
+_UNCACHEABLE = object()
+
+DEFAULT_CAPACITY = 512
+
+
+def _collect_literal_slots(node: Any, out: list[ast.Literal]) -> None:
+    """Every ``ast.Literal`` of a parsed statement, in field/syntactic order."""
+    if isinstance(node, ast.Literal):
+        out.append(node)
+        return
+    if is_dataclass(node):
+        for spec in fields(node):
+            _collect_literal_slots(getattr(node, spec.name), out)
+    elif isinstance(node, (list, tuple)):
+        for item in node:
+            _collect_literal_slots(item, out)
+
+
+class CompiledPlan:
+    """One parsed SELECT template with its literal slots."""
+
+    __slots__ = ("statement", "slots", "kinds")
+
+    def __init__(self, statement: ast.Select, slots: list[ast.Literal], kinds: list[str]):
+        self.statement = statement
+        self.slots = slots
+        self.kinds = kinds
+
+    def bind(self, ir: qir.Select) -> bool:
+        """Rebind the template's literal slots from ``ir``'s literals.
+
+        Returns ``False`` (caller falls back to render-and-parse) on any
+        shape surprise — a literal count or type drift, or a negative
+        integer, which the renderer would have emitted as a unary minus
+        rather than a literal token.
+        """
+        literals = qir.literals(ir)
+        if len(literals) != len(self.slots):
+            return False
+        for slot, kind, literal in zip(self.slots, self.kinds, literals):
+            if kind == "int":
+                if not isinstance(literal, qir.IntLiteral) or literal.value < 0:
+                    return False
+                slot.value = literal.value
+            else:
+                if not isinstance(literal, qir.GeometryLiteral):
+                    return False
+                slot.value = literal.wkt
+        return True
+
+    def run(self, session: Any, ir: qir.Select):
+        """Bind and execute on a session; ``None`` means "use the legacy path"."""
+        if not self.bind(ir):
+            return None
+        return session.execute_parsed([self.statement])
+
+
+class PlanCache:
+    """Bounded LRU of compiled plans keyed on (blanked IR, render style)."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        self.capacity = max(1, capacity)
+        self._entries: "OrderedDict[tuple, Any]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._bypasses = 0
+
+    def _key(self, ir: qir.Select, style: qir.RenderStyle) -> tuple:
+        blank = qir.rewrite_literals(ir, geometry=lambda _: "", integer=lambda _: 0)
+        return (blank, style)
+
+    def prepare(self, ir: qir.Select, target: Any = None) -> CompiledPlan | None:
+        """The compiled plan for a query shape, building it on first sight.
+
+        Returns ``None`` for shapes the verifier refuses to cache; the
+        caller then renders and parses exactly as with the cache off.
+        """
+        style = qir.RenderStyle.for_target(target)
+        key = self._key(ir, style)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            if entry is _UNCACHEABLE:
+                self._bypasses += 1
+                return None
+            self._hits += 1
+            return entry
+        self._misses += 1
+        plan = self._build(ir, style)
+        if len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+        self._entries[key] = plan if plan is not None else _UNCACHEABLE
+        return plan
+
+    def _build(self, ir: qir.Select, style: qir.RenderStyle) -> CompiledPlan | None:
+        sql = qir.render(ir, style)
+        statements = parse_script(sql)
+        if len(statements) != 1 or not isinstance(statements[0], ast.Select):
+            return None
+        slots: list[ast.Literal] = []
+        _collect_literal_slots(statements[0], slots)
+        literals = qir.literals(ir)
+        if len(slots) != len(literals):
+            return None
+        kinds: list[str] = []
+        for slot, literal in zip(slots, literals):
+            if isinstance(literal, qir.IntLiteral):
+                if slot.value != literal.value or literal.value < 0:
+                    return None
+                kinds.append("int")
+            elif isinstance(literal, qir.GeometryLiteral):
+                if slot.value != literal.wkt:
+                    return None
+                kinds.append("geometry")
+            else:  # pragma: no cover - literals() only yields the two kinds
+                return None
+        return CompiledPlan(statements[0], slots, kinds)
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/eviction/bypass counters plus current entry count."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "evictions": self._evictions,
+            "bypasses": self._bypasses,
+            "entries": len(self._entries),
+        }
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._bypasses = 0

@@ -52,6 +52,12 @@ def compile_select(executor: "Executor", statement: ast.Select) -> "BatchSelectP
     Compilation is refused when the numpy kernels are unavailable or
     disabled (``--no-vectorized``) and for the degenerate FROM-less select,
     where there is nothing to batch.
+
+    The reuse layer's compiled-plan cache replays the *same* ``statement``
+    object across executions with its literal values rebound in place
+    between runs, so nothing derived from a literal's value may be
+    memoized on (or keyed by) the statement — every threshold and constant
+    below is re-read per execution.
     """
     if not vectorized_kernels_enabled():
         return None

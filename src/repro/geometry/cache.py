@@ -13,21 +13,49 @@ Sharing instances has a second benefit: the relate engine's identity-keyed
 memo (:mod:`repro.topology.relate`) hits whenever the *same objects* meet
 again, which interning makes the common case.
 
-The table follows the repository's cache idiom (bounded, cleared wholesale
-on overflow) and exposes hit/miss counters surfaced by
-``repro.analysis.timing``.
+The tables are bounded LRUs: long-running multi-campaign processes
+(``spatter serve``) must not grow without bound, and evicting the least
+recently used entry keeps the campaign's working set warm instead of the
+clear-wholesale idiom's periodic cold restarts.  Hit/miss/eviction counters
+are surfaced by ``repro.analysis.timing`` and the campaign's
+``cache_stats``.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 from repro.geometry.model import Geometry
 from repro.geometry.wkt import load_wkt as _parse_wkt
 
-_WKT_INTERN: dict[str, Geometry] = {}
-_WKB_INTERN: dict[str, Geometry] = {}
+_WKT_INTERN: "OrderedDict[str, Geometry]" = OrderedDict()
+_WKB_INTERN: "OrderedDict[str, Geometry]" = OrderedDict()
 _INTERN_LIMIT = 65536
 
-_STATS = {"hits": 0, "misses": 0}
+_STATS = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+def set_geometry_cache_limit(limit: int) -> int:
+    """Set the per-table entry cap; returns the previous cap.
+
+    Existing entries beyond the new cap are evicted immediately (oldest
+    first) so the bound holds from the moment it is configured.
+    """
+    global _INTERN_LIMIT
+    previous = _INTERN_LIMIT
+    _INTERN_LIMIT = max(1, int(limit))
+    for table in (_WKT_INTERN, _WKB_INTERN):
+        while len(table) > _INTERN_LIMIT:
+            table.popitem(last=False)
+            _STATS["evictions"] += 1
+    return previous
+
+
+def _remember(table: "OrderedDict[str, Geometry]", text: str, geometry: Geometry) -> None:
+    if len(table) >= _INTERN_LIMIT:
+        table.popitem(last=False)
+        _STATS["evictions"] += 1
+    table[text] = geometry
 
 
 def load_wkt_interned(text: str) -> Geometry:
@@ -40,12 +68,36 @@ def load_wkt_interned(text: str) -> Geometry:
     cached = _WKT_INTERN.get(text)
     if cached is not None:
         _STATS["hits"] += 1
+        _WKT_INTERN.move_to_end(text)
         return cached
     _STATS["misses"] += 1
     geometry = _parse_wkt(text)
-    if len(_WKT_INTERN) >= _INTERN_LIMIT:
-        _WKT_INTERN.clear()
-    _WKT_INTERN[text] = geometry
+    _remember(_WKT_INTERN, text, geometry)
+    return geometry
+
+
+def intern_parsed(text: str, geometry: Geometry) -> Geometry:
+    """Register an already-parsed geometry under its serialized text.
+
+    The reuse layer derives follow-up geometries by transforming parsed
+    originals; registering the derived object under its dumped WKT lets the
+    engine's later parses of that text (INSERT replay, query literals,
+    deduplication) share the instance instead of re-parsing.  Callers must
+    guarantee ``geometry`` is value-identical to ``load_wkt(text)`` — the
+    derivation path only interns geometries whose coordinates round-trip
+    exactly (integral, see ``repro.core.oracle``).
+
+    Returns the canonical shared instance: if ``text`` is already interned
+    the existing object wins, preserving the identity-sharing the rest of
+    the process may already rely on.
+    """
+    cached = _WKT_INTERN.get(text)
+    if cached is not None:
+        _STATS["hits"] += 1
+        _WKT_INTERN.move_to_end(text)
+        return cached
+    _STATS["misses"] += 1
+    _remember(_WKT_INTERN, text, geometry)
     return geometry
 
 
@@ -56,20 +108,20 @@ def load_hex_wkb_interned(text: str) -> Geometry:
     cached = _WKB_INTERN.get(text)
     if cached is not None:
         _STATS["hits"] += 1
+        _WKB_INTERN.move_to_end(text)
         return cached
     _STATS["misses"] += 1
     geometry = _parse_hex_wkb(text)
-    if len(_WKB_INTERN) >= _INTERN_LIMIT:
-        _WKB_INTERN.clear()
-    _WKB_INTERN[text] = geometry
+    _remember(_WKB_INTERN, text, geometry)
     return geometry
 
 
 def geometry_cache_stats() -> dict[str, int]:
-    """Hit/miss counters plus current table sizes."""
+    """Hit/miss/eviction counters plus current table sizes."""
     return {
         "hits": _STATS["hits"],
         "misses": _STATS["misses"],
+        "evictions": _STATS["evictions"],
         "wkt_entries": len(_WKT_INTERN),
         "wkb_entries": len(_WKB_INTERN),
     }
@@ -81,3 +133,4 @@ def clear_geometry_cache() -> None:
     _WKB_INTERN.clear()
     _STATS["hits"] = 0
     _STATS["misses"] = 0
+    _STATS["evictions"] = 0

@@ -625,6 +625,33 @@ class ClearanceFilter:
 # ---------------------------------------------------------------------------
 
 
+def envelope_float_box(envelope) -> tuple[float, float, float, float]:
+    """Outward-rounded float box of an exact envelope, memoized per instance.
+
+    ``(min_x_lo, min_y_lo, max_x_hi, max_y_hi)`` with each bound pushed
+    outward by the certified conversion error, so a float comparison can
+    only ever *keep* a candidate the exact bounds would keep.  Envelopes
+    are immutable, and the reuse layer's geometry interner shares geometry
+    instances — and therefore their envelope memos — across campaign
+    rounds, so the four Fraction→float conversions happen once per
+    distinct envelope rather than once per block build or probe.
+    """
+    memo = envelope._float_box
+    if memo is None:
+        minx = _to_float(envelope.min_x)
+        miny = _to_float(envelope.min_y)
+        maxx = _to_float(envelope.max_x)
+        maxy = _to_float(envelope.max_y)
+        memo = (
+            minx - _conversion_error(minx),
+            miny - _conversion_error(miny),
+            maxx + _conversion_error(maxx),
+            maxy + _conversion_error(maxy),
+        )
+        envelope._float_box = memo
+    return memo
+
+
 class EnvelopeBlock:
     """Outward-rounded float envelopes for a positional sequence of rows.
 
@@ -655,20 +682,13 @@ class EnvelopeBlock:
                 self.empty_positions.append(position)
                 continue
             self.positions.append(position)
-            boxes.append(
-                (
-                    _to_float(envelope.min_x),
-                    _to_float(envelope.min_y),
-                    _to_float(envelope.max_x),
-                    _to_float(envelope.max_y),
-                )
-            )
+            boxes.append(envelope_float_box(envelope))
         if np is not None and boxes:
             array = np.array(boxes)
-            self.minx_lo = array[:, 0] - _conversion_error(array[:, 0])
-            self.miny_lo = array[:, 1] - _conversion_error(array[:, 1])
-            self.maxx_hi = array[:, 2] + _conversion_error(array[:, 2])
-            self.maxy_hi = array[:, 3] + _conversion_error(array[:, 3])
+            self.minx_lo = array[:, 0]
+            self.miny_lo = array[:, 1]
+            self.maxx_hi = array[:, 2]
+            self.maxy_hi = array[:, 3]
             self._positions_array = np.array(self.positions, dtype=np.intp)
         else:
             self._positions_array = None
@@ -678,16 +698,7 @@ class EnvelopeBlock:
         return sorted(self.positions + self.empty_positions)
 
     def _query_box(self, envelope) -> tuple[float, float, float, float]:
-        minx = _to_float(envelope.min_x)
-        miny = _to_float(envelope.min_y)
-        maxx = _to_float(envelope.max_x)
-        maxy = _to_float(envelope.max_y)
-        return (
-            minx - _conversion_error(minx),
-            miny - _conversion_error(miny),
-            maxx + _conversion_error(maxx),
-            maxy + _conversion_error(maxy),
-        )
+        return envelope_float_box(envelope)
 
     def intersecting(self, envelope) -> list[int]:
         """Positions whose envelope may intersect ``envelope`` (plus empties).

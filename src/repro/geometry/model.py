@@ -196,13 +196,19 @@ class Geometry:
 class Envelope:
     """Axis-aligned bounding box used by the R-tree index and fast rejects."""
 
-    __slots__ = ("min_x", "min_y", "max_x", "max_y")
+    #: ``_float_box`` memoizes the outward-rounded float box the columnar
+    #: kernels derive from the exact bounds (see
+    #: :func:`repro.geometry.columnar.envelope_float_box`); envelopes are
+    #: immutable, and the reuse layer shares interned geometry instances —
+    #: and therefore their envelope memos — across campaign rounds.
+    __slots__ = ("min_x", "min_y", "max_x", "max_y", "_float_box")
 
     def __init__(self, min_x: Fraction, min_y: Fraction, max_x: Fraction, max_y: Fraction):
         self.min_x = min_x
         self.min_y = min_y
         self.max_x = max_x
         self.max_y = max_y
+        self._float_box = None
 
     def intersects(self, other: "Envelope") -> bool:
         """True if the two boxes share at least one point."""

@@ -171,6 +171,8 @@ def result_to_json(result) -> dict:
         "timing": {
             "total_seconds": result.total_seconds,
             "sdbms_seconds": result.sdbms_seconds,
+            "materialise_seconds": result.materialise_seconds,
+            "execute_seconds": result.execute_seconds,
         },
         "summary": result.summary(),
     }

@@ -1,0 +1,157 @@
+"""Differential self-check: the reuse layer changes nothing but speed.
+
+The materialization/plan reuse layer (affine-derived follow-up databases,
+direct bulk-load of parsed geometry tables, and the compiled-plan cache of
+:mod:`repro.engine.plancache`) is only admissible if a campaign run with
+``reuse=True`` is observably identical to the same campaign run with
+``reuse=False`` — the legacy serialize/parse/execute pipeline being the
+reference semantics.  These tests run full-registry campaigns (all seven
+scenarios) over several seeds on both backends in both modes and compare
+everything the campaign reports: findings finding-for-finding, per-scenario
+query counts, deduplication signatures (ground-truth and
+signature-fallback), and crashes.
+
+Same differential discipline as the fast-path (PR 3) and vectorized (PR 6)
+equivalence suites — the source paper's method, turned inward.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.campaign import CampaignConfig, CampaignResult, TestingCampaign
+from repro.core.canonical import clear_canonical_cache
+from repro.core.dedup import Deduplicator, signature_identity
+from repro.core.reuse import clear_reuse_stats, reuse_stats
+from repro.geometry.cache import clear_geometry_cache
+from repro.scenarios import scenario_names
+from repro.topology.relate import clear_relate_cache
+
+SEEDS = (7, 2025, 4711)
+BACKENDS = ("inprocess", "sqlite")
+ROUNDS = 2
+
+#: (seed, reuse, backend) -> (CampaignResult, reuse-counter snapshot).
+#: Campaigns are deterministic, so each configuration runs once and every
+#: assertion style reuses the same pair of runs.
+_RUNS: dict[tuple, tuple[CampaignResult, dict[str, int]]] = {}
+
+
+def _clear_process_caches() -> None:
+    # Both modes must start cold: the relate/canonical/interner caches are
+    # process-global, and a warm cache would let the second run coast on
+    # the first run's work (hiding, not testing, the reuse path).
+    clear_relate_cache()
+    clear_canonical_cache()
+    clear_geometry_cache()
+
+
+def _run(seed: int, reuse: bool, backend: str) -> tuple[CampaignResult, dict[str, int]]:
+    key = (seed, reuse, backend)
+    if key not in _RUNS:
+        _clear_process_caches()
+        clear_reuse_stats()
+        config = CampaignConfig(
+            dialect="postgis",
+            backend=backend,
+            seed=seed,
+            geometry_count=6,
+            queries_per_round=14,
+            reuse=reuse,
+        )
+        result = TestingCampaign(config).run(rounds=ROUNDS)
+        _RUNS[key] = (result, dict(reuse_stats()))
+    return _RUNS[key]
+
+
+def _signatures(result: CampaignResult) -> list[str]:
+    deduplicator = Deduplicator()
+    for discrepancy in result.discrepancies:
+        deduplicator.observe_discrepancy(discrepancy, 0.0)
+    return list(deduplicator.result.unique_signatures)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("seed", SEEDS)
+class TestReuseEquivalence:
+    """Full-registry campaigns, reuse on vs. off, per seed and backend."""
+
+    def test_findings_match_finding_for_finding(self, seed, backend):
+        fast, _ = _run(seed, True, backend)
+        legacy, _ = _run(seed, False, backend)
+        assert len(fast.discrepancies) == len(legacy.discrepancies)
+        for ours, reference in zip(fast.discrepancies, legacy.discrepancies):
+            assert ours.describe() == reference.describe()
+            assert ours.result_original == reference.result_original
+            assert ours.result_followup == reference.result_followup
+            assert ours.result_expected == reference.result_expected
+            assert ours.scenario == reference.scenario
+            assert tuple(sorted(ours.triggered_bug_ids)) == tuple(
+                sorted(reference.triggered_bug_ids)
+            )
+        assert [f.describe() for f in fast.oracle_findings] == [
+            f.describe() for f in legacy.oracle_findings
+        ]
+        assert [(c.statement, c.bug_id) for c in fast.crashes] == [
+            (c.statement, c.bug_id) for c in legacy.crashes
+        ]
+
+    def test_query_counts_and_errors_match(self, seed, backend):
+        fast, _ = _run(seed, True, backend)
+        legacy, _ = _run(seed, False, backend)
+        assert fast.queries_run == legacy.queries_run
+        assert fast.queries_by_scenario == legacy.queries_by_scenario
+        assert fast.queries_by_oracle == legacy.queries_by_oracle
+        assert fast.errors_ignored == legacy.errors_ignored
+        assert fast.rounds == legacy.rounds == ROUNDS
+        # The campaigns genuinely exercise all seven registered scenarios.
+        assert set(fast.queries_by_scenario) == set(scenario_names())
+        assert len(scenario_names()) == 7
+
+    def test_dedup_identities_match(self, seed, backend):
+        fast, _ = _run(seed, True, backend)
+        legacy, _ = _run(seed, False, backend)
+        # Ground-truth identities (injected-bug ids) in detection order.
+        assert fast.unique_bug_ids == legacy.unique_bug_ids
+        # Signature identities (the no-ground-truth fallback).
+        assert _signatures(fast) == _signatures(legacy)
+        # And per-discrepancy, not just the deduplicated sets.
+        assert [signature_identity(d) for d in fast.discrepancies] == [
+            signature_identity(d) for d in legacy.discrepancies
+        ]
+
+
+def test_reuse_layer_actually_engaged():
+    """Guard against the equivalence above passing vacuously.
+
+    On the in-process backend the reuse run must derive follow-up databases
+    and bulk-load originals directly, replay compiled plans from the cache,
+    and the legacy run must do none of it; the sqlite adapter exposes no
+    bulk-load surface, so there every database must take the fallback path
+    even with reuse on (the duck-typing contract of
+    :class:`repro.backends.base.BackendSession`).
+    """
+    result, stats = _run(SEEDS[0], True, "inprocess")
+    assert stats["derived_databases"] > 0
+    assert stats["direct_databases"] > 0
+    assert stats["fallback_databases"] == 0
+    assert result.cache_stats.get("plan_hits", 0) > 0
+    assert result.cache_stats.get("reuse_derived_databases", 0) > 0
+
+    _, legacy_stats = _run(SEEDS[0], False, "inprocess")
+    assert legacy_stats["derived_databases"] == 0
+    assert legacy_stats["direct_databases"] == 0
+    assert legacy_stats["fallback_databases"] > 0
+
+    _, sqlite_stats = _run(SEEDS[0], True, "sqlite")
+    assert sqlite_stats["direct_databases"] == 0
+    assert sqlite_stats["fallback_databases"] > 0
+
+
+def test_phase_timing_is_reported():
+    """The round's wall clock splits into materialise + execute phases."""
+    result, _ = _run(SEEDS[0], True, "inprocess")
+    assert result.materialise_seconds > 0.0
+    assert result.execute_seconds > 0.0
+    # The split cannot exceed the campaign's total wall clock.
+    assert result.materialise_seconds + result.execute_seconds <= result.total_seconds
